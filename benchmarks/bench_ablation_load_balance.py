@@ -1,0 +1,75 @@
+"""Ablation: cost-based greedy partitioning versus naive hash partitioning.
+
+The paper attributes LSH-DDP's poor thread scaling to its lack of load
+balancing and parallelises Approx-DPC with the 3/2-approximation greedy (LPT)
+partitioner over estimated task costs (§4.5).  This ablation takes the *actual
+measured* per-cell costs of Approx-DPC's density phase and compares the
+makespan of three policies -- greedy LPT, dynamic work queue, and round-robin
+hash -- across thread counts.
+
+Run the full ablation with ``python benchmarks/bench_ablation_load_balance.py``.
+"""
+
+from __future__ import annotations
+
+from repro.bench import load_workload, print_series, run_performance_suite
+from repro.parallel.partition import greedy_partition, hash_partition, partition_imbalance
+from repro.parallel.scheduler import dynamic_schedule_makespan, static_schedule_makespan
+
+THREADS = (2, 4, 8, 12, 24, 48)
+
+
+def _density_task_costs(dataset: str):
+    workload = load_workload(dataset)
+    result = run_performance_suite(workload, ["Approx-DPC"])["Approx-DPC"]
+    phase = result.parallel_profile_.phase("local_density:scan")
+    return phase.task_costs
+
+
+def _series(costs, threads=THREADS):
+    greedy = [
+        static_schedule_makespan(costs, greedy_partition(costs, t)) for t in threads
+    ]
+    dynamic = [dynamic_schedule_makespan(costs, t) for t in threads]
+    hashed = [
+        static_schedule_makespan(costs, hash_partition(costs.shape[0], t))
+        for t in threads
+    ]
+    return {"greedy_lpt": greedy, "dynamic": dynamic, "hash_round_robin": hashed}
+
+
+def test_greedy_beats_hash_on_measured_costs(benchmark, syn_workload):
+    """Greedy LPT must never have a worse makespan than round-robin."""
+
+    def run():
+        result = run_performance_suite(syn_workload, ["Approx-DPC"])["Approx-DPC"]
+        return result.parallel_profile_.phase("local_density:scan").task_costs
+
+    costs = benchmark.pedantic(run, rounds=1, iterations=1)
+    series = _series(costs, threads=(12,))
+    assert series["greedy_lpt"][0] <= series["hash_round_robin"][0] + 1e-9
+
+
+def main() -> None:
+    for dataset in ("syn", "airline"):
+        costs = _density_task_costs(dataset)
+        series = _series(costs)
+        print_series(
+            f"Ablation ({dataset}): density-phase makespan [s] by scheduling policy",
+            "threads",
+            THREADS,
+            series,
+        )
+        imbalance = partition_imbalance(costs, hash_partition(costs.shape[0], 12))
+        print(
+            f"round-robin imbalance at 12 threads: {imbalance:.2f}x the mean load "
+            "(greedy LPT stays near 1.0)"
+        )
+    print(
+        "The gap between the hash and greedy curves is the load-balancing effect"
+        " the paper credits for Approx-DPC's scaling and blames for LSH-DDP's."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Figure 1: the decision graph of an S2-style dataset.
+
+The paper's Figure 1 shows that S2's decision graph isolates exactly 15 points
+with large dependent distances (the 15 cluster centers).  The benchmark times
+the Ex-DPC run that produces the graph; the ``main()`` entry point prints the
+graph, the gamma separation between the 15th and 16th candidate, and the
+suggested thresholds.
+
+Run the full figure with ``python benchmarks/bench_fig1_decision_graph.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import load_workload, print_table
+from repro.core import ExDPC
+
+
+def _fit_reference(workload):
+    return ExDPC(
+        d_cut=workload.d_cut,
+        rho_min=workload.rho_min,
+        n_clusters=workload.n_clusters,
+        seed=0,
+    ).fit(workload.points)
+
+
+def test_decision_graph_construction(benchmark, s2_workload):
+    """Benchmark the Ex-DPC run behind the decision graph."""
+    result = benchmark.pedantic(
+        _fit_reference, args=(s2_workload,), rounds=1, iterations=1
+    )
+    graph = result.decision_graph()
+    centers = graph.suggest_centers(s2_workload.n_clusters, rho_min=s2_workload.rho_min)
+    assert centers.shape[0] == s2_workload.n_clusters
+
+
+def main() -> None:
+    workload = load_workload("s2")
+    result = _fit_reference(workload)
+    graph = result.decision_graph()
+
+    print(f"dataset: S2-style, n={workload.n_points}, d_cut={workload.d_cut:.0f}")
+    print(graph.to_text(width=72, height=20))
+
+    gamma = np.sort(graph.gamma())[::-1]
+    k = workload.n_clusters
+    rho_min, delta_min = graph.suggest_thresholds(k, rho_min=workload.rho_min)
+    rows = [
+        {
+            "quantity": "gamma of 15th candidate",
+            "value": float(gamma[k - 1]),
+        },
+        {
+            "quantity": "gamma of 16th candidate",
+            "value": float(gamma[k]),
+        },
+        {
+            "quantity": "separation ratio (>= ~2 means the graph isolates the centers)",
+            "value": float(gamma[k - 1] / max(gamma[k], 1e-12)),
+        },
+        {"quantity": "suggested rho_min", "value": float(rho_min)},
+        {"quantity": "suggested delta_min", "value": float(delta_min)},
+    ]
+    print_table("Figure 1: decision-graph separation on S2", rows)
+
+
+if __name__ == "__main__":
+    main()

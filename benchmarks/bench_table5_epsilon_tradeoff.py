@@ -1,0 +1,60 @@
+"""Table 5: S-Approx-DPC's running time versus accuracy as epsilon grows.
+
+The paper sweeps epsilon from 0.2 to 1.0 on Airline and Household: time drops
+by 2--8x while the Rand index decreases only slightly (0.998 -> 0.969 on
+Airline).  The bench reports wall-clock time, distance computations and the
+Rand index against Ex-DPC for the same sweep on the stand-ins.
+
+Run the full table with ``python benchmarks/bench_table5_epsilon_tradeoff.py``.
+"""
+
+from __future__ import annotations
+
+from repro.bench import load_workload, print_table, run_accuracy_suite, run_performance_suite
+
+EPSILONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def _table(workload, epsilons=EPSILONS) -> list[dict]:
+    rows = []
+    for epsilon in epsilons:
+        accuracy = run_accuracy_suite(workload, ["S-Approx-DPC"], epsilon=epsilon)[0]
+        performance = run_performance_suite(workload, ["S-Approx-DPC"], epsilon=epsilon)[
+            "S-Approx-DPC"
+        ]
+        rows.append(
+            {
+                "dataset": workload.name,
+                "epsilon": epsilon,
+                "time_s": performance.timings_["total"],
+                "distance_calcs": performance.work_["total_distance_calcs"],
+                "rand_index": accuracy["rand_index"],
+            }
+        )
+    return rows
+
+
+def test_epsilon_tradeoff_single_point(benchmark, airline_workload):
+    """Benchmark one epsilon setting of Table 5."""
+    rows = benchmark.pedantic(
+        _table, args=(airline_workload, (0.8,)), rounds=1, iterations=1
+    )
+    assert rows[0]["rand_index"] > 0.85
+
+
+def main() -> None:
+    rows = []
+    for name in ("airline", "household"):
+        rows.extend(_table(load_workload(name)))
+    print_table(
+        "Table 5: S-Approx-DPC epsilon sweep (time / work vs Rand index)",
+        rows,
+    )
+    print(
+        "Paper shape: work and time shrink as epsilon grows while the Rand index"
+        " decreases only slightly."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Table 7: memory usage of every algorithm on the real datasets.
+
+The paper reports that Ex-DPC consumes about as much memory as the R-tree
+baseline, that the grid-based approximation algorithms need somewhat more
+(Approx-DPC < S-Approx-DPC because epsilon < 1 creates more cells), that
+LSH-DDP sits above them, and that CFSFDP-A is by far the most memory-hungry
+because of its cached point-to-pivot distances.
+
+Run the full table with ``python benchmarks/bench_table7_memory.py``.
+"""
+
+from __future__ import annotations
+
+from repro.bench import load_workload, print_table, real_workload_names, run_performance_suite
+
+ALGORITHMS = [
+    "R-tree + Scan",
+    "LSH-DDP",
+    "CFSFDP-A",
+    "Ex-DPC",
+    "Approx-DPC",
+    "S-Approx-DPC",
+]
+
+
+def _table(names) -> list[dict]:
+    rows = []
+    for name in names:
+        workload = load_workload(name)
+        results = run_performance_suite(workload, ALGORITHMS, epsilon=0.6)
+        row = {"dataset": workload.name}
+        for algorithm, result in results.items():
+            row[algorithm] = result.memory_bytes_ / 1e6
+        rows.append(row)
+    return rows
+
+
+def test_memory_ordering_airline(benchmark, airline_workload):
+    """Benchmark the Table 7 column for the Airline stand-in."""
+    results = benchmark.pedantic(
+        run_performance_suite,
+        args=(airline_workload, ["Ex-DPC", "Approx-DPC", "CFSFDP-A"]),
+        rounds=1,
+        iterations=1,
+    )
+    assert results["Ex-DPC"].memory_bytes_ < results["Approx-DPC"].memory_bytes_
+    assert results["Ex-DPC"].memory_bytes_ < results["CFSFDP-A"].memory_bytes_
+
+
+def main() -> None:
+    rows = _table(real_workload_names())
+    print_table("Table 7: memory usage [MB] per algorithm", rows)
+    print(
+        "Paper shape: Ex-DPC ~ R-tree < Approx-DPC < S-Approx-DPC < LSH-DDP"
+        " << CFSFDP-A."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` keeps working on offline machines whose setuptools
+lacks the ``wheel`` package required by the PEP 517 editable-install path
+(``pip install -e . --no-use-pep517`` falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""Baseline algorithms evaluated in the paper.
+
+DPC baselines (all plug into the shared
+:class:`repro.core.framework.DensityPeaksBase` lifecycle, so they are
+interchangeable with the paper's algorithms in every experiment):
+
+* :class:`repro.baselines.scan.ScanDPC` -- the straightforward ``O(n^2)``
+  algorithm of §2.2.
+* :class:`repro.baselines.rtree_scan.RTreeScanDPC` -- densities via an
+  in-memory R-tree, dependencies via Scan.
+* :class:`repro.baselines.lsh_ddp.LSHDDP` -- the LSH-based approximate
+  baseline of Zhang et al. (TKDE 2016).
+* :class:`repro.baselines.cfsfdp_a.CFSFDPA` -- the pivot/triangle-inequality
+  exact baseline of Bai et al. (Pattern Recognition 2017).
+
+Non-DPC algorithms used in the qualitative comparison (Figure 2) and inside
+CFSFDP-A:
+
+* :class:`repro.baselines.dbscan.DBSCAN`
+* :class:`repro.baselines.optics.OPTICS`
+* :class:`repro.baselines.kmeans.KMeans`
+"""
+
+from repro.baselines.cfsfdp_a import CFSFDPA
+from repro.baselines.dbscan import DBSCAN
+from repro.baselines.kmeans import KMeans
+from repro.baselines.lsh_ddp import LSHDDP
+from repro.baselines.optics import OPTICS
+from repro.baselines.rtree_scan import RTreeScanDPC
+from repro.baselines.scan import ScanDPC
+
+__all__ = [
+    "ScanDPC",
+    "RTreeScanDPC",
+    "LSHDDP",
+    "CFSFDPA",
+    "DBSCAN",
+    "OPTICS",
+    "KMeans",
+]

@@ -1,0 +1,125 @@
+"""k-means clustering with k-means++ seeding.
+
+CFSFDP-A selects its pivot points as the centroids of a k-means clustering of
+the data (Bai et al. 2017), so a k-means implementation is part of the
+substrate this repository has to provide.  It is also usable on its own and
+is exercised directly by the test suite.
+
+The implementation is the standard Lloyd iteration with k-means++ seeding
+[Arthur & Vassilvitskii 2007]; it operates on numpy arrays and supports an
+explicit iteration/tolerance budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.distance import pairwise_sq_distances, point_to_points_sq
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_points, check_positive_int
+
+__all__ = ["KMeans", "kmeans_plus_plus_init"]
+
+
+def kmeans_plus_plus_init(points: np.ndarray, n_clusters: int, rng) -> np.ndarray:
+    """Return ``n_clusters`` initial centroids chosen by k-means++ seeding."""
+    n = points.shape[0]
+    centroids = np.empty((n_clusters, points.shape[1]), dtype=np.float64)
+    first = int(rng.integers(n))
+    centroids[0] = points[first]
+    closest_sq = point_to_points_sq(centroids[0], points)
+    for position in range(1, n_clusters):
+        total = float(closest_sq.sum())
+        if total <= 0.0:
+            # All remaining points coincide with an existing centroid.
+            choice = int(rng.integers(n))
+        else:
+            probabilities = closest_sq / total
+            choice = int(rng.choice(n, p=probabilities))
+        centroids[position] = points[choice]
+        candidate_sq = point_to_points_sq(centroids[position], points)
+        np.minimum(closest_sq, candidate_sq, out=closest_sq)
+    return centroids
+
+
+class KMeans:
+    """Lloyd's k-means with k-means++ seeding.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of centroids.
+    max_iter:
+        Maximum number of Lloyd iterations.
+    tol:
+        Convergence threshold on the total centroid movement (squared).
+    seed:
+        Random seed or generator.
+
+    Attributes
+    ----------
+    centroids_:
+        Array of shape ``(n_clusters, d)`` after :meth:`fit`.
+    labels_:
+        Cluster assignment per point after :meth:`fit`.
+    inertia_:
+        Sum of squared distances of points to their assigned centroid.
+    n_iter_:
+        Number of iterations actually run.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        max_iter: int = 50,
+        tol: float = 1e-6,
+        seed=None,
+    ):
+        self.n_clusters = check_positive_int(n_clusters, "n_clusters")
+        self.max_iter = check_positive_int(max_iter, "max_iter")
+        self.tol = float(tol)
+        self.seed = seed
+        self.centroids_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.inertia_: float = np.inf
+        self.n_iter_: int = 0
+
+    def fit(self, points) -> "KMeans":
+        """Run Lloyd's algorithm on ``points`` and return ``self``."""
+        points = check_points(points, min_points=self.n_clusters, name="points")
+        rng = ensure_rng(self.seed)
+        centroids = kmeans_plus_plus_init(points, self.n_clusters, rng)
+
+        labels = np.zeros(points.shape[0], dtype=np.intp)
+        for iteration in range(self.max_iter):
+            distances_sq = pairwise_sq_distances(points, centroids)
+            labels = np.argmin(distances_sq, axis=1)
+            new_centroids = centroids.copy()
+            for cluster in range(self.n_clusters):
+                members = points[labels == cluster]
+                if members.shape[0] > 0:
+                    new_centroids[cluster] = members.mean(axis=0)
+            movement = float(((new_centroids - centroids) ** 2).sum())
+            centroids = new_centroids
+            self.n_iter_ = iteration + 1
+            if movement <= self.tol:
+                break
+
+        distances_sq = pairwise_sq_distances(points, centroids)
+        labels = np.argmin(distances_sq, axis=1)
+        self.centroids_ = centroids
+        self.labels_ = labels.astype(np.int64)
+        self.inertia_ = float(distances_sq[np.arange(points.shape[0]), labels].sum())
+        return self
+
+    def fit_predict(self, points) -> np.ndarray:
+        """Fit and return the label array."""
+        return self.fit(points).labels_
+
+    def predict(self, points) -> np.ndarray:
+        """Assign each point in ``points`` to the nearest learned centroid."""
+        if self.centroids_ is None:
+            raise RuntimeError("KMeans must be fitted before calling predict")
+        points = check_points(points, name="points")
+        distances_sq = pairwise_sq_distances(points, self.centroids_)
+        return np.argmin(distances_sq, axis=1).astype(np.int64)

@@ -1,0 +1,44 @@
+"""Shared benchmark harness.
+
+The modules under ``benchmarks/`` regenerate every table and figure of the
+paper's evaluation (§6).  They all build on this package:
+
+* :mod:`repro.bench.workloads` -- the benchmark datasets (Syn, S1--S4 and the
+  real-dataset stand-ins) with their default ``d_cut`` values and a global
+  scale factor (``REPRO_SCALE`` environment variable) so the pure-Python
+  benches stay tractable.
+* :mod:`repro.bench.runners` -- helpers that run a suite of algorithms with
+  the paper's shared-threshold protocol and collect timing / work / accuracy /
+  memory rows.
+* :mod:`repro.bench.reporting` -- plain-text table and series rendering used
+  by each bench's ``main()`` entry point.
+"""
+
+from repro.bench.reporting import print_series, print_table
+from repro.bench.runners import (
+    ALGORITHM_BUILDERS,
+    build_algorithm,
+    run_accuracy_suite,
+    run_performance_suite,
+    shared_thresholds,
+)
+from repro.bench.workloads import (
+    BenchWorkload,
+    bench_scale,
+    load_workload,
+    real_workload_names,
+)
+
+__all__ = [
+    "BenchWorkload",
+    "bench_scale",
+    "load_workload",
+    "real_workload_names",
+    "ALGORITHM_BUILDERS",
+    "build_algorithm",
+    "shared_thresholds",
+    "run_accuracy_suite",
+    "run_performance_suite",
+    "print_table",
+    "print_series",
+]

@@ -1,0 +1,66 @@
+"""Plain-text reporting for the benchmark harness.
+
+Every bench module has a ``main()`` that prints the corresponding paper table
+or figure series with these helpers; no plotting dependency is required.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["print_table", "print_series", "format_value"]
+
+
+def format_value(value) -> str:
+    """Render one table cell."""
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1e5:
+            return f"{value:,.0f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def print_table(title: str, rows: Sequence[Mapping], columns: Sequence[str] | None = None) -> None:
+    """Print a list of row mappings as an aligned table with a title."""
+    print(f"\n== {title} ==")
+    if not rows:
+        print("(no rows)")
+        return
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[str(column) for column in columns]]
+    for row in rows:
+        rendered.append([format_value(row.get(column, "")) for column in columns])
+    widths = [max(len(line[i]) for line in rendered) for i in range(len(columns))]
+    for line_no, line in enumerate(rendered):
+        print("  ".join(value.ljust(widths[i]) for i, value in enumerate(line)))
+        if line_no == 0:
+            print("  ".join("-" * widths[i] for i in range(len(columns))))
+
+
+def print_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence,
+    series: Mapping[str, Sequence[float]],
+) -> None:
+    """Print one figure as a table of series (x value per row, one column per curve)."""
+    print(f"\n== {title} ==")
+    names = list(series.keys())
+    header = [x_label] + names
+    rows = []
+    for position, x_value in enumerate(x_values):
+        row = {x_label: x_value}
+        for name in names:
+            row[name] = series[name][position]
+        rows.append(row)
+    rendered = [[str(column) for column in header]]
+    for row in rows:
+        rendered.append([format_value(row[column]) for column in header])
+    widths = [max(len(line[i]) for line in rendered) for i in range(len(header))]
+    for line_no, line in enumerate(rendered):
+        print("  ".join(value.ljust(widths[i]) for i, value in enumerate(line)))
+        if line_no == 0:
+            print("  ".join("-" * widths[i] for i in range(len(header))))

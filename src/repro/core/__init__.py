@@ -1,0 +1,31 @@
+"""Core Density-Peaks Clustering framework and the paper's three algorithms.
+
+* :class:`repro.core.framework.DensityPeaksBase` -- the shared estimator
+  lifecycle (density phase, dependency phase, center/noise selection, label
+  propagation) that every algorithm and baseline plugs into.
+* :class:`repro.core.ex_dpc.ExDPC` -- the exact algorithm of §3.
+* :class:`repro.core.approx_dpc.ApproxDPC` -- the parameter-free approximate
+  algorithm of §4.
+* :class:`repro.core.s_approx_dpc.SApproxDPC` -- the sampling-based
+  approximate algorithm of §5.
+* :class:`repro.core.result.DPCResult` -- the result object returned by
+  ``fit``.
+* :class:`repro.core.decision_graph.DecisionGraph` -- the
+  ``(rho, delta)`` scatter used to pick ``rho_min`` / ``delta_min``.
+"""
+
+from repro.core.approx_dpc import ApproxDPC
+from repro.core.decision_graph import DecisionGraph
+from repro.core.ex_dpc import ExDPC
+from repro.core.framework import DensityPeaksBase
+from repro.core.result import DPCResult
+from repro.core.s_approx_dpc import SApproxDPC
+
+__all__ = [
+    "DensityPeaksBase",
+    "DPCResult",
+    "DecisionGraph",
+    "ExDPC",
+    "ApproxDPC",
+    "SApproxDPC",
+]

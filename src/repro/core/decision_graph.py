@@ -1,0 +1,142 @@
+"""The decision graph of Density-Peaks Clustering.
+
+The decision graph plots every point's local density ``rho`` against its
+dependent distance ``delta`` (Figure 1 of the paper).  Cluster centers stand
+out in the upper region -- they are dense *and* far from any denser point --
+which is what lets a non-expert pick ``rho_min`` and ``delta_min`` visually.
+
+:class:`DecisionGraph` supports that workflow programmatically:
+
+* :meth:`DecisionGraph.gamma` ranks points by ``gamma = rho * delta``
+  (the standard automatic-center heuristic),
+* :meth:`DecisionGraph.suggest_centers` picks the ``k`` best centers,
+* :meth:`DecisionGraph.suggest_thresholds` proposes ``rho_min`` / ``delta_min``
+  values that separate exactly ``k`` centers, and
+* :meth:`DecisionGraph.to_text` renders an ASCII scatter for terminal use
+  (no plotting dependency is required anywhere in the library).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DecisionGraph"]
+
+
+@dataclass(frozen=True)
+class DecisionGraph:
+    """A ``(rho, delta)`` decision graph.
+
+    Parameters
+    ----------
+    rho:
+        Local densities (raw integer counts are fine).
+    delta:
+        Dependent distances; exactly one entry (the densest point) may be
+        ``inf``.
+    """
+
+    rho: np.ndarray
+    delta: np.ndarray
+
+    def __post_init__(self):
+        rho = np.asarray(self.rho, dtype=np.float64)
+        delta = np.asarray(self.delta, dtype=np.float64)
+        if rho.shape != delta.shape or rho.ndim != 1:
+            raise ValueError("rho and delta must be 1-D arrays of the same length")
+        object.__setattr__(self, "rho", rho)
+        object.__setattr__(self, "delta", delta)
+
+    @property
+    def n_points(self) -> int:
+        """Number of points in the graph."""
+        return int(self.rho.shape[0])
+
+    def _finite_delta(self) -> np.ndarray:
+        """Delta values with ``inf`` replaced by the largest finite delta."""
+        delta = self.delta.copy()
+        finite = delta[np.isfinite(delta)]
+        ceiling = float(finite.max()) if finite.size else 1.0
+        delta[~np.isfinite(delta)] = ceiling
+        return delta
+
+    def gamma(self) -> np.ndarray:
+        """Return the center score ``gamma_i = rho_i * delta_i`` per point.
+
+        The densest point's infinite delta is replaced by the largest finite
+        delta so its score stays comparable.
+        """
+        return self.rho * self._finite_delta()
+
+    def suggest_centers(self, n_clusters: int, rho_min: float = 0.0) -> np.ndarray:
+        """Return the indices of the ``n_clusters`` points with highest gamma.
+
+        Points with ``rho < rho_min`` are never suggested.
+        """
+        if n_clusters <= 0:
+            raise ValueError(f"n_clusters must be positive, got {n_clusters}")
+        scores = self.gamma()
+        scores = np.where(self.rho >= rho_min, scores, -np.inf)
+        eligible = int(np.count_nonzero(np.isfinite(scores) & (scores > -np.inf)))
+        if n_clusters > eligible:
+            raise ValueError(
+                f"cannot select {n_clusters} centers: only {eligible} points have "
+                f"rho >= {rho_min}"
+            )
+        order = np.argsort(scores, kind="stable")[::-1]
+        return order[:n_clusters]
+
+    def suggest_thresholds(
+        self, n_clusters: int, rho_min: float = 0.0
+    ) -> tuple[float, float]:
+        """Return ``(rho_min, delta_min)`` values that select ``n_clusters`` centers.
+
+        ``delta_min`` is placed halfway (geometrically) between the
+        ``n_clusters``-th and ``n_clusters + 1``-th largest dependent distances
+        among points with ``rho >= rho_min``, mimicking how an analyst would
+        read the gap in the decision graph.
+        """
+        if n_clusters <= 0:
+            raise ValueError(f"n_clusters must be positive, got {n_clusters}")
+        delta = self._finite_delta()
+        eligible = self.rho >= rho_min
+        candidate_delta = np.sort(delta[eligible])[::-1]
+        if candidate_delta.size < n_clusters:
+            raise ValueError(
+                f"cannot find {n_clusters} centers among {candidate_delta.size} "
+                "eligible points"
+            )
+        kth = candidate_delta[n_clusters - 1]
+        if candidate_delta.size == n_clusters:
+            delta_min = kth
+        else:
+            next_one = candidate_delta[n_clusters]
+            delta_min = float(np.sqrt(max(kth, 1e-12) * max(next_one, 1e-12)))
+            if delta_min >= kth:
+                delta_min = 0.5 * (kth + next_one)
+        return float(rho_min), float(delta_min)
+
+    def to_text(self, width: int = 60, height: int = 20) -> str:
+        """Render the decision graph as an ASCII scatter plot.
+
+        Each cell of the ``width x height`` character grid is marked with
+        ``*`` if any point falls into it; the vertical axis is delta, the
+        horizontal axis is rho.
+        """
+        if width < 10 or height < 5:
+            raise ValueError("width must be >= 10 and height >= 5")
+        delta = self._finite_delta()
+        rho = self.rho
+        rho_span = max(float(rho.max() - rho.min()), 1e-12)
+        delta_span = max(float(delta.max() - delta.min()), 1e-12)
+        cols = ((rho - rho.min()) / rho_span * (width - 1)).astype(int)
+        rows = ((delta - delta.min()) / delta_span * (height - 1)).astype(int)
+        grid = [[" "] * width for _ in range(height)]
+        for row, col in zip(rows, cols):
+            grid[height - 1 - row][col] = "*"
+        lines = ["delta"]
+        lines.extend("|" + "".join(row) for row in grid)
+        lines.append("+" + "-" * width + "> rho")
+        return "\n".join(lines)

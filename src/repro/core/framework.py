@@ -1,0 +1,291 @@
+"""The shared Density-Peaks Clustering estimator lifecycle.
+
+Every algorithm in the paper -- the three contributions (Ex-DPC, Approx-DPC,
+S-Approx-DPC) and every baseline (Scan, R-tree + Scan, LSH-DDP, CFSFDP-A) --
+follows the same four-step lifecycle:
+
+1. build whatever index the algorithm needs,
+2. compute the local density of every point (Definition 1),
+3. compute every point's dependent point / distance (Definitions 2 and 3),
+4. select noise and cluster centers and propagate labels (Definitions 4-6).
+
+:class:`DensityPeaksBase` implements the lifecycle once: subclasses override
+:meth:`DensityPeaksBase._build_index`,
+:meth:`DensityPeaksBase._compute_local_density` and
+:meth:`DensityPeaksBase._compute_dependencies`, and inherit parameter
+handling, tie-breaking, timing, memory accounting, the parallel-phase profile
+and the final assignment step.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.core.assignment import assign_clusters
+from repro.core.result import DPCResult
+from repro.parallel.executor import ParallelExecutor, resolve_n_jobs
+from repro.parallel.simulate import SimulatedMulticore
+from repro.utils.counters import WorkCounter
+from repro.utils.rng import ensure_rng, random_tiebreak
+from repro.utils.validation import (
+    check_non_negative,
+    check_points,
+    check_positive,
+)
+
+__all__ = ["DensityPeaksBase"]
+
+
+class DensityPeaksBase(abc.ABC):
+    """Abstract base class of every DPC estimator in the library.
+
+    Parameters
+    ----------
+    d_cut:
+        The cutoff distance of Definition 1.  Local density is the number of
+        points strictly closer than ``d_cut``.
+    rho_min:
+        Noise threshold (Definition 4).  ``None`` disables noise removal.
+    delta_min:
+        Cluster-center threshold (Definition 5).  Mutually exclusive with
+        ``n_clusters``.
+    n_clusters:
+        Select exactly this many centers by the ``gamma = rho * delta``
+        heuristic instead of thresholding ``delta``.  This is how the
+        evaluation section fixes "13 clusters on Syn" / "15 clusters on Sx".
+    n_jobs:
+        Worker threads for the parallelisable phases.  ``1`` runs serially
+        (recommended for pure-Python workloads; see DESIGN.md).
+    seed:
+        Seed for the density tie-breaking perturbation (and any internal
+        randomness such as LSH directions in subclasses).
+    record_costs:
+        When true (default) the estimator records per-task cost estimates for
+        each parallel phase so that thread-scaling can be simulated afterwards
+        via ``result.parallel_profile_``.
+    """
+
+    #: Human-readable algorithm name; subclasses override.
+    algorithm_name: str = "density-peaks"
+
+    def __init__(
+        self,
+        d_cut: float,
+        *,
+        rho_min: float | None = None,
+        delta_min: float | None = None,
+        n_clusters: int | None = None,
+        n_jobs: int = 1,
+        seed: int | None = 0,
+        record_costs: bool = True,
+    ):
+        self.d_cut = check_positive(d_cut, "d_cut")
+        self.rho_min = None if rho_min is None else check_non_negative(rho_min, "rho_min")
+        if delta_min is not None and n_clusters is not None:
+            raise ValueError("delta_min and n_clusters are mutually exclusive")
+        if delta_min is None and n_clusters is None:
+            raise ValueError(
+                "specify either delta_min (threshold on dependent distance) or "
+                "n_clusters (number of centers to select); inspect "
+                "DPCResult.decision_graph() to choose a threshold"
+            )
+        self.delta_min = None if delta_min is None else check_positive(delta_min, "delta_min")
+        if self.delta_min is not None and self.delta_min <= self.d_cut:
+            raise ValueError(
+                f"delta_min ({self.delta_min}) must exceed d_cut ({self.d_cut}); "
+                "see Definition 5 of the paper"
+            )
+        self.n_clusters = n_clusters
+        if n_clusters is not None and int(n_clusters) <= 0:
+            raise ValueError(f"n_clusters must be positive, got {n_clusters}")
+        self.n_jobs = resolve_n_jobs(n_jobs)
+        self.seed = seed
+        self.record_costs = bool(record_costs)
+
+        # Populated by fit().
+        self.result_: DPCResult | None = None
+
+    # ------------------------------------------------------------ subclass API
+
+    @abc.abstractmethod
+    def _build_index(self, points: np.ndarray) -> None:
+        """Build the algorithm's index structures over ``points``."""
+
+    @abc.abstractmethod
+    def _compute_local_density(self, points: np.ndarray) -> np.ndarray:
+        """Return the integer local density of every point (Definition 1)."""
+
+    @abc.abstractmethod
+    def _compute_dependencies(
+        self, points: np.ndarray, rho: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(dependent, delta, exact_mask)``.
+
+        ``dependent[i]`` is the index of point ``i``'s dependent point (``-1``
+        for the densest point), ``delta[i]`` its dependent distance and
+        ``exact_mask[i]`` whether the dependency was computed exactly.
+        """
+
+    def _index_memory_bytes(self) -> int:
+        """Approximate memory footprint of the algorithm's index structures."""
+        return 0
+
+    # -------------------------------------------------------------- public API
+
+    def fit(self, points) -> DPCResult:
+        """Cluster ``points`` and return a :class:`~repro.core.result.DPCResult`.
+
+        The result is also stored on the estimator as ``self.result_``.
+        """
+        points = check_points(points, min_points=2, name="points")
+        rng = ensure_rng(self.seed)
+        profile = SimulatedMulticore()
+        self._profile = profile
+        self._executor = ParallelExecutor(self.n_jobs)
+        self._counter = WorkCounter()
+        timings: dict[str, float] = {}
+        work: dict[str, float] = {}
+
+        start_total = time.perf_counter()
+
+        start = time.perf_counter()
+        self._build_index(points)
+        timings["index_build"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        work_before = self._counter.get("distance_calcs")
+        rho_raw = np.asarray(self._compute_local_density(points), dtype=np.float64)
+        work["density_distance_calcs"] = (
+            self._counter.get("distance_calcs") - work_before
+        )
+        timings["local_density"] = time.perf_counter() - start
+        if rho_raw.shape[0] != points.shape[0]:
+            raise RuntimeError("local density array has the wrong length")
+
+        # Tie-break densities so dependent points are well-defined (§3).
+        rho = random_tiebreak(rho_raw, rng)
+
+        start = time.perf_counter()
+        work_before = self._counter.get("distance_calcs")
+        dependent, delta, exact_mask = self._compute_dependencies(points, rho)
+        work["dependency_distance_calcs"] = (
+            self._counter.get("distance_calcs") - work_before
+        )
+        timings["dependency"] = time.perf_counter() - start
+        work["total_distance_calcs"] = self._counter.get("distance_calcs")
+
+        start = time.perf_counter()
+        labels, centers, noise_mask = assign_clusters(
+            rho,
+            rho_raw,
+            delta,
+            dependent,
+            rho_min=self.rho_min,
+            delta_min=self.delta_min,
+            n_clusters=self.n_clusters,
+        )
+        timings["assignment"] = time.perf_counter() - start
+        timings["total"] = time.perf_counter() - start_total
+
+        self._scale_profile_to_timings(profile, timings)
+
+        dependent = np.asarray(dependent, dtype=np.intp).copy()
+        dependent[centers] = -1  # a center's dependent point is itself (§2.1)
+
+        result = DPCResult(
+            labels_=labels,
+            rho_=rho,
+            rho_raw_=rho_raw.astype(np.int64)
+            if np.allclose(rho_raw, np.round(rho_raw))
+            else rho_raw,
+            delta_=np.asarray(delta, dtype=np.float64),
+            dependent_=dependent,
+            centers_=np.asarray(centers, dtype=np.intp),
+            noise_mask_=np.asarray(noise_mask, dtype=bool),
+            n_clusters_=int(len(centers)),
+            exact_dependency_mask_=np.asarray(exact_mask, dtype=bool),
+            timings_=timings,
+            work_=work,
+            memory_bytes_=self._total_memory_bytes(points),
+            parallel_profile_=profile,
+            params_=self.get_params(),
+            algorithm_=self.algorithm_name,
+        )
+        self.result_ = result
+        return result
+
+    def fit_predict(self, points) -> np.ndarray:
+        """Cluster ``points`` and return only the label array."""
+        return self.fit(points).labels_
+
+    def get_params(self) -> dict[str, Any]:
+        """Return the estimator parameters as a plain dictionary."""
+        return {
+            "algorithm": self.algorithm_name,
+            "d_cut": self.d_cut,
+            "rho_min": self.rho_min,
+            "delta_min": self.delta_min,
+            "n_clusters": self.n_clusters,
+            "n_jobs": self.n_jobs,
+            "seed": self.seed,
+        }
+
+    def __repr__(self) -> str:
+        params = ", ".join(
+            f"{key}={value!r}"
+            for key, value in self.get_params().items()
+            if key != "algorithm" and value is not None
+        )
+        return f"{type(self).__name__}({params})"
+
+    # ----------------------------------------------------------------- helpers
+
+    def _record_phase(
+        self,
+        name: str,
+        policy: str,
+        task_costs,
+        serial_overhead: float = 0.0,
+    ) -> None:
+        """Record a parallel phase on the current run's profile (if enabled)."""
+        if not self.record_costs:
+            return
+        self._profile.add_phase(name, policy, task_costs, serial_overhead)
+
+    def _scale_profile_to_timings(
+        self, profile: SimulatedMulticore, timings: dict[str, float]
+    ) -> None:
+        """Rescale recorded per-task cost estimates to measured phase seconds.
+
+        Subclasses record *relative* per-task costs (the same cost models the
+        paper's partitioner uses).  To make simulated makespans comparable to
+        wall-clock measurements, each phase's costs are rescaled so that their
+        total equals the measured duration of the lifecycle step the phase
+        belongs to (phases are named ``"<step>:<detail>"`` or ``"<step>"``).
+        """
+        step_phase_totals: dict[str, float] = {}
+        for phase in profile.phases:
+            step = phase.name.split(":", 1)[0]
+            step_phase_totals[step] = step_phase_totals.get(step, 0.0) + phase.total_cost
+        for phase in profile.phases:
+            step = phase.name.split(":", 1)[0]
+            measured = timings.get(step)
+            recorded_total = step_phase_totals.get(step, 0.0)
+            if measured is None or recorded_total <= 0.0:
+                continue
+            scale = measured / recorded_total
+            phase.task_costs = phase.task_costs * scale
+            phase.serial_overhead = phase.serial_overhead * scale
+
+    def _total_memory_bytes(self, points: np.ndarray) -> int:
+        """Points + index structures + per-point result arrays."""
+        per_point_arrays = 5  # rho, rho_raw, delta, dependent, labels
+        return int(
+            points.nbytes
+            + self._index_memory_bytes()
+            + per_point_arrays * 8 * points.shape[0]
+        )

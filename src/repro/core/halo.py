@@ -1,0 +1,86 @@
+"""Cluster halo (border point) analysis.
+
+The original density-peaks paper (Rodriguez & Laio, Science 2014) refines each
+cluster with a *halo*: for every cluster, a border density is computed as the
+highest density found among points that are within ``d_cut`` of a point from a
+different cluster; members whose density falls below that border density are
+demoted to the cluster halo (likely noise / boundary points).
+
+The SIGMOD paper this repository reproduces drops the halo step (it uses the
+simpler ``rho_min`` noise rule of Definition 4) but its §6.1 discussion of
+border points -- the only place where Approx-DPC and S-Approx-DPC deviate from
+Ex-DPC -- is exactly about these halo points.  This module provides the halo
+computation as an optional post-processing step so that users can quantify and
+filter those border regions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.result import DPCResult
+from repro.index.kdtree import KDTree
+from repro.utils.validation import check_points, check_positive
+
+__all__ = ["compute_halo", "apply_halo"]
+
+
+def compute_halo(points, result: DPCResult, d_cut: float, leaf_size: int = 32) -> np.ndarray:
+    """Return the boolean halo mask of a clustering.
+
+    A point belongs to the halo of its cluster when its local density is below
+    the cluster's border density (the maximum average density over pairs of
+    points from different clusters that lie within ``d_cut`` of each other, as
+    in Rodriguez & Laio).  Noise points are never part of a halo (they are
+    already excluded from every cluster).
+
+    Parameters
+    ----------
+    points:
+        The clustered point matrix.
+    result:
+        The :class:`~repro.core.result.DPCResult` whose labels and densities
+        are analysed.
+    d_cut:
+        The cutoff distance used for the clustering.
+    leaf_size:
+        kd-tree leaf size for the neighbourhood queries.
+    """
+    points = check_points(points, name="points")
+    d_cut = check_positive(d_cut, "d_cut")
+    if points.shape[0] != result.n_points:
+        raise ValueError("points and result describe different numbers of points")
+
+    labels = result.labels_
+    rho = np.asarray(result.rho_raw_, dtype=np.float64)
+    tree = KDTree(points, leaf_size=leaf_size)
+
+    border_density = np.zeros(max(result.n_clusters_, 1), dtype=np.float64)
+    for index in range(points.shape[0]):
+        label = labels[index]
+        if label < 0:
+            continue
+        neighbors = tree.range_search(points[index], d_cut, strict=True)
+        foreign = neighbors[(labels[neighbors] >= 0) & (labels[neighbors] != label)]
+        if foreign.size == 0:
+            continue
+        # Average density of the cross-cluster pair, as in the original paper.
+        pair_density = float((rho[index] + rho[foreign].max()) / 2.0)
+        if pair_density > border_density[label]:
+            border_density[label] = pair_density
+
+    halo = np.zeros(points.shape[0], dtype=bool)
+    for label in range(result.n_clusters_):
+        members = labels == label
+        halo[members] = rho[members] < border_density[label]
+    return halo
+
+
+def apply_halo(result: DPCResult, halo_mask: np.ndarray) -> np.ndarray:
+    """Return a copy of ``result.labels_`` with halo points demoted to ``-1``."""
+    halo_mask = np.asarray(halo_mask, dtype=bool)
+    if halo_mask.shape[0] != result.n_points:
+        raise ValueError("halo mask length does not match the result")
+    labels = result.labels_.copy()
+    labels[halo_mask] = -1
+    return labels

@@ -1,0 +1,27 @@
+"""Spatial index substrates.
+
+The paper's algorithms are built on three in-memory indexes, all implemented
+here from scratch:
+
+* :class:`repro.index.kdtree.KDTree` -- bulk-loaded kd-tree with range
+  count/search and (filtered) nearest-neighbour queries.  Used by Ex-DPC,
+  Approx-DPC, S-Approx-DPC, and by the exact dependency fallback.
+* :class:`repro.index.kdtree.IncrementalKDTree` -- pointer-based kd-tree that
+  supports point-at-a-time insertion.  Ex-DPC inserts points in descending
+  density order and answers each dependent-point query with a nearest
+  neighbour search over the current tree.
+* :class:`repro.index.rtree.RTree` -- STR bulk-loaded R-tree used by the
+  ``R-tree + Scan`` baseline.
+* :class:`repro.index.grid.UniformGrid` -- the cell structure of Approx-DPC
+  (cell side ``d_cut / sqrt(d)``), tracking per-cell point lists, the densest
+  point per cell and neighbouring-cell sets.
+* :class:`repro.index.sample_grid.SampledGrid` -- the ``epsilon``-scaled grid
+  of S-Approx-DPC with one *picked* point per cell.
+"""
+
+from repro.index.grid import UniformGrid
+from repro.index.kdtree import IncrementalKDTree, KDTree
+from repro.index.rtree import RTree
+from repro.index.sample_grid import SampledGrid
+
+__all__ = ["KDTree", "IncrementalKDTree", "RTree", "UniformGrid", "SampledGrid"]

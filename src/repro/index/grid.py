@@ -1,0 +1,191 @@
+"""The uniform grid data structure of Approx-DPC (§4.1 of the paper).
+
+Approx-DPC overlays the data with a uniform grid whose cells are
+``d``-dimensional squares with side length ``d_cut / sqrt(d)``.  The choice of
+side length guarantees that any two points in the same cell are within
+``d_cut`` of each other (the cell diagonal is exactly ``d_cut``), which is what
+makes the cell-level dependent-point approximation valid.
+
+Only non-empty cells are materialised.  Each cell ``c`` maintains the fields
+listed in the paper:
+
+* ``P(c)``       -- the indices of points covered by the cell,
+* ``p*(c)``      -- the point with maximum local density among ``P(c)``,
+* ``min rho``    -- the minimum local density in ``P(c)``, and
+* ``N(c)``       -- the identifiers of cells containing points ``p`` outside
+  ``c`` with ``dist(p*(c), p) < d_cut``.
+
+The density-dependent fields are filled in by the clustering algorithm during
+the local-density phase (they cannot be known at construction time); the grid
+itself is purely geometric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import check_points, check_positive
+
+__all__ = ["GridCell", "UniformGrid"]
+
+
+@dataclass
+class GridCell:
+    """A non-empty cell of the uniform grid.
+
+    Attributes
+    ----------
+    key:
+        Integer lattice coordinates of the cell.
+    point_indices:
+        Indices (into the original point set) of the points covered by the
+        cell -- the paper's ``P(c)``.
+    center:
+        Geometric center of the cell (used by the joint range search).
+    max_center_dist:
+        ``max_{p in P(c)} dist(center, p)``; the joint-range-search radius is
+        ``d_cut + max_center_dist``.
+    best_point:
+        Index of ``p*(c)``, the point with the maximum local density in the
+        cell.  Set during the density phase; ``-1`` until then.
+    min_density / max_density:
+        Minimum and maximum local density over ``P(c)``.
+    neighbor_cells:
+        The paper's ``N(c)``: keys of cells containing points within ``d_cut``
+        of ``p*(c)`` that are not in this cell.
+    """
+
+    key: tuple[int, ...]
+    point_indices: np.ndarray
+    center: np.ndarray
+    max_center_dist: float = 0.0
+    best_point: int = -1
+    min_density: float = np.inf
+    max_density: float = -np.inf
+    neighbor_cells: list[tuple[int, ...]] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Number of points covered by the cell."""
+        return int(self.point_indices.shape[0])
+
+
+class UniformGrid:
+    """Uniform grid over a point set with cell side ``cell_side``.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, d)``.
+    cell_side:
+        Side length of every cell.  Approx-DPC passes ``d_cut / sqrt(d)`` so
+        that the cell diagonal equals ``d_cut``; S-Approx-DPC scales this by
+        its approximation parameter ``epsilon``.
+
+    Notes
+    -----
+    Cells are keyed by their integer lattice coordinates
+    ``floor(coordinate / cell_side)``.  Only non-empty cells are stored, so the
+    memory footprint is ``O(n)`` regardless of the domain size.
+    """
+
+    def __init__(self, points, cell_side: float):
+        self._points = check_points(points, name="points")
+        self._cell_side = check_positive(cell_side, "cell_side")
+        self._n, self._dim = self._points.shape
+
+        lattice = np.floor(self._points / self._cell_side).astype(np.int64)
+        self._point_keys = [tuple(row) for row in lattice]
+
+        cells: dict[tuple[int, ...], list[int]] = {}
+        for index, key in enumerate(self._point_keys):
+            cells.setdefault(key, []).append(index)
+
+        self._cells: dict[tuple[int, ...], GridCell] = {}
+        half = self._cell_side / 2.0
+        for key, indices in cells.items():
+            idx = np.asarray(indices, dtype=np.intp)
+            center = (np.asarray(key, dtype=np.float64) * self._cell_side) + half
+            coords = self._points[idx]
+            diffs = coords - center
+            max_dist = float(np.sqrt(np.einsum("ij,ij->i", diffs, diffs).max()))
+            self._cells[key] = GridCell(
+                key=key,
+                point_indices=idx,
+                center=center,
+                max_center_dist=max_dist,
+            )
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def cell_side(self) -> float:
+        """Side length of every grid cell."""
+        return self._cell_side
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the indexed points."""
+        return self._dim
+
+    @property
+    def num_cells(self) -> int:
+        """Number of non-empty cells."""
+        return len(self._cells)
+
+    @property
+    def points(self) -> np.ndarray:
+        """The indexed point set."""
+        return self._points
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __iter__(self):
+        return iter(self._cells.values())
+
+    def __contains__(self, key: tuple[int, ...]) -> bool:
+        return tuple(key) in self._cells
+
+    # ---------------------------------------------------------------- lookups
+
+    def cells(self) -> list[GridCell]:
+        """Return all non-empty cells."""
+        return list(self._cells.values())
+
+    def cell(self, key) -> GridCell:
+        """Return the cell with lattice key ``key`` (raises ``KeyError`` if empty)."""
+        return self._cells[tuple(key)]
+
+    def cell_of_point(self, index: int) -> GridCell:
+        """Return the cell containing the point with index ``index``."""
+        return self._cells[self._point_keys[index]]
+
+    def key_of_point(self, index: int) -> tuple[int, ...]:
+        """Return the lattice key of the cell containing point ``index``."""
+        return self._point_keys[index]
+
+    def key_of_coords(self, coords) -> tuple[int, ...]:
+        """Return the lattice key of the cell that would contain ``coords``."""
+        coords = np.asarray(coords, dtype=np.float64).reshape(-1)
+        if coords.shape[0] != self._dim:
+            raise ValueError(
+                f"coords has dimension {coords.shape[0]}, expected {self._dim}"
+            )
+        return tuple(np.floor(coords / self._cell_side).astype(np.int64))
+
+    def keys_of_points(self, indices) -> list[tuple[int, ...]]:
+        """Return the lattice keys of the cells containing each point in ``indices``."""
+        return [self._point_keys[int(i)] for i in indices]
+
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint of the grid structure in bytes."""
+        total = 0
+        for cell in self._cells.values():
+            total += cell.point_indices.nbytes
+            total += cell.center.nbytes
+            total += 8 * len(cell.neighbor_cells) * self._dim
+            total += 96  # per-cell object overhead
+        return int(total)

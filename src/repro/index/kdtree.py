@@ -1,0 +1,503 @@
+"""kd-tree implementations.
+
+Two variants are provided, matching the two roles the kd-tree plays in the
+paper:
+
+``KDTree``
+    A static, bulk-loaded kd-tree over a fixed point set.  Nodes are stored in
+    flat numpy arrays; leaves hold small buckets of points so that the
+    per-leaf distance computations are vectorised.  It answers
+
+    * ``range_search(query, radius)`` / ``range_count(query, radius)`` --
+      the primitive behind local-density computation (Lemma 1), and
+    * ``nearest_neighbor(query, ...)`` / ``knn(query, k)`` -- used by the
+      Approx-DPC exact-dependency fallback (case (i) of §4.3).
+
+``IncrementalKDTree``
+    A pointer-based kd-tree supporting one-point-at-a-time insertion.  Ex-DPC
+    (§3) destroys the static tree, sorts points by descending local density
+    and inserts them one by one; because the tree only ever contains points
+    with *higher* density than the current query point, a plain nearest
+    neighbour search returns the exact dependent point.
+
+Both trees use the Euclidean metric and break ties by the smallest index.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.counters import WorkCounter
+from repro.utils.distance import point_to_points_sq
+from repro.utils.validation import check_points, check_positive, check_positive_int
+
+__all__ = ["KDTree", "IncrementalKDTree"]
+
+_NO_CHILD = -1
+
+
+class KDTree:
+    """Static bulk-loaded kd-tree with bucket leaves.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, d)``; a float64 copy is stored internally.
+    leaf_size:
+        Maximum number of points stored in a leaf bucket.  Larger leaves mean
+        fewer Python-level node visits and more vectorised work per leaf; the
+        default of 32 is a good compromise for the 2--8 dimensional data used
+        throughout the paper.
+
+    Notes
+    -----
+    The classic analysis gives ``O(n^{1-1/d} + k)`` time for a range search
+    reporting ``k`` points [Toth et al., Handbook of Discrete and Computational
+    Geometry], which is the bound the paper's Lemma 1 builds on.
+    """
+
+    def __init__(self, points, leaf_size: int = 32, counter: WorkCounter | None = None):
+        self._points = check_points(points, name="points")
+        self._leaf_size = check_positive_int(leaf_size, "leaf_size")
+        self._n, self._dim = self._points.shape
+        #: Work counter accumulating distance evaluations and node visits
+        #: performed by queries on this tree.
+        self.counter = counter if counter is not None else WorkCounter()
+
+        # Flat node arrays.  Internal nodes store a split dimension and value;
+        # leaves store a [start, stop) range into the permutation array.
+        self._split_dim: list[int] = []
+        self._split_val: list[float] = []
+        self._left: list[int] = []
+        self._right: list[int] = []
+        self._start: list[int] = []
+        self._stop: list[int] = []
+        self._indices = np.arange(self._n, dtype=np.intp)
+
+        self._root = self._build(0, self._n)
+
+        self._split_dim_arr = np.asarray(self._split_dim, dtype=np.intp)
+        self._split_val_arr = np.asarray(self._split_val, dtype=np.float64)
+        self._left_arr = np.asarray(self._left, dtype=np.intp)
+        self._right_arr = np.asarray(self._right, dtype=np.intp)
+        self._start_arr = np.asarray(self._start, dtype=np.intp)
+        self._stop_arr = np.asarray(self._stop, dtype=np.intp)
+
+    # ------------------------------------------------------------------ build
+
+    def _new_node(self) -> int:
+        self._split_dim.append(-1)
+        self._split_val.append(0.0)
+        self._left.append(_NO_CHILD)
+        self._right.append(_NO_CHILD)
+        self._start.append(0)
+        self._stop.append(0)
+        return len(self._split_dim) - 1
+
+    def _build(self, start: int, stop: int) -> int:
+        """Recursively build the subtree over ``self._indices[start:stop]``."""
+        node = self._new_node()
+        count = stop - start
+        if count <= self._leaf_size:
+            self._start[node] = start
+            self._stop[node] = stop
+            return node
+
+        subset = self._indices[start:stop]
+        coords = self._points[subset]
+        spreads = coords.max(axis=0) - coords.min(axis=0)
+        dim = int(np.argmax(spreads))
+        if spreads[dim] == 0.0:
+            # All points identical along every axis: keep them in one leaf to
+            # avoid infinite recursion on duplicate-heavy data.
+            self._start[node] = start
+            self._stop[node] = stop
+            return node
+
+        mid = count // 2
+        order = np.argpartition(coords[:, dim], mid)
+        self._indices[start:stop] = subset[order]
+        split_value = float(self._points[self._indices[start + mid], dim])
+
+        self._split_dim[node] = dim
+        self._split_val[node] = split_value
+        self._start[node] = start
+        self._stop[node] = stop
+        self._left[node] = self._build(start, start + mid)
+        self._right[node] = self._build(start + mid, stop)
+        return node
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def points(self) -> np.ndarray:
+        """The indexed point set (read-only view)."""
+        return self._points
+
+    @property
+    def size(self) -> int:
+        """Number of indexed points."""
+        return self._n
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the indexed points."""
+        return self._dim
+
+    @property
+    def leaf_size(self) -> int:
+        """Maximum bucket size of a leaf."""
+        return self._leaf_size
+
+    @property
+    def node_count(self) -> int:
+        """Total number of tree nodes (internal + leaves)."""
+        return len(self._split_dim)
+
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint of the index structure in bytes.
+
+        Counts the node arrays and the permutation array but not the point
+        matrix itself (which is shared with the caller).
+        """
+        arrays = (
+            self._split_dim_arr,
+            self._split_val_arr,
+            self._left_arr,
+            self._right_arr,
+            self._start_arr,
+            self._stop_arr,
+            self._indices,
+        )
+        return int(sum(a.nbytes for a in arrays))
+
+    # ---------------------------------------------------------------- queries
+
+    def _is_leaf(self, node: int) -> bool:
+        return self._left_arr[node] == _NO_CHILD
+
+    def range_search(self, query, radius: float, strict: bool = True) -> np.ndarray:
+        """Return the indices of all points within ``radius`` of ``query``.
+
+        Parameters
+        ----------
+        query:
+            Query point of shape ``(d,)``.
+        radius:
+            Search radius (must be positive).
+        strict:
+            When true (the default, matching Definition 1 of the paper) report
+            points with ``dist < radius``; otherwise ``dist <= radius``.
+        """
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        if query.shape[0] != self._dim:
+            raise ValueError(
+                f"query has dimension {query.shape[0]}, expected {self._dim}"
+            )
+        radius = check_positive(radius, "radius")
+        radius_sq = radius * radius
+
+        hits: list[np.ndarray] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if self._is_leaf(node):
+                idx = self._indices[self._start_arr[node] : self._stop_arr[node]]
+                if idx.size == 0:
+                    continue
+                self.counter.add("distance_calcs", idx.size)
+                d_sq = point_to_points_sq(query, self._points[idx])
+                mask = d_sq < radius_sq if strict else d_sq <= radius_sq
+                if mask.any():
+                    hits.append(idx[mask])
+                continue
+            dim = self._split_dim_arr[node]
+            diff = query[dim] - self._split_val_arr[node]
+            near, far = (
+                (self._left_arr[node], self._right_arr[node])
+                if diff < 0.0
+                else (self._right_arr[node], self._left_arr[node])
+            )
+            stack.append(near)
+            if diff * diff <= radius_sq:
+                stack.append(far)
+
+        if not hits:
+            return np.empty(0, dtype=np.intp)
+        return np.concatenate(hits)
+
+    def range_count(self, query, radius: float, strict: bool = True) -> int:
+        """Return the number of points within ``radius`` of ``query``.
+
+        Equivalent to ``len(range_search(...))`` but avoids materialising the
+        index list; this is the primitive used for local-density computation.
+        """
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        if query.shape[0] != self._dim:
+            raise ValueError(
+                f"query has dimension {query.shape[0]}, expected {self._dim}"
+            )
+        radius = check_positive(radius, "radius")
+        radius_sq = radius * radius
+
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if self._is_leaf(node):
+                idx = self._indices[self._start_arr[node] : self._stop_arr[node]]
+                if idx.size == 0:
+                    continue
+                self.counter.add("distance_calcs", idx.size)
+                d_sq = point_to_points_sq(query, self._points[idx])
+                if strict:
+                    count += int(np.count_nonzero(d_sq < radius_sq))
+                else:
+                    count += int(np.count_nonzero(d_sq <= radius_sq))
+                continue
+            dim = self._split_dim_arr[node]
+            diff = query[dim] - self._split_val_arr[node]
+            near, far = (
+                (self._left_arr[node], self._right_arr[node])
+                if diff < 0.0
+                else (self._right_arr[node], self._left_arr[node])
+            )
+            stack.append(near)
+            if diff * diff <= radius_sq:
+                stack.append(far)
+        return count
+
+    def nearest_neighbor(
+        self,
+        query,
+        *,
+        exclude: Optional[int] = None,
+        mask: Optional[np.ndarray] = None,
+    ) -> tuple[int, float]:
+        """Return ``(index, distance)`` of the nearest indexed point to ``query``.
+
+        Parameters
+        ----------
+        query:
+            Query point of shape ``(d,)``.
+        exclude:
+            Optional index to ignore (typically the query point itself when it
+            is part of the indexed set).
+        mask:
+            Optional boolean array of length ``n``; only points with
+            ``mask[i] == True`` are eligible.  Used by the Approx-DPC exact
+            fallback, which restricts the search to points with higher local
+            density.
+
+        Returns
+        -------
+        tuple
+            ``(index, distance)``; ``index`` is ``-1`` and ``distance`` is
+            ``inf`` when no eligible point exists.
+        """
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        if query.shape[0] != self._dim:
+            raise ValueError(
+                f"query has dimension {query.shape[0]}, expected {self._dim}"
+            )
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.shape[0] != self._n:
+                raise ValueError("mask must have one entry per indexed point")
+
+        best_idx = -1
+        best_sq = np.inf
+        # Depth-first traversal ordered by the near child first; prune subtrees
+        # whose splitting plane is farther than the current best distance.
+        stack: list[tuple[int, float]] = [(self._root, 0.0)]
+        while stack:
+            node, plane_sq = stack.pop()
+            if plane_sq >= best_sq:
+                continue
+            if self._is_leaf(node):
+                idx = self._indices[self._start_arr[node] : self._stop_arr[node]]
+                if idx.size == 0:
+                    continue
+                self.counter.add("distance_calcs", idx.size)
+                d_sq = point_to_points_sq(query, self._points[idx])
+                if exclude is not None:
+                    d_sq = np.where(idx == exclude, np.inf, d_sq)
+                if mask is not None:
+                    d_sq = np.where(mask[idx], d_sq, np.inf)
+                pos = int(np.argmin(d_sq))
+                if d_sq[pos] < best_sq:
+                    best_sq = float(d_sq[pos])
+                    best_idx = int(idx[pos])
+                continue
+            dim = self._split_dim_arr[node]
+            diff = query[dim] - self._split_val_arr[node]
+            near, far = (
+                (self._left_arr[node], self._right_arr[node])
+                if diff < 0.0
+                else (self._right_arr[node], self._left_arr[node])
+            )
+            # Push the far child first so the near child is explored first.
+            stack.append((far, diff * diff))
+            stack.append((near, 0.0))
+        return best_idx, float(np.sqrt(best_sq)) if np.isfinite(best_sq) else np.inf
+
+    def knn(self, query, k: int, *, exclude: Optional[int] = None) -> tuple[np.ndarray, np.ndarray]:
+        """Return the ``k`` nearest neighbours of ``query``.
+
+        Returns
+        -------
+        tuple
+            ``(indices, distances)`` sorted by increasing distance.  Fewer than
+            ``k`` entries are returned when the tree holds fewer eligible
+            points.
+        """
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        k = check_positive_int(k, "k")
+        if query.shape[0] != self._dim:
+            raise ValueError(
+                f"query has dimension {query.shape[0]}, expected {self._dim}"
+            )
+
+        # Collect candidate (distance, index) pairs with a simple bounded list;
+        # k is small in every caller (the dependency fallback uses k=1..8).
+        best_sq = np.full(k, np.inf)
+        best_idx = np.full(k, -1, dtype=np.intp)
+
+        stack: list[tuple[int, float]] = [(self._root, 0.0)]
+        while stack:
+            node, plane_sq = stack.pop()
+            if plane_sq >= best_sq[-1]:
+                continue
+            if self._is_leaf(node):
+                idx = self._indices[self._start_arr[node] : self._stop_arr[node]]
+                if idx.size == 0:
+                    continue
+                self.counter.add("distance_calcs", idx.size)
+                d_sq = point_to_points_sq(query, self._points[idx])
+                if exclude is not None:
+                    d_sq = np.where(idx == exclude, np.inf, d_sq)
+                merged_sq = np.concatenate([best_sq, d_sq])
+                merged_idx = np.concatenate([best_idx, idx])
+                order = np.argsort(merged_sq, kind="stable")[:k]
+                best_sq = merged_sq[order]
+                best_idx = merged_idx[order]
+                continue
+            dim = self._split_dim_arr[node]
+            diff = query[dim] - self._split_val_arr[node]
+            near, far = (
+                (self._left_arr[node], self._right_arr[node])
+                if diff < 0.0
+                else (self._right_arr[node], self._left_arr[node])
+            )
+            stack.append((far, diff * diff))
+            stack.append((near, 0.0))
+
+        valid = best_idx >= 0
+        return best_idx[valid], np.sqrt(best_sq[valid])
+
+
+class _IncNode:
+    """A node of the pointer-based incremental kd-tree."""
+
+    __slots__ = ("index", "axis", "left", "right")
+
+    def __init__(self, index: int, axis: int):
+        self.index = index
+        self.axis = axis
+        self.left: Optional["_IncNode"] = None
+        self.right: Optional["_IncNode"] = None
+
+
+class IncrementalKDTree:
+    """Pointer-based kd-tree supporting one-point-at-a-time insertion.
+
+    Ex-DPC builds this tree incrementally in descending order of local
+    density: when the dependent point of ``p_i`` is requested, the tree
+    contains exactly the points with higher density than ``rho_i``, so a plain
+    nearest-neighbour query yields the exact dependent point (§3).
+
+    The tree cycles the split axis with depth (the classic Bentley insertion
+    scheme).  Insertion order in Ex-DPC is essentially random with respect to
+    the coordinates, so the expected depth stays ``O(log n)``.
+    """
+
+    def __init__(self, points, dim: int | None = None, counter: WorkCounter | None = None):
+        self._points = check_points(points, name="points")
+        self._dim = self._points.shape[1] if dim is None else int(dim)
+        if self._dim != self._points.shape[1]:
+            raise ValueError("dim does not match the point matrix width")
+        self._root: Optional[_IncNode] = None
+        self._size = 0
+        #: Work counter accumulating distance evaluations of nearest-neighbour
+        #: queries (one per visited node).
+        self.counter = counter if counter is not None else WorkCounter()
+
+    @property
+    def size(self) -> int:
+        """Number of points currently inserted."""
+        return self._size
+
+    def insert(self, index: int) -> None:
+        """Insert the point ``self.points[index]`` into the tree."""
+        index = int(index)
+        if not 0 <= index < self._points.shape[0]:
+            raise IndexError(f"point index {index} out of range")
+        point = self._points[index]
+        if self._root is None:
+            self._root = _IncNode(index=index, axis=0)
+            self._size = 1
+            return
+        node = self._root
+        while True:
+            axis = node.axis
+            if point[axis] < self._points[node.index, axis]:
+                if node.left is None:
+                    node.left = _IncNode(index=index, axis=(axis + 1) % self._dim)
+                    break
+                node = node.left
+            else:
+                if node.right is None:
+                    node.right = _IncNode(index=index, axis=(axis + 1) % self._dim)
+                    break
+                node = node.right
+        self._size += 1
+
+    def nearest_neighbor(self, query) -> tuple[int, float]:
+        """Return ``(index, distance)`` of the nearest inserted point to ``query``.
+
+        Returns ``(-1, inf)`` when the tree is empty.
+        """
+        if self._root is None:
+            return -1, np.inf
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        if query.shape[0] != self._dim:
+            raise ValueError(
+                f"query has dimension {query.shape[0]}, expected {self._dim}"
+            )
+
+        best_idx = -1
+        best_sq = np.inf
+        points = self._points
+        counter = self.counter
+        stack: list[tuple[_IncNode, float]] = [(self._root, 0.0)]
+        while stack:
+            node, plane_sq = stack.pop()
+            if plane_sq >= best_sq:
+                continue
+            counter.add("distance_calcs", 1)
+            coords = points[node.index]
+            diff_vec = coords - query
+            d_sq = float(np.dot(diff_vec, diff_vec))
+            if d_sq < best_sq:
+                best_sq = d_sq
+                best_idx = node.index
+            axis = node.axis
+            diff = query[axis] - coords[axis]
+            near, far = (node.left, node.right) if diff < 0.0 else (node.right, node.left)
+            if far is not None:
+                stack.append((far, diff * diff))
+            if near is not None:
+                stack.append((near, 0.0))
+        return best_idx, float(np.sqrt(best_sq))

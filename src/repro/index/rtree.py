@@ -1,0 +1,257 @@
+"""A bulk-loaded R-tree for point data.
+
+The paper evaluates an ``R-tree + Scan`` baseline in which local densities are
+computed with range searches on an in-memory R-tree while dependent points are
+still computed by the quadratic Scan procedure.  This module provides that
+R-tree.
+
+The tree is built with the Sort-Tile-Recursive (STR) bulk-loading algorithm
+[Leutenegger et al. 1997]: points are sorted into tiles along each dimension in
+turn so that each leaf covers a compact rectangle, and internal levels are
+built bottom-up by grouping child bounding boxes the same way.  STR produces
+well-clustered rectangles for static point sets, which is all the baseline
+needs (the paper notes the R-tree lacks the kd-tree's worst-case guarantee but
+works well in practice).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.counters import WorkCounter
+from repro.utils.distance import point_to_points_sq
+from repro.utils.validation import check_points, check_positive, check_positive_int
+
+__all__ = ["RTree"]
+
+
+class _Node:
+    """An R-tree node: either a leaf with point indices or an internal node."""
+
+    __slots__ = ("mins", "maxs", "children", "indices")
+
+    def __init__(self, mins, maxs, children=None, indices=None):
+        self.mins = mins
+        self.maxs = maxs
+        self.children = children
+        self.indices = indices
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.indices is not None
+
+
+def _min_sq_dist_to_box(query: np.ndarray, mins: np.ndarray, maxs: np.ndarray) -> float:
+    """Squared distance from ``query`` to the axis-aligned box ``[mins, maxs]``."""
+    below = np.maximum(mins - query, 0.0)
+    above = np.maximum(query - maxs, 0.0)
+    gap = below + above
+    return float(np.dot(gap, gap))
+
+
+class RTree:
+    """STR bulk-loaded R-tree over a static point set.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, d)``.
+    leaf_capacity:
+        Maximum number of points per leaf.
+    fanout:
+        Maximum number of children per internal node.
+    """
+
+    def __init__(
+        self,
+        points,
+        leaf_capacity: int = 64,
+        fanout: int = 16,
+        counter: WorkCounter | None = None,
+    ):
+        self._points = check_points(points, name="points")
+        #: Work counter accumulating distance evaluations performed by queries.
+        self.counter = counter if counter is not None else WorkCounter()
+        self._leaf_capacity = check_positive_int(leaf_capacity, "leaf_capacity")
+        self._fanout = check_positive_int(fanout, "fanout")
+        if self._fanout < 2:
+            raise ValueError("fanout must be at least 2")
+        self._n, self._dim = self._points.shape
+        self._node_count = 0
+        self._root = self._bulk_load()
+
+    # ------------------------------------------------------------------ build
+
+    def _make_leaf(self, indices: np.ndarray) -> _Node:
+        coords = self._points[indices]
+        self._node_count += 1
+        return _Node(
+            mins=coords.min(axis=0),
+            maxs=coords.max(axis=0),
+            indices=np.asarray(indices, dtype=np.intp),
+        )
+
+    def _make_internal(self, children: list[_Node]) -> _Node:
+        mins = np.min([child.mins for child in children], axis=0)
+        maxs = np.max([child.maxs for child in children], axis=0)
+        self._node_count += 1
+        return _Node(mins=mins, maxs=maxs, children=children)
+
+    def _str_partition(self, items, centers: np.ndarray, capacity: int) -> list[list]:
+        """Partition ``items`` into groups of at most ``capacity`` using STR tiling."""
+        count = len(items)
+        groups = int(np.ceil(count / capacity))
+        if groups <= 1:
+            return [list(items)]
+
+        order = np.argsort(centers[:, 0], kind="stable")
+        items = [items[i] for i in order]
+        centers = centers[order]
+
+        if self._dim == 1:
+            return [
+                items[start : start + capacity] for start in range(0, count, capacity)
+            ]
+
+        # Number of vertical slabs along the first dimension.
+        slabs = int(np.ceil(np.sqrt(groups)))
+        slab_size = int(np.ceil(count / slabs))
+        partition: list[list] = []
+        for start in range(0, count, slab_size):
+            slab_items = items[start : start + slab_size]
+            slab_centers = centers[start : start + slab_size]
+            inner = np.argsort(slab_centers[:, 1], kind="stable")
+            slab_items = [slab_items[i] for i in inner]
+            for inner_start in range(0, len(slab_items), capacity):
+                partition.append(slab_items[inner_start : inner_start + capacity])
+        return partition
+
+    def _bulk_load(self) -> _Node:
+        indices = np.arange(self._n, dtype=np.intp)
+        leaf_groups = self._str_partition(
+            list(indices), self._points, self._leaf_capacity
+        )
+        nodes = [self._make_leaf(np.asarray(group, dtype=np.intp)) for group in leaf_groups]
+
+        while len(nodes) > 1:
+            centers = np.asarray([(node.mins + node.maxs) / 2.0 for node in nodes])
+            groups = self._str_partition(nodes, centers, self._fanout)
+            nodes = [self._make_internal(group) for group in groups]
+        return nodes[0]
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def size(self) -> int:
+        """Number of indexed points."""
+        return self._n
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the indexed points."""
+        return self._dim
+
+    @property
+    def node_count(self) -> int:
+        """Total number of R-tree nodes."""
+        return self._node_count
+
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint of the index structure in bytes."""
+        per_node = 2 * self._dim * 8 + 64  # two bounding vectors + object overhead
+        return int(self._node_count * per_node + self._n * np.dtype(np.intp).itemsize)
+
+    # ---------------------------------------------------------------- queries
+
+    def range_search(self, query, radius: float, strict: bool = True) -> np.ndarray:
+        """Return the indices of all points within ``radius`` of ``query``."""
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        if query.shape[0] != self._dim:
+            raise ValueError(
+                f"query has dimension {query.shape[0]}, expected {self._dim}"
+            )
+        radius = check_positive(radius, "radius")
+        radius_sq = radius * radius
+
+        hits: list[np.ndarray] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if _min_sq_dist_to_box(query, node.mins, node.maxs) > radius_sq:
+                continue
+            if node.is_leaf:
+                idx = node.indices
+                self.counter.add("distance_calcs", idx.size)
+                d_sq = point_to_points_sq(query, self._points[idx])
+                mask = d_sq < radius_sq if strict else d_sq <= radius_sq
+                if mask.any():
+                    hits.append(idx[mask])
+            else:
+                stack.extend(node.children)
+        if not hits:
+            return np.empty(0, dtype=np.intp)
+        return np.concatenate(hits)
+
+    def range_count(self, query, radius: float, strict: bool = True) -> int:
+        """Return the number of points within ``radius`` of ``query``."""
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        if query.shape[0] != self._dim:
+            raise ValueError(
+                f"query has dimension {query.shape[0]}, expected {self._dim}"
+            )
+        radius = check_positive(radius, "radius")
+        radius_sq = radius * radius
+
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if _min_sq_dist_to_box(query, node.mins, node.maxs) > radius_sq:
+                continue
+            if node.is_leaf:
+                self.counter.add("distance_calcs", node.indices.size)
+                d_sq = point_to_points_sq(query, self._points[node.indices])
+                if strict:
+                    count += int(np.count_nonzero(d_sq < radius_sq))
+                else:
+                    count += int(np.count_nonzero(d_sq <= radius_sq))
+            else:
+                stack.extend(node.children)
+        return count
+
+    def nearest_neighbor(self, query, *, exclude: int | None = None) -> tuple[int, float]:
+        """Return ``(index, distance)`` of the nearest indexed point to ``query``."""
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        if query.shape[0] != self._dim:
+            raise ValueError(
+                f"query has dimension {query.shape[0]}, expected {self._dim}"
+            )
+        best_idx = -1
+        best_sq = np.inf
+        stack: list[tuple[float, _Node]] = [(0.0, self._root)]
+        while stack:
+            bound, node = stack.pop()
+            if bound >= best_sq:
+                continue
+            if node.is_leaf:
+                idx = node.indices
+                self.counter.add("distance_calcs", idx.size)
+                d_sq = point_to_points_sq(query, self._points[idx])
+                if exclude is not None:
+                    d_sq = np.where(idx == exclude, np.inf, d_sq)
+                pos = int(np.argmin(d_sq))
+                if d_sq[pos] < best_sq:
+                    best_sq = float(d_sq[pos])
+                    best_idx = int(idx[pos])
+            else:
+                children = sorted(
+                    node.children,
+                    key=lambda child: _min_sq_dist_to_box(query, child.mins, child.maxs),
+                    reverse=True,
+                )
+                for child in children:
+                    stack.append(
+                        (_min_sq_dist_to_box(query, child.mins, child.maxs), child)
+                    )
+        distance = float(np.sqrt(best_sq)) if np.isfinite(best_sq) else np.inf
+        return best_idx, distance

@@ -1,0 +1,154 @@
+"""The sampled (``epsilon``-scaled) grid of S-Approx-DPC (§5 of the paper).
+
+S-Approx-DPC converts point clustering into *cell* clustering: it overlays the
+data with a grid whose cells have side length ``epsilon * d_cut / sqrt(d)``,
+picks a single representative point per cell, and runs all range searches and
+dependency computations only on the picked points.  Points that were not
+picked inherit the picked point of their cell as their (approximate) dependent
+point.
+
+Compared to the Approx-DPC grid, each cell here stores only the picked point
+and the neighbour set ``N(c)`` (cells containing points within ``d_cut`` of the
+picked point); ``p*(c)`` and ``min rho`` are not needed because non-picked
+points never receive their own local density.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import check_points, check_positive
+
+__all__ = ["SampledCell", "SampledGrid"]
+
+
+@dataclass
+class SampledCell:
+    """A non-empty cell of the sampled grid.
+
+    Attributes
+    ----------
+    key:
+        Integer lattice coordinates of the cell.
+    point_indices:
+        Indices of all points covered by the cell.
+    picked:
+        Index of the representative (*picked*) point.  The paper allows any
+        deterministic choice; this implementation uses the point closest to the
+        cell center so the representative is geometrically central.
+    density:
+        Local density of the picked point (filled in during the density phase).
+    neighbor_cells:
+        Keys of cells containing points within ``d_cut`` of the picked point.
+    """
+
+    key: tuple[int, ...]
+    point_indices: np.ndarray
+    picked: int
+    density: float = 0.0
+    neighbor_cells: list[tuple[int, ...]] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Number of points covered by the cell."""
+        return int(self.point_indices.shape[0])
+
+
+class SampledGrid:
+    """``epsilon``-scaled grid with one picked point per non-empty cell.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, d)``.
+    cell_side:
+        Side length of every cell (``epsilon * d_cut / sqrt(d)`` in
+        S-Approx-DPC).
+    """
+
+    def __init__(self, points, cell_side: float):
+        self._points = check_points(points, name="points")
+        self._cell_side = check_positive(cell_side, "cell_side")
+        self._n, self._dim = self._points.shape
+
+        lattice = np.floor(self._points / self._cell_side).astype(np.int64)
+        self._point_keys = [tuple(row) for row in lattice]
+
+        groups: dict[tuple[int, ...], list[int]] = {}
+        for index, key in enumerate(self._point_keys):
+            groups.setdefault(key, []).append(index)
+
+        half = self._cell_side / 2.0
+        self._cells: dict[tuple[int, ...], SampledCell] = {}
+        for key, indices in groups.items():
+            idx = np.asarray(indices, dtype=np.intp)
+            center = (np.asarray(key, dtype=np.float64) * self._cell_side) + half
+            coords = self._points[idx]
+            diffs = coords - center
+            picked_pos = int(np.argmin(np.einsum("ij,ij->i", diffs, diffs)))
+            self._cells[key] = SampledCell(
+                key=key,
+                point_indices=idx,
+                picked=int(idx[picked_pos]),
+            )
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def cell_side(self) -> float:
+        """Side length of every grid cell."""
+        return self._cell_side
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the indexed points."""
+        return self._dim
+
+    @property
+    def num_cells(self) -> int:
+        """Number of non-empty cells (equals the number of picked points)."""
+        return len(self._cells)
+
+    @property
+    def points(self) -> np.ndarray:
+        """The indexed point set."""
+        return self._points
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __iter__(self):
+        return iter(self._cells.values())
+
+    # ---------------------------------------------------------------- lookups
+
+    def cells(self) -> list[SampledCell]:
+        """Return all non-empty cells."""
+        return list(self._cells.values())
+
+    def cell(self, key) -> SampledCell:
+        """Return the cell with lattice key ``key``."""
+        return self._cells[tuple(key)]
+
+    def cell_of_point(self, index: int) -> SampledCell:
+        """Return the cell containing the point with index ``index``."""
+        return self._cells[self._point_keys[index]]
+
+    def key_of_point(self, index: int) -> tuple[int, ...]:
+        """Return the lattice key of the cell containing point ``index``."""
+        return self._point_keys[index]
+
+    def picked_points(self) -> np.ndarray:
+        """Return the indices of all picked points, one per non-empty cell."""
+        return np.asarray([cell.picked for cell in self._cells.values()], dtype=np.intp)
+
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint of the grid structure in bytes."""
+        total = 0
+        for cell in self._cells.values():
+            total += cell.point_indices.nbytes
+            total += 8 * len(cell.neighbor_cells) * self._dim
+            total += 96
+        return int(total)

@@ -1,0 +1,110 @@
+"""Dataset and result persistence.
+
+Small, dependency-free helpers so that the library can be used from the
+command line and from batch pipelines:
+
+* :func:`load_points` / :func:`save_points` -- read and write point matrices
+  as CSV (with or without header) or ``.npy``.
+* :func:`save_result` / :func:`load_result_labels` -- persist a clustering
+  outcome (labels, densities, dependent distances, centers and the run
+  metadata) as a CSV plus a small JSON sidecar.
+
+These helpers back :mod:`repro.cli`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.result import DPCResult
+from repro.utils.validation import check_points
+
+__all__ = ["load_points", "save_points", "save_result", "load_result_labels"]
+
+
+def load_points(path: str | Path, delimiter: str = ",") -> np.ndarray:
+    """Load a point matrix from ``.npy`` or delimited text.
+
+    Text files may start with a non-numeric header line, which is skipped.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"dataset file not found: {path}")
+    if path.suffix == ".npy":
+        points = np.load(path)
+        return check_points(points, name=str(path))
+
+    with path.open("r", encoding="utf-8") as handle:
+        first_line = handle.readline()
+    skip = 0
+    try:
+        [float(token) for token in first_line.strip().split(delimiter) if token != ""]
+    except ValueError:
+        skip = 1
+    points = np.loadtxt(path, delimiter=delimiter, skiprows=skip, ndmin=2)
+    return check_points(points, name=str(path))
+
+
+def save_points(points, path: str | Path, delimiter: str = ",") -> Path:
+    """Write a point matrix as ``.npy`` or delimited text (chosen by suffix)."""
+    points = check_points(points, name="points")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix == ".npy":
+        np.save(path, points)
+    else:
+        header = delimiter.join(f"x{dim}" for dim in range(points.shape[1]))
+        np.savetxt(path, points, delimiter=delimiter, header=header, comments="")
+    return path
+
+
+def save_result(result: DPCResult, path: str | Path, delimiter: str = ",") -> Path:
+    """Persist a clustering result.
+
+    Writes ``<path>`` as a CSV with one row per point (label, rho, delta,
+    dependent index, noise flag) and ``<path with .json suffix>`` with the run
+    metadata (algorithm, parameters, timings, work counts, memory, centers).
+
+    Returns the CSV path.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    table = np.column_stack(
+        [
+            result.labels_,
+            result.rho_raw_,
+            result.delta_,
+            result.dependent_,
+            result.noise_mask_.astype(np.int64),
+        ]
+    )
+    header = delimiter.join(["label", "rho", "delta", "dependent", "is_noise"])
+    np.savetxt(path, table, delimiter=delimiter, header=header, comments="", fmt="%.10g")
+
+    metadata = {
+        "algorithm": result.algorithm_,
+        "params": result.params_,
+        "n_points": result.n_points,
+        "n_clusters": result.n_clusters_,
+        "n_noise": result.n_noise,
+        "centers": [int(center) for center in result.centers_],
+        "timings_s": result.timings_,
+        "work": result.work_,
+        "memory_bytes": int(result.memory_bytes_),
+    }
+    sidecar = path.with_suffix(".json")
+    sidecar.write_text(json.dumps(metadata, indent=2, sort_keys=True), encoding="utf-8")
+    return path
+
+
+def load_result_labels(path: str | Path, delimiter: str = ",") -> np.ndarray:
+    """Load just the label column from a CSV written by :func:`save_result`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"result file not found: {path}")
+    table = np.loadtxt(path, delimiter=delimiter, skiprows=1, ndmin=2)
+    return table[:, 0].astype(np.int64)

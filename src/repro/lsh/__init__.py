@@ -1,0 +1,18 @@
+"""Locality-sensitive hashing substrate.
+
+LSH-DDP [Zhang et al., TKDE 2016], the state-of-the-art approximate baseline
+the paper compares against, partitions the point set into buckets with
+compound p-stable LSH functions and computes approximate local densities and
+dependent points within each bucket.  This package provides the hashing
+substrate:
+
+* :class:`repro.lsh.pstable.PStableHash` -- a single compound hash
+  ``g(p) = (h_1(p), ..., h_k(p))`` with ``h(p) = floor((a.p + b) / w)``
+  [Datar et al., SoCG 2004].
+* :class:`repro.lsh.pstable.LSHTable` -- one hash table (bucket partition of
+  the data) per compound hash.
+"""
+
+from repro.lsh.pstable import LSHTable, PStableHash
+
+__all__ = ["PStableHash", "LSHTable"]

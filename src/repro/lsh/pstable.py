@@ -1,0 +1,140 @@
+"""p-stable locality-sensitive hashing (Datar et al., SoCG 2004).
+
+A single hash function projects a point onto a random Gaussian direction,
+shifts it by a random offset and quantises with bucket width ``w``:
+
+    h(p) = floor((a . p + b) / w),        a ~ N(0, I),  b ~ U[0, w).
+
+Nearby points collide with high probability, far points with low probability.
+A *compound* hash concatenates ``k`` such functions so that far points rarely
+collide; LSH-DDP builds ``M`` compound hash tables and treats the buckets of
+each table as a (soft) partition of the data.
+
+The classes here are deliberately small -- they only need to support the
+bucket-partitioning workflow of the LSH-DDP baseline -- but they are exact
+implementations of the standard scheme and are reusable on their own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_points, check_positive, check_positive_int
+
+__all__ = ["PStableHash", "LSHTable"]
+
+
+@dataclass(frozen=True)
+class _HashParameters:
+    """The random projection matrix and offsets of one compound hash."""
+
+    directions: np.ndarray  # shape (k, d)
+    offsets: np.ndarray  # shape (k,)
+    width: float
+
+
+class PStableHash:
+    """A compound p-stable LSH function ``g(p) = (h_1(p), ..., h_k(p))``.
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality of the points to hash.
+    width:
+        Quantisation width ``w``.  LSH-DDP sets ``w`` proportional to the DPC
+        cutoff distance so that points within ``d_cut`` usually share buckets.
+    n_functions:
+        Number of concatenated hash functions ``k``.
+    seed:
+        Random seed or generator for the projection directions and offsets.
+    """
+
+    def __init__(self, dim: int, width: float, n_functions: int = 4, seed=None):
+        dim = check_positive_int(dim, "dim")
+        width = check_positive(width, "width")
+        n_functions = check_positive_int(n_functions, "n_functions")
+        rng = ensure_rng(seed)
+        self._params = _HashParameters(
+            directions=rng.normal(size=(n_functions, dim)),
+            offsets=rng.uniform(0.0, width, size=n_functions),
+            width=width,
+        )
+        self._dim = dim
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of hashable points."""
+        return self._dim
+
+    @property
+    def n_functions(self) -> int:
+        """Number of concatenated elementary hash functions."""
+        return self._params.directions.shape[0]
+
+    @property
+    def width(self) -> float:
+        """Quantisation width ``w``."""
+        return self._params.width
+
+    def hash_points(self, points) -> np.ndarray:
+        """Return the integer hash matrix of shape ``(n, k)`` for ``points``."""
+        points = check_points(points, name="points")
+        if points.shape[1] != self._dim:
+            raise ValueError(
+                f"points have dimension {points.shape[1]}, expected {self._dim}"
+            )
+        projections = points @ self._params.directions.T + self._params.offsets
+        return np.floor(projections / self._params.width).astype(np.int64)
+
+    def bucket_keys(self, points) -> list[tuple[int, ...]]:
+        """Return one hashable compound key per point."""
+        return [tuple(row) for row in self.hash_points(points)]
+
+
+class LSHTable:
+    """A bucket partition of a point set induced by one compound hash.
+
+    The table maps each compound key to the indices of the points hashed to
+    it.  LSH-DDP builds ``M`` such tables with independent hashes and scans
+    each point's buckets to estimate its local density and dependent point.
+    """
+
+    def __init__(self, points, hash_function: PStableHash):
+        self._points = check_points(points, name="points")
+        self._hash = hash_function
+        keys = hash_function.bucket_keys(self._points)
+        buckets: dict[tuple[int, ...], list[int]] = {}
+        for index, key in enumerate(keys):
+            buckets.setdefault(key, []).append(index)
+        self._buckets = {
+            key: np.asarray(indices, dtype=np.intp) for key, indices in buckets.items()
+        }
+        self._point_keys = keys
+
+    @property
+    def num_buckets(self) -> int:
+        """Number of non-empty buckets."""
+        return len(self._buckets)
+
+    @property
+    def buckets(self) -> dict[tuple[int, ...], np.ndarray]:
+        """Mapping from compound key to the indices in that bucket."""
+        return self._buckets
+
+    def bucket_of_point(self, index: int) -> np.ndarray:
+        """Return the indices sharing a bucket with point ``index`` (inclusive)."""
+        return self._buckets[self._point_keys[index]]
+
+    def bucket_sizes(self) -> np.ndarray:
+        """Return the sizes of all non-empty buckets."""
+        return np.asarray([bucket.size for bucket in self._buckets.values()])
+
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint of the bucket table in bytes."""
+        total = 0
+        for key, bucket in self._buckets.items():
+            total += bucket.nbytes + 8 * len(key) + 64
+        return int(total)

@@ -1,0 +1,28 @@
+"""Clustering quality, timing and memory metrics.
+
+* :mod:`repro.metrics.rand_index` -- Rand index and adjusted Rand index via
+  pair counting on the label contingency table (the accuracy measure of
+  Tables 2--5 of the paper), plus helpers to compare cluster-center sets.
+* :mod:`repro.metrics.timing` -- decomposed per-phase timing tables
+  (Table 6) and simple timer utilities.
+* :mod:`repro.metrics.memory` -- memory-usage accounting (Table 7).
+"""
+
+from repro.metrics.memory import memory_table
+from repro.metrics.rand_index import (
+    adjusted_rand_index,
+    center_agreement,
+    pair_confusion,
+    rand_index,
+)
+from repro.metrics.timing import PhaseTimer, decomposed_time_table
+
+__all__ = [
+    "rand_index",
+    "adjusted_rand_index",
+    "pair_confusion",
+    "center_agreement",
+    "PhaseTimer",
+    "decomposed_time_table",
+    "memory_table",
+]

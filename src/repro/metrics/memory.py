@@ -1,0 +1,30 @@
+"""Memory-usage accounting (Table 7 of the paper).
+
+The paper reports the peak memory of each algorithm's data structures.  Every
+estimator in this library computes an analogous figure from its own index
+structures (kd-tree node arrays, grid cells, LSH buckets, pivot caches, ...)
+plus the point matrix and per-point result arrays; the result is exposed as
+``DPCResult.memory_bytes_``.  :func:`memory_table` collects those figures into
+the Table 7 layout.
+"""
+
+from __future__ import annotations
+
+__all__ = ["memory_table", "format_bytes"]
+
+
+def format_bytes(n_bytes: int) -> str:
+    """Render a byte count as a human-readable string (MB with two decimals)."""
+    return f"{n_bytes / 1e6:.2f} MB"
+
+
+def memory_table(results: dict[str, "object"]) -> list[dict[str, float | str]]:
+    """Build the Table 7 layout from ``{algorithm_name: DPCResult}``.
+
+    Each row contains the algorithm name and its memory usage in megabytes.
+    """
+    rows: list[dict[str, float | str]] = []
+    for name, result in results.items():
+        n_bytes = int(getattr(result, "memory_bytes_", 0))
+        rows.append({"algorithm": name, "memory_mb": n_bytes / 1e6})
+    return rows

@@ -1,0 +1,98 @@
+"""Decomposed timing utilities (Table 6 of the paper).
+
+Every estimator already reports its per-phase wall-clock times in
+``DPCResult.timings_``; the helpers here aggregate those into the
+"rho computation / delta computation" table layout of the paper and provide a
+small context-manager timer for benchmark code.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["PhaseTimer", "decomposed_time_table", "format_table"]
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulate named wall-clock durations.
+
+    Usage::
+
+        timer = PhaseTimer()
+        with timer.measure("density"):
+            ...
+        timer.durations["density"]
+    """
+
+    durations: dict[str, float] = field(default_factory=dict)
+
+    class _Measurement:
+        def __init__(self, timer: "PhaseTimer", name: str):
+            self._timer = timer
+            self._name = name
+            self._start = 0.0
+
+        def __enter__(self):
+            self._start = time.perf_counter()
+            return self
+
+        def __exit__(self, exc_type, exc, tb):
+            elapsed = time.perf_counter() - self._start
+            durations = self._timer.durations
+            durations[self._name] = durations.get(self._name, 0.0) + elapsed
+            return False
+
+    def measure(self, name: str) -> "PhaseTimer._Measurement":
+        """Return a context manager that adds its elapsed time under ``name``."""
+        return PhaseTimer._Measurement(self, name)
+
+    def total(self) -> float:
+        """Sum of all recorded durations."""
+        return float(sum(self.durations.values()))
+
+
+def decomposed_time_table(results: dict[str, "object"]) -> list[dict[str, float | str]]:
+    """Build the Table 6 layout from ``{algorithm_name: DPCResult}``.
+
+    Each row contains the algorithm name, the local-density time
+    (``rho comp.``) and the dependency time (``delta comp.``) in seconds.
+    """
+    rows: list[dict[str, float | str]] = []
+    for name, result in results.items():
+        timings = getattr(result, "timings_", {})
+        rows.append(
+            {
+                "algorithm": name,
+                "rho_comp_s": float(timings.get("local_density", float("nan"))),
+                "delta_comp_s": float(timings.get("dependency", float("nan"))),
+                "total_s": float(timings.get("total", float("nan"))),
+            }
+        )
+    return rows
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None) -> str:
+    """Render a list of row dictionaries as an aligned text table."""
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered: list[list[str]] = [[str(column) for column in columns]]
+    for row in rows:
+        rendered.append(
+            [
+                f"{row.get(column, ''):.4f}"
+                if isinstance(row.get(column), float)
+                else str(row.get(column, ""))
+                for column in columns
+            ]
+        )
+    widths = [max(len(line[i]) for line in rendered) for i in range(len(columns))]
+    lines = []
+    for line_no, line in enumerate(rendered):
+        lines.append("  ".join(value.ljust(widths[i]) for i, value in enumerate(line)))
+        if line_no == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    return "\n".join(lines)

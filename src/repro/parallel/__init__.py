@@ -1,0 +1,39 @@
+"""Multicore parallelization runtime.
+
+The paper parallelizes its algorithms on a multicore CPU with two policies:
+
+* **dynamic scheduling** (OpenMP ``schedule(dynamic)``) for Ex-DPC's local
+  density phase, where per-task costs are unknown in advance, and
+* **cost-based greedy partitioning** (the 3/2-approximation LPT algorithm of
+  Graham) for Approx-DPC and S-Approx-DPC, where each task's cost can be
+  estimated cheaply before it runs.
+
+This package implements both policies over a small task abstraction, provides
+a real thread/process executor, and — because CPython's GIL prevents genuine
+fine-grained speedups for pure-Python workloads — an analytic *simulated
+multicore model* that computes the makespan a ``t``-thread machine would
+achieve for a measured set of task costs under each policy.  The simulation is
+what regenerates the paper's thread-scaling figure (Figure 9); see DESIGN.md
+for the substitution rationale.
+"""
+
+from repro.parallel.executor import ParallelExecutor, resolve_n_jobs
+from repro.parallel.partition import greedy_partition, partition_imbalance
+from repro.parallel.scheduler import dynamic_schedule_makespan, static_schedule_makespan
+from repro.parallel.simulate import (
+    ParallelPhase,
+    SimulatedMulticore,
+    simulate_speedup_curve,
+)
+
+__all__ = [
+    "ParallelExecutor",
+    "resolve_n_jobs",
+    "greedy_partition",
+    "partition_imbalance",
+    "dynamic_schedule_makespan",
+    "static_schedule_makespan",
+    "ParallelPhase",
+    "SimulatedMulticore",
+    "simulate_speedup_curve",
+]

@@ -1,0 +1,81 @@
+"""Real parallel execution of independent tasks.
+
+The algorithms in :mod:`repro.core` express every parallel phase as a list of
+independent callables (or a function mapped over a list of task descriptors).
+:class:`ParallelExecutor` runs them either serially (``n_jobs=1``, the default
+and the fastest option for pure-Python workloads under the GIL) or on a
+thread pool.
+
+The executor intentionally stays minimal: deterministic result ordering,
+eager error propagation, and no hidden state.  Thread-count *scaling*
+experiments do not use this class directly; they use the simulated multicore
+model in :mod:`repro.parallel.simulate`, which is fed by the per-task costs
+recorded during a serial run (see DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ParallelExecutor", "resolve_n_jobs"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """Normalise an ``n_jobs`` parameter.
+
+    ``None`` or ``1`` mean serial execution; ``-1`` means "use every available
+    CPU"; any other positive integer is returned unchanged.
+    """
+    if n_jobs is None:
+        return 1
+    if n_jobs == -1:
+        return max(1, os.cpu_count() or 1)
+    return check_positive_int(n_jobs, "n_jobs")
+
+
+class ParallelExecutor:
+    """Map a function over tasks, serially or on a thread pool.
+
+    Parameters
+    ----------
+    n_jobs:
+        Number of worker threads.  ``1`` (default) runs everything in the
+        calling thread, ``-1`` uses all available CPUs.
+    """
+
+    def __init__(self, n_jobs: int | None = 1):
+        self._n_jobs = resolve_n_jobs(n_jobs)
+
+    @property
+    def n_jobs(self) -> int:
+        """The resolved number of workers."""
+        return self._n_jobs
+
+    def map(self, func: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
+        """Apply ``func`` to every task and return results in task order."""
+        if self._n_jobs == 1 or len(tasks) <= 1:
+            return [func(task) for task in tasks]
+        with ThreadPoolExecutor(max_workers=self._n_jobs) as pool:
+            return list(pool.map(func, tasks))
+
+    def map_chunks(
+        self, func: Callable[[Sequence[T]], R], chunks: Iterable[Sequence[T]]
+    ) -> list[R]:
+        """Apply ``func`` to every chunk of tasks (one call per chunk).
+
+        Useful when per-task overhead matters: the caller partitions tasks
+        (for instance with :func:`repro.parallel.partition.greedy_partition`)
+        and each worker processes a whole chunk in one call.
+        """
+        chunk_list = [chunk for chunk in chunks if len(chunk) > 0]
+        if self._n_jobs == 1 or len(chunk_list) <= 1:
+            return [func(chunk) for chunk in chunk_list]
+        with ThreadPoolExecutor(max_workers=self._n_jobs) as pool:
+            return list(pool.map(func, chunk_list))

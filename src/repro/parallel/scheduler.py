@@ -1,0 +1,75 @@
+"""Schedule makespan models.
+
+Given the *measured* cost of every task in a parallel phase, these functions
+compute the wall-clock time (makespan) that a ``t``-worker machine would need
+under the two scheduling policies used in the paper:
+
+* :func:`dynamic_schedule_makespan` -- OpenMP ``schedule(dynamic)`` semantics:
+  each worker pulls the next unprocessed task as soon as it finishes its
+  current one (chunk size 1).  Used by Ex-DPC's density phase.
+* :func:`static_schedule_makespan` -- tasks are pre-assigned to workers (for
+  example by :func:`repro.parallel.partition.greedy_partition`) and the
+  makespan is simply the maximum per-worker sum.  Used by Approx-DPC and
+  S-Approx-DPC.
+
+These models are the basis of the simulated thread-scaling experiments
+(Figure 9); they deliberately ignore memory-bandwidth contention and
+hyper-threading effects, which is why the paper's measured 48-thread speedups
+(15--24x) sit below the ideal curve while the simulation approaches it.
+An optional ``efficiency`` factor lets benchmarks model that saturation.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+__all__ = ["dynamic_schedule_makespan", "static_schedule_makespan"]
+
+
+def dynamic_schedule_makespan(costs, n_workers: int) -> float:
+    """Makespan of a work-queue (dynamic) schedule with ``n_workers`` workers.
+
+    Tasks are dispatched in their given order; whenever a worker becomes idle
+    it receives the next task.  This mirrors ``#pragma omp parallel for
+    schedule(dynamic)`` with chunk size 1.
+    """
+    n_workers = check_positive_int(n_workers, "n_workers")
+    costs = np.asarray(costs, dtype=np.float64).reshape(-1)
+    if costs.size and costs.min() < 0.0:
+        raise ValueError("task costs must be non-negative")
+    if costs.size == 0:
+        return 0.0
+    if n_workers == 1:
+        return float(costs.sum())
+
+    # Min-heap of worker finish times.
+    finish_times = [0.0] * min(n_workers, costs.size)
+    heapq.heapify(finish_times)
+    for cost in costs:
+        earliest = heapq.heappop(finish_times)
+        heapq.heappush(finish_times, earliest + float(cost))
+    return float(max(finish_times))
+
+
+def static_schedule_makespan(costs, assignments) -> float:
+    """Makespan of a static schedule given per-worker task assignments.
+
+    Parameters
+    ----------
+    costs:
+        One-dimensional array of task costs.
+    assignments:
+        Iterable of index arrays, one per worker (as produced by
+        :func:`repro.parallel.partition.greedy_partition`).
+    """
+    costs = np.asarray(costs, dtype=np.float64).reshape(-1)
+    if costs.size and costs.min() < 0.0:
+        raise ValueError("task costs must be non-negative")
+    loads = [
+        float(costs[np.asarray(tasks, dtype=np.intp)].sum()) for tasks in assignments
+    ]
+    return float(max(loads)) if loads else 0.0

@@ -1,0 +1,43 @@
+"""Low-level utilities shared across the library.
+
+The :mod:`repro.utils` package contains the small, dependency-free building
+blocks that every other subsystem relies on:
+
+* :mod:`repro.utils.distance` -- Euclidean distance kernels (pairwise,
+  one-to-many, chunked) implemented on top of numpy.
+* :mod:`repro.utils.validation` -- input validation helpers that normalise
+  user-provided point sets and scalar parameters.
+* :mod:`repro.utils.rng` -- deterministic random-number helpers used by the
+  data generators, LSH family and tie-breaking logic.
+"""
+
+from repro.utils.distance import (
+    euclidean,
+    pairwise_distances,
+    pairwise_sq_distances,
+    point_to_points,
+    point_to_points_sq,
+    range_count_bruteforce,
+)
+from repro.utils.rng import ensure_rng, random_tiebreak
+from repro.utils.validation import (
+    check_points,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "euclidean",
+    "pairwise_distances",
+    "pairwise_sq_distances",
+    "point_to_points",
+    "point_to_points_sq",
+    "range_count_bruteforce",
+    "ensure_rng",
+    "random_tiebreak",
+    "check_points",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+]

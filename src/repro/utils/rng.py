@@ -1,0 +1,41 @@
+"""Random number helpers.
+
+The paper assumes that all points have *distinct* local densities and suggests
+adding a random value in ``(0, 1)`` to every integer density to break ties
+deterministically (see §3 of the paper).  :func:`random_tiebreak` implements
+exactly that perturbation; :func:`ensure_rng` normalises the many ways a caller
+can specify a random source.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "random_tiebreak"]
+
+
+def ensure_rng(seed=None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from ``seed``.
+
+    ``seed`` may be ``None`` (fresh entropy), an integer, or an existing
+    generator (returned unchanged so state is shared with the caller).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_tiebreak(values: np.ndarray, seed=None) -> np.ndarray:
+    """Return ``values`` plus a random perturbation drawn from ``(0, 1)``.
+
+    The perturbation never changes the relative order of two values that differ
+    by at least one (the integer local densities of DPC), but it makes equal
+    values almost surely distinct, which the dependent-point definition
+    requires.
+    """
+    rng = ensure_rng(seed)
+    values = np.asarray(values, dtype=np.float64)
+    jitter = rng.uniform(0.0, 1.0, size=values.shape)
+    # Keep the jitter strictly inside (0, 1): uniform() may return exactly 0.
+    jitter = np.nextafter(jitter, 1.0)
+    return values + jitter

@@ -1,0 +1,95 @@
+"""Input validation helpers.
+
+All public estimators accept array-like point sets; :func:`check_points`
+normalises them into a contiguous ``float64`` matrix and rejects degenerate
+inputs early with clear error messages, which keeps the algorithm code free of
+defensive clutter.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+
+__all__ = [
+    "check_points",
+    "check_positive",
+    "check_non_negative",
+    "check_positive_int",
+    "check_probability",
+]
+
+
+def check_points(points, *, min_points: int = 1, name: str = "points") -> np.ndarray:
+    """Validate and normalise a point set.
+
+    Parameters
+    ----------
+    points:
+        Array-like of shape ``(n, d)``.  One-dimensional inputs are interpreted
+        as ``n`` points in one dimension.
+    min_points:
+        Minimum number of rows required.
+    name:
+        Name used in error messages.
+
+    Returns
+    -------
+    numpy.ndarray
+        A C-contiguous ``float64`` array of shape ``(n, d)``.
+    """
+    array = np.asarray(points, dtype=np.float64)
+    if array.ndim == 1:
+        array = array.reshape(-1, 1)
+    if array.ndim != 2:
+        raise ValueError(f"{name} must be a 2-D array, got shape {array.shape}")
+    if array.shape[0] < min_points:
+        raise ValueError(
+            f"{name} must contain at least {min_points} point(s), got {array.shape[0]}"
+        )
+    if array.shape[1] < 1:
+        raise ValueError(f"{name} must have at least one dimension")
+    if not np.isfinite(array).all():
+        raise ValueError(f"{name} contains NaN or infinite coordinates")
+    return np.ascontiguousarray(array)
+
+
+def check_positive(value, name: str) -> float:
+    """Return ``value`` as float, raising if it is not strictly positive."""
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise ValueError(f"{name} must be a positive finite number, got {value}")
+    return value
+
+
+def check_non_negative(value, name: str) -> float:
+    """Return ``value`` as float, raising if it is negative or non-finite."""
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if not np.isfinite(value) or value < 0.0:
+        raise ValueError(f"{name} must be a non-negative finite number, got {value}")
+    return value
+
+
+def check_positive_int(value, name: str) -> int:
+    """Return ``value`` as int, raising if it is not a positive integer."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_probability(value, name: str) -> float:
+    """Return ``value`` as float, raising unless it lies in ``[0, 1]``."""
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return value

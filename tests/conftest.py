@@ -1,0 +1,63 @@
+"""Shared fixtures and reference implementations for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import generate_blobs, generate_syn
+
+
+def reference_local_density(points: np.ndarray, d_cut: float) -> np.ndarray:
+    """Brute-force local density (Definition 1): ``|{j : dist(i, j) < d_cut}|``."""
+    diffs = points[:, None, :] - points[None, :, :]
+    dists = np.sqrt((diffs**2).sum(axis=2))
+    return (dists < d_cut).sum(axis=1).astype(np.float64)
+
+
+def reference_dependencies(
+    points: np.ndarray, rho: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Brute-force dependent point / distance (Definitions 2 and 3)."""
+    n = points.shape[0]
+    diffs = points[:, None, :] - points[None, :, :]
+    dists = np.sqrt((diffs**2).sum(axis=2))
+    dependent = np.full(n, -1, dtype=np.intp)
+    delta = np.full(n, np.inf, dtype=np.float64)
+    for i in range(n):
+        denser = np.flatnonzero(rho > rho[i])
+        if denser.size == 0:
+            continue
+        j = denser[np.argmin(dists[i, denser])]
+        dependent[i] = j
+        delta[i] = dists[i, j]
+    return dependent, delta
+
+
+@pytest.fixture(scope="session")
+def small_blobs():
+    """Three well-separated Gaussian blobs (400 points, 2-D)."""
+    centers = np.array([[20_000.0, 20_000.0], [80_000.0, 20_000.0], [50_000.0, 80_000.0]])
+    points, labels = generate_blobs(400, centers, spread=3_000.0, seed=3)
+    return points, labels
+
+
+@pytest.fixture(scope="session")
+def tiny_syn():
+    """A 600-point Syn-style dataset for fast end-to-end tests."""
+    points, labels = generate_syn(n_points=600, n_peaks=5, seed=11)
+    return points, labels
+
+
+@pytest.fixture(scope="session")
+def random_points_2d():
+    """300 uniform random points in ``[0, 1000]^2``."""
+    rng = np.random.default_rng(42)
+    return rng.uniform(0.0, 1000.0, size=(300, 2))
+
+
+@pytest.fixture(scope="session")
+def random_points_4d():
+    """250 uniform random points in ``[0, 1000]^4``."""
+    rng = np.random.default_rng(43)
+    return rng.uniform(0.0, 1000.0, size=(250, 4))

@@ -1,0 +1,116 @@
+"""Integration tests: cross-algorithm agreement on realistic workloads.
+
+These tests mirror the paper's effectiveness evaluation (§6.1) at a reduced
+scale: Ex-DPC is the ground truth, the exact baselines must match it exactly,
+and the approximation algorithms must stay close (and beat LSH-DDP).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CFSFDPA, LSHDDP, RTreeScanDPC, ScanDPC
+from repro.core import ApproxDPC, ExDPC, SApproxDPC
+from repro.data import generate_s_set, generate_syn
+from repro.metrics import center_agreement, rand_index
+
+D_CUT = 3_000.0
+N_CLUSTERS = 8
+RHO_MIN = 3
+
+
+@pytest.fixture(scope="module")
+def syn_points():
+    points, _ = generate_syn(n_points=1_500, n_peaks=N_CLUSTERS, seed=5)
+    return points
+
+
+@pytest.fixture(scope="module")
+def ex_result(syn_points):
+    return ExDPC(d_cut=D_CUT, rho_min=RHO_MIN, n_clusters=N_CLUSTERS, seed=0).fit(
+        syn_points
+    )
+
+
+class TestExactAlgorithmsAgree:
+    @pytest.mark.parametrize("algorithm_cls", [ScanDPC, RTreeScanDPC, CFSFDPA])
+    def test_exact_baselines_match_ex_dpc(self, syn_points, ex_result, algorithm_cls):
+        result = algorithm_cls(
+            d_cut=D_CUT, rho_min=RHO_MIN, n_clusters=N_CLUSTERS, seed=0
+        ).fit(syn_points)
+        assert rand_index(ex_result.labels_, result.labels_) == 1.0
+        np.testing.assert_array_equal(ex_result.rho_raw_, result.rho_raw_)
+
+
+class TestApproximationQuality:
+    def test_approx_dpc_close_to_exact(self, syn_points, ex_result):
+        result = ApproxDPC(
+            d_cut=D_CUT, rho_min=RHO_MIN, n_clusters=N_CLUSTERS, seed=0
+        ).fit(syn_points)
+        assert rand_index(ex_result.labels_, result.labels_) > 0.93
+
+    @pytest.mark.parametrize("epsilon,floor", [(0.2, 0.9), (1.0, 0.85)])
+    def test_s_approx_dpc_quality_degrades_gracefully(
+        self, syn_points, ex_result, epsilon, floor
+    ):
+        result = SApproxDPC(
+            d_cut=D_CUT,
+            epsilon=epsilon,
+            rho_min=RHO_MIN,
+            n_clusters=N_CLUSTERS,
+            seed=0,
+        ).fit(syn_points)
+        assert rand_index(ex_result.labels_, result.labels_) > floor
+
+    def test_lsh_ddp_reasonable_but_behind_approx(self, syn_points, ex_result):
+        lsh = LSHDDP(
+            d_cut=D_CUT, rho_min=RHO_MIN, n_clusters=N_CLUSTERS, seed=0
+        ).fit(syn_points)
+        approx = ApproxDPC(
+            d_cut=D_CUT, rho_min=RHO_MIN, n_clusters=N_CLUSTERS, seed=0
+        ).fit(syn_points)
+        lsh_score = rand_index(ex_result.labels_, lsh.labels_)
+        approx_score = rand_index(ex_result.labels_, approx.labels_)
+        assert lsh_score > 0.7
+        assert approx_score >= lsh_score - 0.02  # Approx-DPC wins (Table 4 shape)
+
+
+class TestCenterGuaranteeOnGaussians:
+    def test_theorem4_on_s_set(self):
+        points, _ = generate_s_set(2, n_points=1_200, seed=0)
+        d_cut = 40_000.0
+        ex = ExDPC(d_cut=d_cut, rho_min=3, n_clusters=15, seed=0).fit(points)
+        _, delta_min = ex.decision_graph().suggest_thresholds(15, rho_min=3)
+        if delta_min <= d_cut:
+            pytest.skip("degenerate threshold for this draw")
+        ex_t = ExDPC(d_cut=d_cut, rho_min=3, delta_min=delta_min, seed=0).fit(points)
+        approx_t = ApproxDPC(d_cut=d_cut, rho_min=3, delta_min=delta_min, seed=0).fit(points)
+        assert center_agreement(ex_t.centers_, approx_t.centers_) == 1.0
+        assert ex_t.n_clusters_ == approx_t.n_clusters_
+
+
+class TestWorkOrdering:
+    def test_density_work_ordering_matches_table1(self, syn_points):
+        """Scan is quadratic; the proposed algorithms do far less work."""
+        scan = ScanDPC(d_cut=D_CUT, n_clusters=N_CLUSTERS).fit(syn_points)
+        ex = ExDPC(d_cut=D_CUT, n_clusters=N_CLUSTERS).fit(syn_points)
+        approx = ApproxDPC(d_cut=D_CUT, n_clusters=N_CLUSTERS).fit(syn_points)
+        s_approx = SApproxDPC(d_cut=D_CUT, epsilon=1.0, n_clusters=N_CLUSTERS).fit(
+            syn_points
+        )
+        scan_work = scan.work_["total_distance_calcs"]
+        assert ex.work_["total_distance_calcs"] < 0.5 * scan_work
+        assert approx.work_["total_distance_calcs"] < 0.5 * scan_work
+        assert s_approx.work_["total_distance_calcs"] < approx.work_[
+            "total_distance_calcs"
+        ]
+
+    def test_dependency_work_ordering(self, syn_points):
+        scan = ScanDPC(d_cut=D_CUT, n_clusters=N_CLUSTERS).fit(syn_points)
+        ex = ExDPC(d_cut=D_CUT, n_clusters=N_CLUSTERS).fit(syn_points)
+        approx = ApproxDPC(d_cut=D_CUT, n_clusters=N_CLUSTERS).fit(syn_points)
+        assert ex.work_["dependency_distance_calcs"] < scan.work_[
+            "dependency_distance_calcs"
+        ]
+        assert approx.work_["dependency_distance_calcs"] < ex.work_[
+            "dependency_distance_calcs"
+        ]

@@ -1,0 +1,76 @@
+"""Integration tests for the simulated multicore behaviour (Figure 9 shapes)."""
+
+import pytest
+
+from repro.baselines import LSHDDP, ScanDPC
+from repro.core import ApproxDPC, ExDPC, SApproxDPC
+from repro.data import generate_syn
+from repro.parallel.simulate import simulate_speedup_curve
+
+D_CUT = 3_000.0
+K = 8
+
+
+@pytest.fixture(scope="module")
+def syn_points():
+    points, _ = generate_syn(n_points=1_500, n_peaks=K, seed=5)
+    return points
+
+
+class TestThreadScalingShapes:
+    def test_approx_dpc_scales_nearly_linearly(self, syn_points):
+        result = ApproxDPC(d_cut=D_CUT, n_clusters=K).fit(syn_points)
+        profile = result.parallel_profile_
+        assert profile.speedup(4) > 3.0
+        assert profile.speedup(12) > 8.0
+
+    def test_s_approx_dpc_scales(self, syn_points):
+        result = SApproxDPC(d_cut=D_CUT, epsilon=0.5, n_clusters=K).fit(syn_points)
+        assert result.parallel_profile_.speedup(12) > 6.0
+
+    def test_ex_dpc_plateaus_from_sequential_dependency(self, syn_points):
+        """Figure 9: Ex-DPC cannot exploit many threads (Amdahl on the dependency phase)."""
+        result = ExDPC(d_cut=D_CUT, n_clusters=K).fit(syn_points)
+        profile = result.parallel_profile_
+        dependency_share = profile.phase("dependency").total_cost / profile.total_serial_time()
+        upper_bound = 1.0 / dependency_share
+        assert profile.speedup(48) <= upper_bound + 1e-6
+        # The approximate algorithms beat it at high thread counts.
+        approx = ApproxDPC(d_cut=D_CUT, n_clusters=K).fit(syn_points)
+        assert approx.parallel_profile_.speedup(48) > profile.speedup(48)
+
+    def test_speedup_monotone_in_threads(self, syn_points):
+        result = ApproxDPC(d_cut=D_CUT, n_clusters=K).fit(syn_points)
+        curve = simulate_speedup_curve(result.parallel_profile_, [1, 2, 4, 8, 16, 32, 48])
+        times = list(curve.values())
+        assert all(later <= earlier + 1e-12 for earlier, later in zip(times, times[1:]))
+
+    def test_scan_parallelises_but_stays_slow(self, syn_points):
+        scan = ScanDPC(d_cut=D_CUT, n_clusters=K).fit(syn_points)
+        approx = ApproxDPC(d_cut=D_CUT, n_clusters=K).fit(syn_points)
+        # Even with 48 simulated threads, quadratic work keeps Scan behind
+        # single-threaded Approx-DPC on wall-clock (Figure 9 shape).
+        assert scan.parallel_profile_.speedup(48) > 10.0
+        assert (
+            scan.parallel_profile_.simulated_time(48)
+            > 0.1 * approx.parallel_profile_.simulated_time(48)
+        )
+
+    def test_lsh_ddp_load_imbalance_hurts_scaling(self, syn_points):
+        """The paper's critique: no load balancing limits LSH-DDP's speedup."""
+        lsh = LSHDDP(d_cut=D_CUT, n_clusters=K, seed=0).fit(syn_points)
+        approx = ApproxDPC(d_cut=D_CUT, n_clusters=K, seed=0).fit(syn_points)
+        assert approx.parallel_profile_.speedup(48) >= lsh.parallel_profile_.speedup(48)
+
+    def test_efficiency_parameter_reduces_speedup(self, syn_points):
+        result = ApproxDPC(d_cut=D_CUT, n_clusters=K).fit(syn_points)
+        profile = result.parallel_profile_
+        assert profile.speedup(48, efficiency=0.45) < profile.speedup(48, efficiency=1.0)
+
+
+class TestRealThreadsMatchSerial:
+    @pytest.mark.parametrize("algorithm_cls", [ApproxDPC, SApproxDPC, ExDPC])
+    def test_threaded_run_reproduces_serial_labels(self, syn_points, algorithm_cls):
+        serial = algorithm_cls(d_cut=D_CUT, n_clusters=K, seed=0, n_jobs=1).fit(syn_points)
+        threaded = algorithm_cls(d_cut=D_CUT, n_clusters=K, seed=0, n_jobs=4).fit(syn_points)
+        assert (serial.labels_ == threaded.labels_).all()

@@ -1,0 +1,126 @@
+"""Property-based tests on the DPC invariants shared by every algorithm."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.approx_dpc import ApproxDPC
+from repro.core.assignment import propagate_labels
+from repro.core.ex_dpc import ExDPC
+from repro.core.s_approx_dpc import SApproxDPC
+from repro.utils.distance import pairwise_distances
+
+
+@st.composite
+def clustered_points(draw):
+    """Two Gaussian clumps plus optional uniform stragglers (20-60 points)."""
+    rng = np.random.default_rng(draw(st.integers(0, 10_000)))
+    per_clump = draw(st.integers(min_value=8, max_value=25))
+    stragglers = draw(st.integers(min_value=0, max_value=10))
+    clump_a = rng.normal(loc=(0.0, 0.0), scale=2.0, size=(per_clump, 2))
+    clump_b = rng.normal(loc=(30.0, 30.0), scale=2.0, size=(per_clump, 2))
+    noise = rng.uniform(-10.0, 40.0, size=(stragglers, 2))
+    return np.vstack([clump_a, clump_b, noise])
+
+
+@settings(max_examples=25, deadline=None)
+@given(points=clustered_points(), d_cut=st.floats(min_value=2.0, max_value=8.0))
+def test_ex_dpc_dependent_point_is_always_denser(points, d_cut):
+    result = ExDPC(d_cut=d_cut, n_clusters=2).fit(points)
+    for i in range(points.shape[0]):
+        dep = result.dependent_[i]
+        if dep >= 0:
+            assert result.rho_[dep] > result.rho_[i]
+
+
+@settings(max_examples=25, deadline=None)
+@given(points=clustered_points(), d_cut=st.floats(min_value=2.0, max_value=8.0))
+def test_ex_dpc_delta_is_min_distance_to_denser_point(points, d_cut):
+    result = ExDPC(d_cut=d_cut, n_clusters=2).fit(points)
+    dists = pairwise_distances(points)
+    for i in range(points.shape[0]):
+        denser = np.flatnonzero(result.rho_ > result.rho_[i])
+        if denser.size == 0:
+            assert result.delta_[i] == np.inf
+        else:
+            assert np.isclose(result.delta_[i], dists[i, denser].min())
+
+
+@settings(max_examples=25, deadline=None)
+@given(points=clustered_points(), d_cut=st.floats(min_value=2.0, max_value=8.0))
+def test_approx_dpc_density_is_exact(points, d_cut):
+    result = ApproxDPC(d_cut=d_cut, n_clusters=2).fit(points)
+    dists = pairwise_distances(points)
+    expected = (dists < d_cut).sum(axis=1)
+    np.testing.assert_array_equal(result.rho_raw_, expected)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    points=clustered_points(),
+    d_cut=st.floats(min_value=2.0, max_value=8.0),
+    epsilon=st.floats(min_value=0.2, max_value=1.5),
+)
+def test_s_approx_dpc_labels_cover_every_point(points, d_cut, epsilon):
+    result = SApproxDPC(d_cut=d_cut, epsilon=epsilon, n_clusters=2).fit(points)
+    assert result.labels_.shape[0] == points.shape[0]
+    assert set(np.unique(result.labels_)) <= set(range(-1, result.n_clusters_))
+    # Every cluster label that was promised exists.
+    assert result.n_clusters_ == 2
+
+
+@settings(max_examples=25, deadline=None)
+@given(points=clustered_points(), d_cut=st.floats(min_value=2.0, max_value=8.0))
+def test_every_algorithm_assigns_each_non_noise_point_to_one_cluster(points, d_cut):
+    for model in (
+        ExDPC(d_cut=d_cut, n_clusters=2),
+        ApproxDPC(d_cut=d_cut, n_clusters=2),
+    ):
+        result = model.fit(points)
+        non_noise = result.labels_ >= 0
+        assert non_noise.sum() + result.n_noise == points.shape[0]
+        # Labels are dense in 0..k-1.
+        assert set(np.unique(result.labels_[non_noise])) <= set(
+            range(result.n_clusters_)
+        )
+
+
+@st.composite
+def dependency_forest(draw):
+    """A random forest encoded as a dependent-index array."""
+    n = draw(st.integers(min_value=2, max_value=60))
+    dependent = np.full(n, -1, dtype=np.intp)
+    for i in range(1, n):
+        # Points only ever depend on earlier points: guarantees acyclicity.
+        dependent[i] = draw(st.integers(min_value=-1, max_value=i - 1))
+    return dependent
+
+
+@settings(max_examples=80, deadline=None)
+@given(dependent=dependency_forest(), data=st.data())
+def test_propagate_labels_every_chain_ends_at_its_center(dependent, data):
+    n = dependent.shape[0]
+    roots = [i for i in range(n) if dependent[i] < 0]
+    centers = np.asarray(
+        data.draw(
+            st.lists(
+                st.sampled_from(list(range(n))), min_size=1, max_size=min(4, n), unique=True
+            )
+        ),
+        dtype=np.intp,
+    )
+    labels = propagate_labels(dependent, centers, np.zeros(n, dtype=bool))
+    for i in range(n):
+        if labels[i] < 0:
+            continue
+        # Walk up: the chain must reach the center with the same label without
+        # passing through another center first.
+        node = i
+        while node not in centers.tolist():
+            node = int(dependent[node])
+            assert node >= 0
+        assert labels[i] == labels[node]
+    # Roots that are not centers (and are not reachable from one) are noise.
+    for root in roots:
+        if root not in centers.tolist():
+            assert labels[root] == -1

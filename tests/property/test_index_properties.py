@@ -1,0 +1,101 @@
+"""Property-based tests (hypothesis) for the spatial index substrates."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.index.grid import UniformGrid
+from repro.index.kdtree import IncrementalKDTree, KDTree
+from repro.index.rtree import RTree
+from repro.index.sample_grid import SampledGrid
+from repro.utils.distance import point_to_points
+
+# Small, well-conditioned point clouds: 2-20 points, 1-4 dimensions, bounded
+# coordinates so distances stay numerically benign.
+point_clouds = st.integers(min_value=1, max_value=4).flatmap(
+    lambda dim: arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(min_value=2, max_value=20), st.just(dim)),
+        elements=st.floats(
+            min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+        ),
+    )
+)
+
+radii = st.floats(min_value=0.5, max_value=150.0, allow_nan=False)
+
+
+@settings(max_examples=60, deadline=None)
+@given(points=point_clouds, radius=radii, query_pos=st.integers(min_value=0, max_value=19))
+def test_kdtree_range_count_matches_bruteforce(points, radius, query_pos):
+    tree = KDTree(points, leaf_size=4)
+    query = points[query_pos % points.shape[0]]
+    expected = int(np.count_nonzero(point_to_points(query, points) < radius))
+    assert tree.range_count(query, radius, strict=True) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(points=point_clouds, query_pos=st.integers(min_value=0, max_value=19))
+def test_kdtree_nearest_neighbor_matches_bruteforce(points, query_pos):
+    tree = KDTree(points, leaf_size=4)
+    query = points[query_pos % points.shape[0]] + 0.25
+    dists = point_to_points(query, points)
+    _, got = tree.nearest_neighbor(query)
+    assert np.isclose(got, dists.min())
+
+
+@settings(max_examples=40, deadline=None)
+@given(points=point_clouds, radius=radii, query_pos=st.integers(min_value=0, max_value=19))
+def test_rtree_range_count_matches_bruteforce(points, radius, query_pos):
+    tree = RTree(points, leaf_capacity=4, fanout=3)
+    query = points[query_pos % points.shape[0]]
+    expected = int(np.count_nonzero(point_to_points(query, points) < radius))
+    assert tree.range_count(query, radius, strict=True) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(points=point_clouds)
+def test_incremental_kdtree_prefix_nn(points):
+    """After inserting a prefix, NN queries agree with brute force over that prefix."""
+    tree = IncrementalKDTree(points)
+    prefix = max(1, points.shape[0] // 2)
+    for index in range(prefix):
+        tree.insert(index)
+    query = points[-1]
+    dists = point_to_points(query, points[:prefix])
+    _, got = tree.nearest_neighbor(query)
+    assert np.isclose(got, dists.min())
+
+
+@settings(max_examples=50, deadline=None)
+@given(points=point_clouds, cell_side=st.floats(min_value=0.5, max_value=50.0))
+def test_uniform_grid_partitions_points(points, cell_side):
+    grid = UniformGrid(points, cell_side=cell_side)
+    covered = np.sort(np.concatenate([cell.point_indices for cell in grid]))
+    np.testing.assert_array_equal(covered, np.arange(points.shape[0]))
+
+
+@settings(max_examples=50, deadline=None)
+@given(points=point_clouds, d_cut=st.floats(min_value=1.0, max_value=100.0))
+def test_grid_cell_diameter_bounded_by_d_cut(points, d_cut):
+    """With cell side d_cut/sqrt(d), any two points in a cell are within d_cut."""
+    cell_side = d_cut / np.sqrt(points.shape[1])
+    grid = UniformGrid(points, cell_side=cell_side)
+    for cell in grid:
+        members = points[cell.point_indices]
+        if members.shape[0] < 2:
+            continue
+        diffs = members[:, None, :] - members[None, :, :]
+        max_dist = np.sqrt((diffs**2).sum(axis=2)).max()
+        assert max_dist <= d_cut + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(points=point_clouds, cell_side=st.floats(min_value=0.5, max_value=50.0))
+def test_sampled_grid_picked_points_are_unique_members(points, cell_side):
+    grid = SampledGrid(points, cell_side=cell_side)
+    picked = grid.picked_points()
+    assert np.unique(picked).shape[0] == picked.shape[0]
+    for cell in grid:
+        assert cell.picked in cell.point_indices

@@ -1,0 +1,63 @@
+"""Property-based tests for the clustering metrics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.rand_index import adjusted_rand_index, pair_confusion, rand_index
+
+labelings = st.lists(st.integers(min_value=-1, max_value=5), min_size=2, max_size=120)
+
+
+@settings(max_examples=100, deadline=None)
+@given(labels=labelings)
+def test_rand_index_is_one_for_identical_labelings(labels):
+    assert rand_index(labels, labels) == 1.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(labels=labelings, mapping_seed=st.integers(0, 1000))
+def test_rand_index_invariant_to_label_renaming(labels, mapping_seed):
+    rng = np.random.default_rng(mapping_seed)
+    unique = np.unique(labels)
+    renamed_values = rng.permutation(np.arange(100, 100 + unique.size))
+    mapping = dict(zip(unique.tolist(), renamed_values.tolist()))
+    renamed = [mapping[label] for label in labels]
+    assert rand_index(labels, renamed) == 1.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=labelings, b=labelings)
+def test_rand_index_symmetric_and_bounded(a, b):
+    if len(a) != len(b):
+        b = (b * (len(a) // len(b) + 1))[: len(a)]
+    left = rand_index(a, b)
+    right = rand_index(b, a)
+    assert left == right
+    assert 0.0 <= left <= 1.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=labelings, b=labelings)
+def test_pair_confusion_sums_to_pair_count(a, b):
+    if len(a) != len(b):
+        b = (b * (len(a) // len(b) + 1))[: len(a)]
+    n = len(a)
+    confusion = pair_confusion(a, b)
+    assert sum(confusion.values()) == n * (n - 1) // 2
+    assert all(value >= 0 for value in confusion.values())
+
+
+@settings(max_examples=100, deadline=None)
+@given(labels=labelings)
+def test_adjusted_rand_index_is_one_for_identical_labelings(labels):
+    assert adjusted_rand_index(labels, labels) == 1.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=labelings, b=labelings)
+def test_adjusted_rand_index_bounded(a, b):
+    if len(a) != len(b):
+        b = (b * (len(a) // len(b) + 1))[: len(a)]
+    value = adjusted_rand_index(a, b)
+    assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9

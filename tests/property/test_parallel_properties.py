@@ -1,0 +1,85 @@
+"""Property-based tests for the parallel runtime (partitioning and scheduling)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.partition import greedy_partition, hash_partition, partition_imbalance
+from repro.parallel.scheduler import dynamic_schedule_makespan, static_schedule_makespan
+
+cost_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False), min_size=0, max_size=200
+)
+worker_counts = st.integers(min_value=1, max_value=16)
+
+
+@settings(max_examples=100, deadline=None)
+@given(costs=cost_lists, workers=worker_counts)
+def test_greedy_partition_is_a_partition(costs, workers):
+    parts = greedy_partition(costs, workers)
+    assert len(parts) == workers
+    combined = np.sort(np.concatenate(parts)) if costs else np.empty(0)
+    np.testing.assert_array_equal(combined, np.arange(len(costs)))
+
+
+@settings(max_examples=100, deadline=None)
+@given(costs=cost_lists, workers=worker_counts)
+def test_makespan_bounds(costs, workers):
+    """Any schedule's makespan lies between max(cost) and sum(cost)."""
+    costs_arr = np.asarray(costs, dtype=float)
+    parts = greedy_partition(costs_arr, workers)
+    static = static_schedule_makespan(costs_arr, parts)
+    dynamic = dynamic_schedule_makespan(costs_arr, workers)
+    total = float(costs_arr.sum()) if costs_arr.size else 0.0
+    peak = float(costs_arr.max()) if costs_arr.size else 0.0
+    for makespan in (static, dynamic):
+        assert makespan <= total + 1e-9
+        assert makespan >= peak - 1e-9
+        assert makespan >= total / workers - 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(costs=cost_lists, workers=worker_counts)
+def test_greedy_satisfies_graham_bound(costs, workers):
+    """LPT's makespan stays within Graham's 4/3 factor of the trivial lower bound.
+
+    (Greedy is not *always* better than round-robin on adversarial inputs --
+    it is a heuristic -- but it always satisfies this worst-case guarantee,
+    which round-robin does not.)
+    """
+    costs_arr = np.asarray(costs, dtype=float)
+    greedy = static_schedule_makespan(costs_arr, greedy_partition(costs_arr, workers))
+    if costs_arr.size == 0:
+        assert greedy == 0.0
+        return
+    lower_bound = max(float(costs_arr.max()), float(costs_arr.sum()) / workers)
+    assert greedy <= (4.0 / 3.0) * lower_bound + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(costs=cost_lists, workers=worker_counts)
+def test_imbalance_at_least_one(costs, workers):
+    parts = greedy_partition(costs, workers)
+    assert partition_imbalance(costs, parts) >= 1.0 - 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(costs=cost_lists)
+def test_single_worker_makespan_is_total(costs):
+    costs_arr = np.asarray(costs, dtype=float)
+    total = float(costs_arr.sum()) if costs_arr.size else 0.0
+    # Summation order differs between the schedulers and numpy, so compare up
+    # to floating-point round-off.
+    assert dynamic_schedule_makespan(costs_arr, 1) == pytest.approx(total)
+    assert static_schedule_makespan(
+        costs_arr, greedy_partition(costs_arr, 1)
+    ) == pytest.approx(total)
+
+
+@settings(max_examples=60, deadline=None)
+@given(costs=cost_lists, fewer=st.integers(1, 8), more=st.integers(9, 32))
+def test_more_workers_never_hurt_dynamic_schedule(costs, fewer, more):
+    assert dynamic_schedule_makespan(costs, more) <= dynamic_schedule_makespan(
+        costs, fewer
+    ) + 1e-9

@@ -1,0 +1,135 @@
+"""Unit tests for repro.core.assignment (noise, centers, label propagation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import (
+    assign_clusters,
+    propagate_labels,
+    select_centers,
+    select_noise,
+)
+
+
+class TestSelectNoise:
+    def test_threshold(self):
+        rho = np.array([1, 5, 10, 3])
+        mask = select_noise(rho, 4)
+        np.testing.assert_array_equal(mask, [True, False, False, True])
+
+    def test_none_disables(self):
+        assert not select_noise(np.array([0, 0, 0]), None).any()
+
+
+class TestSelectCenters:
+    def test_threshold_mode(self):
+        rho = np.array([10.0, 9.0, 8.0, 7.0])
+        delta = np.array([np.inf, 100.0, 1.0, 1.0])
+        centers = select_centers(rho, delta, np.zeros(4, dtype=bool), delta_min=50.0)
+        assert set(centers.tolist()) == {0, 1}
+
+    def test_threshold_mode_excludes_noise(self):
+        rho = np.array([10.0, 9.0, 8.0])
+        delta = np.array([np.inf, 100.0, 100.0])
+        noise = np.array([False, True, False])
+        centers = select_centers(rho, delta, noise, delta_min=50.0)
+        assert set(centers.tolist()) == {0, 2}
+
+    def test_topk_mode(self):
+        rho = np.array([10.0, 9.0, 8.0, 1.0])
+        delta = np.array([np.inf, 50.0, 40.0, 60.0])
+        centers = select_centers(rho, delta, np.zeros(4, dtype=bool), n_clusters=2)
+        assert centers.shape[0] == 2
+        assert 0 in centers
+
+    def test_centers_ordered_by_density(self):
+        rho = np.array([5.0, 50.0, 20.0])
+        delta = np.array([100.0, np.inf, 100.0])
+        centers = select_centers(rho, delta, np.zeros(3, dtype=bool), delta_min=50.0)
+        assert centers.tolist() == [1, 2, 0]
+
+    def test_requires_exactly_one_mode(self):
+        rho = np.array([1.0, 2.0])
+        delta = np.array([1.0, 2.0])
+        with pytest.raises(ValueError):
+            select_centers(rho, delta, np.zeros(2, dtype=bool))
+        with pytest.raises(ValueError):
+            select_centers(
+                rho, delta, np.zeros(2, dtype=bool), delta_min=1.0, n_clusters=1
+            )
+
+    def test_no_centers_found(self):
+        rho = np.array([1.0, 2.0])
+        delta = np.array([0.5, 0.4])
+        with pytest.raises(ValueError, match="no cluster centers"):
+            select_centers(rho, delta, np.zeros(2, dtype=bool), delta_min=10.0)
+
+    def test_topk_too_large(self):
+        rho = np.array([1.0, 2.0])
+        delta = np.array([1.0, 2.0])
+        with pytest.raises(ValueError):
+            select_centers(rho, delta, np.zeros(2, dtype=bool), n_clusters=5)
+
+
+class TestPropagateLabels:
+    def test_simple_chain(self):
+        # 3 -> 2 -> 1 -> 0 (center).
+        dependent = np.array([-1, 0, 1, 2])
+        labels = propagate_labels(dependent, centers=np.array([0]), noise_mask=np.zeros(4, bool))
+        np.testing.assert_array_equal(labels, [0, 0, 0, 0])
+
+    def test_two_trees(self):
+        dependent = np.array([-1, 0, -1, 2, 3])
+        labels = propagate_labels(
+            dependent, centers=np.array([0, 2]), noise_mask=np.zeros(5, bool)
+        )
+        np.testing.assert_array_equal(labels, [0, 0, 1, 1, 1])
+
+    def test_noise_gets_minus_one_but_forwards_label(self):
+        # 2 -> 1 (noise) -> 0 (center): point 2 keeps cluster 0, point 1 is noise.
+        dependent = np.array([-1, 0, 1])
+        noise = np.array([False, True, False])
+        labels = propagate_labels(dependent, centers=np.array([0]), noise_mask=noise)
+        np.testing.assert_array_equal(labels, [0, -1, 0])
+
+    def test_root_without_center_is_noise(self):
+        dependent = np.array([-1, 0, -1, 2])
+        labels = propagate_labels(
+            dependent, centers=np.array([0]), noise_mask=np.zeros(4, bool)
+        )
+        np.testing.assert_array_equal(labels, [0, 0, -1, -1])
+
+    def test_cycle_is_handled(self):
+        # Pathological cycle 1 <-> 2 with no center on it.
+        dependent = np.array([-1, 2, 1])
+        labels = propagate_labels(
+            dependent, centers=np.array([0]), noise_mask=np.zeros(3, bool)
+        )
+        assert labels[0] == 0
+        assert labels[1] == -1
+        assert labels[2] == -1
+
+    def test_center_label_order_follows_center_list(self):
+        dependent = np.array([-1, -1, 0, 1])
+        labels = propagate_labels(
+            dependent, centers=np.array([1, 0]), noise_mask=np.zeros(4, bool)
+        )
+        assert labels[1] == 0
+        assert labels[0] == 1
+        assert labels[3] == 0
+        assert labels[2] == 1
+
+
+class TestAssignClusters:
+    def test_end_to_end(self):
+        rho = np.array([10.0, 9.0, 8.0, 1.0, 7.0])
+        rho_raw = np.array([10, 9, 8, 1, 7])
+        delta = np.array([np.inf, 100.0, 2.0, 1.0, 2.0])
+        dependent = np.array([-1, 0, 1, 2, 1])
+        labels, centers, noise = assign_clusters(
+            rho, rho_raw, delta, dependent, rho_min=2, delta_min=50.0, n_clusters=None
+        )
+        assert set(centers.tolist()) == {0, 1}
+        assert labels[3] == -1  # noise
+        assert labels[2] == labels[1]
+        assert labels[4] == labels[1]

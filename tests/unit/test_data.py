@@ -1,0 +1,165 @@
+"""Unit tests for repro.data (synthetic, gaussian, real_like)."""
+
+import numpy as np
+import pytest
+
+from repro.data.gaussian import S_SET_DOMAIN, generate_s_set
+from repro.data.real_like import REAL_DATASET_SPECS, generate_real_like
+from repro.data.synthetic import SYN_DOMAIN, add_noise, generate_blobs, generate_syn
+
+
+class TestGenerateBlobs:
+    def test_shapes(self):
+        centers = np.array([[0.0, 0.0], [50.0, 50.0]])
+        points, labels = generate_blobs(200, centers, spread=1.0, seed=0)
+        assert points.shape == (200, 2)
+        assert labels.shape == (200,)
+        assert set(np.unique(labels)) <= {0, 1}
+
+    def test_weights_bias_assignment(self):
+        centers = np.array([[0.0, 0.0], [100.0, 100.0]])
+        _, labels = generate_blobs(
+            1000, centers, spread=1.0, seed=1, weights=np.array([0.9, 0.1])
+        )
+        assert (labels == 0).sum() > (labels == 1).sum()
+
+    def test_clipped_to_domain(self):
+        centers = np.array([[0.0, 0.0]])
+        points, _ = generate_blobs(500, centers, spread=10.0, domain=(0.0, 5.0), seed=2)
+        assert points.min() >= 0.0
+        assert points.max() <= 5.0
+
+    def test_rejects_bad_centers(self):
+        with pytest.raises(ValueError):
+            generate_blobs(10, np.zeros(3), spread=1.0)
+
+
+class TestGenerateSyn:
+    def test_shape_and_domain(self):
+        points, labels = generate_syn(n_points=1000, seed=0)
+        assert points.shape == (1000, 2)
+        assert labels.shape == (1000,)
+        assert points.min() >= SYN_DOMAIN[0]
+        assert points.max() <= SYN_DOMAIN[1]
+
+    def test_number_of_peaks(self):
+        _, labels = generate_syn(n_points=1300, n_peaks=13, seed=1)
+        assert np.unique(labels).shape[0] == 13
+
+    def test_deterministic(self):
+        a, _ = generate_syn(n_points=500, seed=3)
+        b, _ = generate_syn(n_points=500, seed=3)
+        np.testing.assert_allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a, _ = generate_syn(n_points=500, seed=3)
+        b, _ = generate_syn(n_points=500, seed=4)
+        assert not np.allclose(a, b)
+
+    def test_peaks_are_spatially_separated(self):
+        points, labels = generate_syn(n_points=2000, n_peaks=4, seed=5)
+        centroids = np.array([points[labels == k].mean(axis=0) for k in range(4)])
+        pair_dists = np.sqrt(((centroids[:, None] - centroids[None]) ** 2).sum(axis=2))
+        np.fill_diagonal(pair_dists, np.inf)
+        # Centroids are far apart relative to the within-peak spread.
+        spreads = [points[labels == k].std() for k in range(4)]
+        assert pair_dists.min() > min(spreads)
+
+
+class TestAddNoise:
+    def test_counts_and_mask(self):
+        points, _ = generate_syn(n_points=500, seed=0)
+        noisy, mask = add_noise(points, 0.1, seed=1)
+        assert noisy.shape[0] == 550
+        assert mask.sum() == 50
+        np.testing.assert_allclose(noisy[:500], points)
+
+    def test_zero_rate(self):
+        points, _ = generate_syn(n_points=100, seed=0)
+        noisy, mask = add_noise(points, 0.0, seed=1)
+        assert noisy.shape[0] == 100
+        assert mask.sum() == 0
+
+    def test_explicit_domain(self):
+        points = np.zeros((10, 2))
+        noisy, mask = add_noise(points, 1.0, domain=(5.0, 6.0), seed=2)
+        noise = noisy[mask]
+        assert noise.min() >= 5.0
+        assert noise.max() <= 6.0
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            add_noise(np.zeros((10, 2)), 1.5)
+
+
+class TestGenerateSSet:
+    @pytest.mark.parametrize("overlap", [1, 2, 3, 4])
+    def test_levels_produce_15_clusters(self, overlap):
+        points, labels = generate_s_set(overlap, n_points=1500, seed=0)
+        assert points.shape == (1500, 2)
+        assert np.unique(labels).shape[0] == 15
+        assert points.min() >= S_SET_DOMAIN[0]
+        assert points.max() <= S_SET_DOMAIN[1]
+
+    def test_same_centers_across_levels(self):
+        points_1, labels_1 = generate_s_set(1, n_points=3000, seed=0)
+        points_4, labels_4 = generate_s_set(4, n_points=3000, seed=0)
+        centroid_1 = np.array([points_1[labels_1 == k].mean(axis=0) for k in range(15)])
+        centroid_4 = np.array([points_4[labels_4 == k].mean(axis=0) for k in range(15)])
+        # Same underlying centers; only the spread differs, so the centroids
+        # stay close relative to the domain.
+        assert np.abs(centroid_1 - centroid_4).max() < 0.1 * (S_SET_DOMAIN[1] - S_SET_DOMAIN[0])
+
+    def test_overlap_increases_spread(self):
+        points_1, labels_1 = generate_s_set(1, n_points=3000, seed=0)
+        points_4, labels_4 = generate_s_set(4, n_points=3000, seed=0)
+        spread_1 = np.mean([points_1[labels_1 == k].std() for k in range(15)])
+        spread_4 = np.mean([points_4[labels_4 == k].std() for k in range(15)])
+        assert spread_4 > spread_1
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            generate_s_set(5)
+
+
+class TestRealLike:
+    @pytest.mark.parametrize("name", sorted(REAL_DATASET_SPECS))
+    def test_dimensions_and_domain(self, name):
+        points, spec = generate_real_like(name, n_points=2000, seed=0)
+        assert points.shape == (2000, spec.dim)
+        low, high = spec.domain
+        assert points.min() >= low
+        assert points.max() <= high
+
+    def test_specs_match_paper(self):
+        assert REAL_DATASET_SPECS["airline"].dim == 3
+        assert REAL_DATASET_SPECS["household"].dim == 4
+        assert REAL_DATASET_SPECS["pamap2"].dim == 4
+        assert REAL_DATASET_SPECS["sensor"].dim == 8
+        assert REAL_DATASET_SPECS["airline"].paper_cardinality == 5_810_462
+
+    def test_default_cardinality(self):
+        points, spec = generate_real_like("sensor", seed=0)
+        assert points.shape[0] == spec.default_points
+
+    def test_case_insensitive(self):
+        points, spec = generate_real_like("Airline", n_points=100, seed=0)
+        assert spec.name == "Airline"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            generate_real_like("mnist")
+
+    def test_densities_are_skewed(self):
+        # Distances to the global centroid should show a heavy spread (dense
+        # cores plus diffuse background), not a uniform ball.
+        points, spec = generate_real_like("household", n_points=4000, seed=1)
+        from repro.index.kdtree import KDTree
+
+        tree = KDTree(points)
+        rng = np.random.default_rng(0)
+        sample = rng.choice(points.shape[0], size=200, replace=False)
+        counts = np.array(
+            [tree.range_count(points[i], spec.default_d_cut) for i in sample]
+        )
+        assert counts.max() > 5 * max(counts.min(), 1)

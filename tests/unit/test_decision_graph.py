@@ -1,0 +1,86 @@
+"""Unit tests for repro.core.decision_graph."""
+
+import numpy as np
+import pytest
+
+from repro.core.decision_graph import DecisionGraph
+
+
+@pytest.fixture
+def simple_graph():
+    # Three obvious centers (high rho, high delta), the rest ordinary points.
+    rho = np.array([100.0, 90.0, 80.0, 50.0, 40.0, 30.0, 20.0, 10.0])
+    delta = np.array([np.inf, 500.0, 400.0, 5.0, 4.0, 6.0, 3.0, 2.0])
+    return DecisionGraph(rho=rho, delta=delta)
+
+
+class TestConstruction:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionGraph(rho=np.ones(3), delta=np.ones(4))
+
+    def test_n_points(self, simple_graph):
+        assert simple_graph.n_points == 8
+
+
+class TestGamma:
+    def test_infinite_delta_replaced(self, simple_graph):
+        gamma = simple_graph.gamma()
+        assert np.isfinite(gamma).all()
+        # The densest point keeps the highest score.
+        assert int(np.argmax(gamma)) == 0
+
+    def test_gamma_is_product(self):
+        graph = DecisionGraph(rho=np.array([2.0, 3.0]), delta=np.array([5.0, 7.0]))
+        np.testing.assert_allclose(graph.gamma(), [10.0, 21.0])
+
+
+class TestSuggestCenters:
+    def test_selects_the_obvious_centers(self, simple_graph):
+        centers = simple_graph.suggest_centers(3)
+        assert set(centers.tolist()) == {0, 1, 2}
+
+    def test_respects_rho_min(self, simple_graph):
+        centers = simple_graph.suggest_centers(2, rho_min=85.0)
+        assert set(centers.tolist()) == {0, 1}
+
+    def test_too_many_centers_rejected(self, simple_graph):
+        with pytest.raises(ValueError):
+            simple_graph.suggest_centers(5, rho_min=85.0)
+
+    def test_non_positive_k_rejected(self, simple_graph):
+        with pytest.raises(ValueError):
+            simple_graph.suggest_centers(0)
+
+
+class TestSuggestThresholds:
+    def test_threshold_separates_k_centers(self, simple_graph):
+        rho_min, delta_min = simple_graph.suggest_thresholds(3)
+        delta = simple_graph._finite_delta()
+        selected = np.count_nonzero(
+            (simple_graph.rho >= rho_min) & (delta >= delta_min)
+        )
+        assert selected == 3
+
+    def test_threshold_monotone_in_k(self, simple_graph):
+        _, delta_3 = simple_graph.suggest_thresholds(3)
+        _, delta_1 = simple_graph.suggest_thresholds(1)
+        assert delta_1 >= delta_3
+
+    def test_invalid_k(self, simple_graph):
+        with pytest.raises(ValueError):
+            simple_graph.suggest_thresholds(0)
+        with pytest.raises(ValueError):
+            simple_graph.suggest_thresholds(100)
+
+
+class TestTextRendering:
+    def test_contains_axes_and_points(self, simple_graph):
+        text = simple_graph.to_text(width=40, height=10)
+        assert "delta" in text
+        assert "rho" in text
+        assert "*" in text
+
+    def test_rejects_tiny_canvas(self, simple_graph):
+        with pytest.raises(ValueError):
+            simple_graph.to_text(width=5, height=2)

@@ -1,0 +1,108 @@
+"""Unit tests for repro.utils.distance."""
+
+import numpy as np
+import pytest
+
+from repro.utils.distance import (
+    euclidean,
+    iter_pairwise_chunks,
+    pairwise_distances,
+    pairwise_sq_distances,
+    point_to_points,
+    point_to_points_sq,
+    range_count_bruteforce,
+)
+
+
+class TestEuclidean:
+    def test_known_distance(self):
+        assert euclidean([0.0, 0.0], [3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_zero_distance(self):
+        assert euclidean([1.5, -2.0], [1.5, -2.0]) == 0.0
+
+    def test_one_dimensional(self):
+        assert euclidean([2.0], [7.0]) == pytest.approx(5.0)
+
+    def test_symmetry(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([-4.0, 0.5, 9.0])
+        assert euclidean(a, b) == pytest.approx(euclidean(b, a))
+
+
+class TestPointToPoints:
+    def test_matches_loop(self):
+        rng = np.random.default_rng(0)
+        point = rng.normal(size=3)
+        points = rng.normal(size=(50, 3))
+        expected = np.array([euclidean(point, row) for row in points])
+        np.testing.assert_allclose(point_to_points(point, points), expected)
+
+    def test_squared_version(self):
+        rng = np.random.default_rng(1)
+        point = rng.normal(size=2)
+        points = rng.normal(size=(20, 2))
+        np.testing.assert_allclose(
+            point_to_points_sq(point, points), point_to_points(point, points) ** 2
+        )
+
+    def test_single_row_input(self):
+        result = point_to_points(np.array([0.0, 0.0]), np.array([3.0, 4.0]))
+        assert result.shape == (1,)
+        assert result[0] == pytest.approx(5.0)
+
+
+class TestPairwise:
+    def test_self_distances_zero_diagonal(self):
+        rng = np.random.default_rng(2)
+        points = rng.normal(size=(30, 4))
+        dists = pairwise_distances(points)
+        # The |x|^2 + |y|^2 - 2<x,y> expansion leaves tiny residuals on the
+        # diagonal; they must stay numerically negligible.
+        np.testing.assert_allclose(np.diag(dists), 0.0, atol=1e-6)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(3)
+        points = rng.normal(size=(25, 3))
+        dists = pairwise_distances(points)
+        np.testing.assert_allclose(dists, dists.T, atol=1e-9)
+
+    def test_two_sets(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(size=(10, 2))
+        b = rng.normal(size=(15, 2))
+        dists = pairwise_distances(a, b)
+        assert dists.shape == (10, 15)
+        np.testing.assert_allclose(dists[3, 7], euclidean(a[3], b[7]))
+
+    def test_no_negative_squared_distances(self):
+        # Nearly identical large-coordinate points exercise the cancellation path.
+        points = np.full((5, 3), 1e9) + np.random.default_rng(5).normal(size=(5, 3))
+        sq = pairwise_sq_distances(points)
+        assert (sq >= 0.0).all()
+
+
+class TestChunks:
+    def test_chunks_reassemble_full_matrix(self):
+        rng = np.random.default_rng(6)
+        points = rng.normal(size=(47, 3))
+        full = pairwise_distances(points)
+        rebuilt = np.zeros_like(full)
+        for rows, block in iter_pairwise_chunks(points, chunk_size=10):
+            rebuilt[rows] = block
+        np.testing.assert_allclose(rebuilt, full)
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            list(iter_pairwise_chunks(np.zeros((4, 2)), chunk_size=0))
+
+
+class TestRangeCountBruteforce:
+    def test_strict_excludes_boundary(self):
+        points = np.array([[0.0], [1.0], [2.0]])
+        assert range_count_bruteforce(points, np.array([0.0]), 1.0, strict=True) == 1
+        assert range_count_bruteforce(points, np.array([0.0]), 1.0, strict=False) == 2
+
+    def test_counts_self(self):
+        points = np.array([[0.0, 0.0], [10.0, 10.0]])
+        assert range_count_bruteforce(points, points[0], 0.5, strict=True) == 1

@@ -1,0 +1,151 @@
+"""Unit tests for the shared estimator lifecycle (repro.core.framework)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ex_dpc import ExDPC
+from repro.baselines.scan import ScanDPC
+
+
+class TestParameterValidation:
+    def test_requires_center_selection_mode(self):
+        with pytest.raises(ValueError, match="delta_min"):
+            ExDPC(d_cut=1.0)
+
+    def test_delta_min_and_n_clusters_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            ExDPC(d_cut=1.0, delta_min=5.0, n_clusters=3)
+
+    def test_delta_min_must_exceed_d_cut(self):
+        with pytest.raises(ValueError, match="must exceed d_cut"):
+            ExDPC(d_cut=10.0, delta_min=5.0)
+
+    def test_invalid_d_cut(self):
+        with pytest.raises(ValueError):
+            ExDPC(d_cut=-1.0, n_clusters=2)
+
+    def test_invalid_rho_min(self):
+        with pytest.raises(ValueError):
+            ExDPC(d_cut=1.0, n_clusters=2, rho_min=-3)
+
+    def test_invalid_n_clusters(self):
+        with pytest.raises(ValueError):
+            ExDPC(d_cut=1.0, n_clusters=0)
+
+    def test_invalid_n_jobs(self):
+        with pytest.raises(ValueError):
+            ExDPC(d_cut=1.0, n_clusters=2, n_jobs=-2)
+
+    def test_get_params_and_repr(self):
+        model = ExDPC(d_cut=2.0, n_clusters=3, rho_min=5)
+        params = model.get_params()
+        assert params["d_cut"] == 2.0
+        assert params["n_clusters"] == 3
+        assert params["algorithm"] == "Ex-DPC"
+        assert "ExDPC" in repr(model)
+        assert "d_cut=2.0" in repr(model)
+
+
+class TestFitContract:
+    def test_result_fields_are_consistent(self, small_blobs):
+        points, _ = small_blobs
+        result = ExDPC(d_cut=5_000.0, rho_min=3, n_clusters=3).fit(points)
+        n = points.shape[0]
+        assert result.labels_.shape == (n,)
+        assert result.rho_.shape == (n,)
+        assert result.rho_raw_.shape == (n,)
+        assert result.delta_.shape == (n,)
+        assert result.dependent_.shape == (n,)
+        assert result.noise_mask_.shape == (n,)
+        assert result.exact_dependency_mask_.shape == (n,)
+        assert result.n_clusters_ == 3
+        assert result.centers_.shape == (3,)
+        assert result.n_points == n
+
+    def test_timings_and_work_recorded(self, small_blobs):
+        points, _ = small_blobs
+        result = ExDPC(d_cut=5_000.0, n_clusters=3).fit(points)
+        for key in ("index_build", "local_density", "dependency", "assignment", "total"):
+            assert key in result.timings_
+            assert result.timings_[key] >= 0.0
+        for key in (
+            "density_distance_calcs",
+            "dependency_distance_calcs",
+            "total_distance_calcs",
+        ):
+            assert key in result.work_
+            assert result.work_[key] > 0.0
+        assert result.memory_bytes_ > 0
+
+    def test_rejects_too_few_points(self):
+        with pytest.raises(ValueError):
+            ExDPC(d_cut=1.0, n_clusters=1).fit([[0.0, 0.0]])
+
+    def test_fit_predict_matches_fit(self, small_blobs):
+        points, _ = small_blobs
+        model = ExDPC(d_cut=5_000.0, n_clusters=3, seed=0)
+        labels = model.fit_predict(points)
+        np.testing.assert_array_equal(labels, model.result_.labels_)
+
+    def test_deterministic_with_seed(self, small_blobs):
+        points, _ = small_blobs
+        a = ExDPC(d_cut=5_000.0, n_clusters=3, seed=7).fit(points)
+        b = ExDPC(d_cut=5_000.0, n_clusters=3, seed=7).fit(points)
+        np.testing.assert_array_equal(a.labels_, b.labels_)
+
+    def test_centers_have_no_dependent_point(self, small_blobs):
+        points, _ = small_blobs
+        result = ExDPC(d_cut=5_000.0, n_clusters=3).fit(points)
+        assert (result.dependent_[result.centers_] == -1).all()
+
+    def test_record_costs_false_disables_profile(self, small_blobs):
+        points, _ = small_blobs
+        result = ExDPC(d_cut=5_000.0, n_clusters=3, record_costs=False).fit(points)
+        assert result.parallel_profile_.phases == []
+
+    def test_profile_phases_recorded_by_default(self, small_blobs):
+        points, _ = small_blobs
+        result = ExDPC(d_cut=5_000.0, n_clusters=3).fit(points)
+        names = [phase.name for phase in result.parallel_profile_.phases]
+        assert any(name.startswith("local_density") for name in names)
+        assert any(name.startswith("dependency") for name in names)
+
+    def test_profile_costs_scaled_to_measured_seconds(self, small_blobs):
+        points, _ = small_blobs
+        result = ScanDPC(d_cut=5_000.0, n_clusters=3).fit(points)
+        profile = result.parallel_profile_
+        density_phases = [
+            phase for phase in profile.phases if phase.name.startswith("local_density")
+        ]
+        recorded = sum(phase.total_cost for phase in density_phases)
+        assert recorded == pytest.approx(result.timings_["local_density"], rel=0.05)
+
+    def test_threaded_execution_matches_serial(self, small_blobs):
+        points, _ = small_blobs
+        serial = ScanDPC(d_cut=5_000.0, n_clusters=3, seed=0, n_jobs=1).fit(points)
+        threaded = ScanDPC(d_cut=5_000.0, n_clusters=3, seed=0, n_jobs=4).fit(points)
+        np.testing.assert_array_equal(serial.labels_, threaded.labels_)
+
+
+class TestResultHelpers:
+    def test_cluster_sizes_and_members(self, small_blobs):
+        points, _ = small_blobs
+        result = ExDPC(d_cut=5_000.0, n_clusters=3).fit(points)
+        sizes = result.cluster_sizes()
+        assert sum(sizes.values()) == points.shape[0] - result.n_noise
+        for label, size in sizes.items():
+            assert result.cluster_members(label).shape[0] == size
+
+    def test_summary_mentions_algorithm(self, small_blobs):
+        points, _ = small_blobs
+        result = ExDPC(d_cut=5_000.0, n_clusters=3).fit(points)
+        assert "Ex-DPC" in result.summary()
+        assert "clusters" in result.summary()
+
+    def test_decision_graph_from_result(self, small_blobs):
+        points, _ = small_blobs
+        result = ExDPC(d_cut=5_000.0, n_clusters=3).fit(points)
+        graph = result.decision_graph()
+        assert graph.n_points == points.shape[0]
+        suggested = graph.suggest_centers(3)
+        assert set(suggested.tolist()) == set(result.centers_.tolist())

@@ -1,0 +1,119 @@
+"""Unit tests for repro.index.grid and repro.index.sample_grid."""
+
+import numpy as np
+import pytest
+
+from repro.index.grid import UniformGrid
+from repro.index.sample_grid import SampledGrid
+from repro.utils.distance import euclidean
+
+
+@pytest.fixture(scope="module")
+def points_2d():
+    rng = np.random.default_rng(31)
+    return rng.uniform(0.0, 100.0, size=(300, 2))
+
+
+class TestUniformGrid:
+    def test_every_point_in_exactly_one_cell(self, points_2d):
+        grid = UniformGrid(points_2d, cell_side=10.0)
+        seen = np.zeros(points_2d.shape[0], dtype=int)
+        for cell in grid:
+            seen[cell.point_indices] += 1
+        assert (seen == 1).all()
+
+    def test_same_cell_points_within_diagonal(self, points_2d):
+        d_cut = 15.0
+        cell_side = d_cut / np.sqrt(points_2d.shape[1])
+        grid = UniformGrid(points_2d, cell_side=cell_side)
+        for cell in grid:
+            members = points_2d[cell.point_indices]
+            for i in range(min(len(members), 5)):
+                for j in range(len(members)):
+                    assert euclidean(members[i], members[j]) <= d_cut + 1e-9
+
+    def test_cell_of_point_consistent_with_key(self, points_2d):
+        grid = UniformGrid(points_2d, cell_side=7.0)
+        for index in range(0, 300, 37):
+            cell = grid.cell_of_point(index)
+            assert index in cell.point_indices
+            assert grid.key_of_point(index) == cell.key
+
+    def test_key_of_coords_matches_membership(self, points_2d):
+        grid = UniformGrid(points_2d, cell_side=9.0)
+        key = grid.key_of_coords(points_2d[17])
+        assert key == grid.key_of_point(17)
+
+    def test_max_center_dist_bounds_members(self, points_2d):
+        grid = UniformGrid(points_2d, cell_side=12.0)
+        for cell in grid:
+            dists = np.sqrt(((points_2d[cell.point_indices] - cell.center) ** 2).sum(axis=1))
+            assert dists.max() <= cell.max_center_dist + 1e-9
+
+    def test_negative_coordinates(self):
+        points = np.array([[-5.3, -5.3], [-5.1, -5.2], [5.0, 5.0]])
+        grid = UniformGrid(points, cell_side=1.0)
+        assert grid.num_cells == 2
+        assert grid.key_of_point(0) == grid.key_of_point(1) == (-6, -6)
+
+    def test_num_cells_and_len(self, points_2d):
+        grid = UniformGrid(points_2d, cell_side=25.0)
+        assert len(grid) == grid.num_cells == len(grid.cells())
+
+    def test_contains(self, points_2d):
+        grid = UniformGrid(points_2d, cell_side=25.0)
+        key = grid.key_of_point(0)
+        assert key in grid
+        assert (999, 999) not in grid
+
+    def test_memory_bytes_positive(self, points_2d):
+        assert UniformGrid(points_2d, cell_side=10.0).memory_bytes() > 0
+
+    def test_invalid_cell_side(self, points_2d):
+        with pytest.raises(ValueError):
+            UniformGrid(points_2d, cell_side=0.0)
+
+    def test_smaller_cells_mean_more_cells(self, points_2d):
+        coarse = UniformGrid(points_2d, cell_side=50.0)
+        fine = UniformGrid(points_2d, cell_side=5.0)
+        assert fine.num_cells > coarse.num_cells
+
+
+class TestSampledGrid:
+    def test_one_picked_point_per_cell(self, points_2d):
+        grid = SampledGrid(points_2d, cell_side=10.0)
+        picked = grid.picked_points()
+        assert picked.shape[0] == grid.num_cells
+        assert np.unique(picked).shape[0] == picked.shape[0]
+
+    def test_picked_point_belongs_to_its_cell(self, points_2d):
+        grid = SampledGrid(points_2d, cell_side=10.0)
+        for cell in grid:
+            assert cell.picked in cell.point_indices
+
+    def test_picked_is_closest_to_center(self, points_2d):
+        grid = SampledGrid(points_2d, cell_side=20.0)
+        cell_side = 20.0
+        for cell in grid:
+            center = (np.asarray(cell.key, dtype=float) * cell_side) + cell_side / 2.0
+            dists = np.sqrt(((points_2d[cell.point_indices] - center) ** 2).sum(axis=1))
+            picked_dist = np.sqrt(((points_2d[cell.picked] - center) ** 2).sum())
+            assert picked_dist <= dists.min() + 1e-9
+
+    def test_every_point_covered(self, points_2d):
+        grid = SampledGrid(points_2d, cell_side=13.0)
+        covered = np.concatenate([cell.point_indices for cell in grid])
+        assert np.sort(covered).tolist() == list(range(points_2d.shape[0]))
+
+    def test_cell_of_point(self, points_2d):
+        grid = SampledGrid(points_2d, cell_side=13.0)
+        cell = grid.cell_of_point(42)
+        assert 42 in cell.point_indices
+
+    def test_larger_epsilon_fewer_cells(self, points_2d):
+        fine = SampledGrid(points_2d, cell_side=2.0)
+        coarse = SampledGrid(points_2d, cell_side=30.0)
+        assert coarse.num_cells < fine.num_cells
+
+    def test_memory_bytes_positive(self, points_2d):
+        assert SampledGrid(points_2d, cell_side=10.0).memory_bytes() > 0

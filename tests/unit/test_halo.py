@@ -1,0 +1,91 @@
+"""Unit tests for the cluster-halo extension (repro.core.halo)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExDPC
+from repro.core.halo import apply_halo, compute_halo
+from repro.data import generate_blobs
+
+
+@pytest.fixture(scope="module")
+def overlapping_blobs():
+    centers = np.array([[30_000.0, 50_000.0], [70_000.0, 50_000.0]])
+    points, labels = generate_blobs(600, centers, spread=9_000.0, seed=9)
+    return points, labels
+
+
+@pytest.fixture(scope="module")
+def overlapping_result(overlapping_blobs):
+    points, _ = overlapping_blobs
+    model = ExDPC(d_cut=5_000.0, rho_min=2, n_clusters=2, seed=0)
+    return model.fit(points), 5_000.0
+
+
+class TestComputeHalo:
+    def test_halo_points_lie_between_clusters(self, overlapping_blobs, overlapping_result):
+        points, _ = overlapping_blobs
+        result, d_cut = overlapping_result
+        halo = compute_halo(points, result, d_cut)
+        assert halo.dtype == bool
+        assert 0 < halo.sum() < points.shape[0]
+        # The halo reaches into the overlap region between the two blobs: some
+        # halo points lie within one blob standard deviation of the midline.
+        midline_distance = np.abs(points[:, 0] - 50_000.0)
+        assert (midline_distance[halo] < 9_000.0).any()
+        # Core points (non-halo cluster members) keep the density peaks.
+        core = ~halo & (result.labels_ >= 0)
+        assert result.rho_raw_[core].max() == result.rho_raw_.max()
+
+    def test_noise_points_never_in_halo(self, overlapping_blobs):
+        points, _ = overlapping_blobs
+        result = ExDPC(d_cut=5_000.0, rho_min=10, n_clusters=2, seed=0).fit(points)
+        halo = compute_halo(points, result, 5_000.0)
+        assert not halo[result.noise_mask_].any()
+
+    def test_well_separated_clusters_have_empty_halo(self):
+        centers = np.array([[10_000.0, 10_000.0], [90_000.0, 90_000.0]])
+        points, _ = generate_blobs(300, centers, spread=2_000.0, seed=3)
+        result = ExDPC(d_cut=3_000.0, n_clusters=2, seed=0).fit(points)
+        halo = compute_halo(points, result, 3_000.0)
+        assert halo.sum() == 0
+
+    def test_halo_density_below_core_density(self, overlapping_blobs, overlapping_result):
+        points, _ = overlapping_blobs
+        result, d_cut = overlapping_result
+        halo = compute_halo(points, result, d_cut)
+        if halo.any() and (~halo & (result.labels_ >= 0)).any():
+            assert (
+                result.rho_raw_[halo].mean()
+                < result.rho_raw_[~halo & (result.labels_ >= 0)].mean()
+            )
+
+    def test_length_mismatch_rejected(self, overlapping_blobs, overlapping_result):
+        points, _ = overlapping_blobs
+        result, d_cut = overlapping_result
+        with pytest.raises(ValueError):
+            compute_halo(points[:10], result, d_cut)
+
+
+class TestApplyHalo:
+    def test_demotes_halo_points_to_noise(self, overlapping_blobs, overlapping_result):
+        points, _ = overlapping_blobs
+        result, d_cut = overlapping_result
+        halo = compute_halo(points, result, d_cut)
+        labels = apply_halo(result, halo)
+        assert (labels[halo] == -1).all()
+        untouched = ~halo
+        np.testing.assert_array_equal(labels[untouched], result.labels_[untouched])
+
+    def test_original_labels_unchanged(self, overlapping_blobs, overlapping_result):
+        points, _ = overlapping_blobs
+        result, d_cut = overlapping_result
+        halo = compute_halo(points, result, d_cut)
+        before = result.labels_.copy()
+        apply_halo(result, halo)
+        np.testing.assert_array_equal(result.labels_, before)
+
+    def test_wrong_mask_length(self, overlapping_result):
+        result, _ = overlapping_result
+        with pytest.raises(ValueError):
+            apply_halo(result, np.zeros(3, dtype=bool))

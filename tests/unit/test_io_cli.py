@@ -1,0 +1,116 @@
+"""Unit tests for repro.io and repro.cli."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import ExDPC
+from repro.io import load_points, load_result_labels, save_points, save_result
+
+
+class TestPointsIO:
+    def test_csv_round_trip(self, tmp_path):
+        points = np.random.default_rng(0).uniform(size=(40, 3))
+        path = save_points(points, tmp_path / "points.csv")
+        loaded = load_points(path)
+        np.testing.assert_allclose(loaded, points, rtol=1e-8)
+
+    def test_npy_round_trip(self, tmp_path):
+        points = np.random.default_rng(1).uniform(size=(25, 2))
+        path = save_points(points, tmp_path / "points.npy")
+        loaded = load_points(path)
+        np.testing.assert_allclose(loaded, points)
+
+    def test_headerless_csv(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        np.savetxt(path, np.arange(12, dtype=float).reshape(6, 2), delimiter=",")
+        loaded = load_points(path)
+        assert loaded.shape == (6, 2)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_points(tmp_path / "absent.csv")
+
+
+class TestResultIO:
+    def test_save_and_reload_labels(self, tmp_path, small_blobs):
+        points, _ = small_blobs
+        result = ExDPC(d_cut=5_000.0, rho_min=3, n_clusters=3).fit(points)
+        path = save_result(result, tmp_path / "result.csv")
+        labels = load_result_labels(path)
+        np.testing.assert_array_equal(labels, result.labels_)
+
+    def test_metadata_sidecar(self, tmp_path, small_blobs):
+        points, _ = small_blobs
+        result = ExDPC(d_cut=5_000.0, rho_min=3, n_clusters=3).fit(points)
+        path = save_result(result, tmp_path / "result.csv")
+        metadata = json.loads(path.with_suffix(".json").read_text())
+        assert metadata["algorithm"] == "Ex-DPC"
+        assert metadata["n_clusters"] == 3
+        assert len(metadata["centers"]) == 3
+        assert metadata["n_points"] == points.shape[0]
+
+    def test_missing_result_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_result_labels(tmp_path / "absent.csv")
+
+
+class TestCLI:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_then_cluster(self, tmp_path, capsys):
+        data_path = tmp_path / "syn.csv"
+        assert main(
+            [
+                "generate",
+                "syn",
+                "--sampling-rate",
+                "0.1",
+                "--output",
+                str(data_path),
+            ]
+        ) == 0
+        assert data_path.exists()
+
+        labels_path = tmp_path / "labels.csv"
+        code = main(
+            [
+                "cluster",
+                str(data_path),
+                "--algorithm",
+                "approx-dpc",
+                "--d-cut",
+                "3000",
+                "--n-clusters",
+                "5",
+                "--output",
+                str(labels_path),
+            ]
+        )
+        assert code == 0
+        assert labels_path.exists()
+        assert labels_path.with_suffix(".json").exists()
+        output = capsys.readouterr().out
+        assert "Approx-DPC" in output
+
+    def test_cluster_requires_center_mode(self, tmp_path, capsys):
+        data_path = tmp_path / "points.csv"
+        save_points(np.random.default_rng(2).uniform(size=(30, 2)), data_path)
+        code = main(["cluster", str(data_path), "--d-cut", "0.5"])
+        assert code == 2
+        assert "delta-min" in capsys.readouterr().err
+
+    def test_info_lists_algorithms(self, capsys):
+        assert main(["info"]) == 0
+        output = capsys.readouterr().out
+        assert "approx-dpc" in output
+        assert "sensor" in output
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0

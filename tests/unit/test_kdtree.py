@@ -1,0 +1,235 @@
+"""Unit tests for repro.index.kdtree (bulk and incremental trees)."""
+
+import numpy as np
+import pytest
+
+from repro.index.kdtree import IncrementalKDTree, KDTree
+from repro.utils.counters import WorkCounter
+from repro.utils.distance import point_to_points
+
+
+def brute_range(points, query, radius, strict=True):
+    dists = point_to_points(query, points)
+    mask = dists < radius if strict else dists <= radius
+    return np.flatnonzero(mask)
+
+
+def brute_nn(points, query, exclude=None):
+    dists = point_to_points(query, points)
+    if exclude is not None:
+        dists[exclude] = np.inf
+    idx = int(np.argmin(dists))
+    return idx, float(dists[idx])
+
+
+@pytest.fixture(scope="module")
+def tree_and_points():
+    rng = np.random.default_rng(7)
+    points = rng.uniform(0.0, 100.0, size=(400, 3))
+    return KDTree(points, leaf_size=16), points
+
+
+class TestKDTreeConstruction:
+    def test_properties(self, tree_and_points):
+        tree, points = tree_and_points
+        assert tree.size == 400
+        assert tree.dim == 3
+        assert tree.leaf_size == 16
+        assert tree.node_count > 1
+        assert tree.memory_bytes() > 0
+
+    @pytest.mark.parametrize("leaf_size", [1, 4, 64, 1000])
+    def test_any_leaf_size_builds(self, leaf_size):
+        rng = np.random.default_rng(8)
+        points = rng.normal(size=(100, 2))
+        tree = KDTree(points, leaf_size=leaf_size)
+        assert tree.size == 100
+
+    def test_duplicate_points_do_not_recurse_forever(self):
+        points = np.tile([[1.0, 2.0]], (200, 1))
+        tree = KDTree(points, leaf_size=4)
+        assert tree.range_count([1.0, 2.0], 0.5, strict=True) == 200
+
+    def test_invalid_leaf_size(self):
+        with pytest.raises(ValueError):
+            KDTree(np.zeros((5, 2)), leaf_size=0)
+
+    def test_single_point(self):
+        tree = KDTree([[3.0, 4.0]])
+        idx, dist = tree.nearest_neighbor([0.0, 0.0])
+        assert idx == 0
+        assert dist == pytest.approx(5.0)
+
+
+class TestRangeQueries:
+    @pytest.mark.parametrize("radius", [1.0, 5.0, 20.0, 80.0])
+    def test_range_search_matches_bruteforce(self, tree_and_points, radius):
+        tree, points = tree_and_points
+        rng = np.random.default_rng(9)
+        for _ in range(10):
+            query = rng.uniform(0.0, 100.0, size=3)
+            expected = set(brute_range(points, query, radius).tolist())
+            got = set(tree.range_search(query, radius).tolist())
+            assert got == expected
+
+    @pytest.mark.parametrize("strict", [True, False])
+    def test_range_count_matches_search(self, tree_and_points, strict):
+        tree, points = tree_and_points
+        rng = np.random.default_rng(10)
+        for _ in range(10):
+            query = rng.uniform(0.0, 100.0, size=3)
+            assert tree.range_count(query, 12.0, strict=strict) == len(
+                tree.range_search(query, 12.0, strict=strict)
+            )
+
+    def test_boundary_strictness(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0]])
+        tree = KDTree(points)
+        assert tree.range_count([0.0, 0.0], 1.0, strict=True) == 1
+        assert tree.range_count([0.0, 0.0], 1.0, strict=False) == 2
+
+    def test_empty_result(self, tree_and_points):
+        tree, _ = tree_and_points
+        result = tree.range_search([1e6, 1e6, 1e6], 1.0)
+        assert result.size == 0
+
+    def test_dimension_mismatch(self, tree_and_points):
+        tree, _ = tree_and_points
+        with pytest.raises(ValueError, match="dimension"):
+            tree.range_search([0.0, 0.0], 1.0)
+        with pytest.raises(ValueError, match="dimension"):
+            tree.range_count([0.0, 0.0], 1.0)
+
+    def test_invalid_radius(self, tree_and_points):
+        tree, _ = tree_and_points
+        with pytest.raises(ValueError):
+            tree.range_count([0.0, 0.0, 0.0], 0.0)
+
+
+class TestNearestNeighbor:
+    def test_matches_bruteforce(self, tree_and_points):
+        tree, points = tree_and_points
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            query = rng.uniform(0.0, 100.0, size=3)
+            expected_idx, expected_dist = brute_nn(points, query)
+            idx, dist = tree.nearest_neighbor(query)
+            assert dist == pytest.approx(expected_dist)
+            assert point_to_points(query, points[[idx]])[0] == pytest.approx(expected_dist)
+            assert idx == expected_idx or np.isclose(
+                point_to_points(query, points[[expected_idx]])[0], dist
+            )
+
+    def test_exclude_self(self, tree_and_points):
+        tree, points = tree_and_points
+        idx, dist = tree.nearest_neighbor(points[5], exclude=5)
+        assert idx != 5
+        assert dist > 0.0
+
+    def test_mask_restricts_candidates(self, tree_and_points):
+        tree, points = tree_and_points
+        mask = np.zeros(points.shape[0], dtype=bool)
+        mask[100:110] = True
+        idx, _ = tree.nearest_neighbor(points[0], mask=mask)
+        assert 100 <= idx < 110
+
+    def test_all_masked_out(self, tree_and_points):
+        tree, points = tree_and_points
+        mask = np.zeros(points.shape[0], dtype=bool)
+        idx, dist = tree.nearest_neighbor(points[0], mask=mask)
+        assert idx == -1
+        assert np.isinf(dist)
+
+    def test_mask_wrong_length(self, tree_and_points):
+        tree, _ = tree_and_points
+        with pytest.raises(ValueError, match="mask"):
+            tree.nearest_neighbor([0.0, 0.0, 0.0], mask=np.ones(3, dtype=bool))
+
+
+class TestKNN:
+    def test_knn_matches_bruteforce(self, tree_and_points):
+        tree, points = tree_and_points
+        rng = np.random.default_rng(12)
+        query = rng.uniform(0.0, 100.0, size=3)
+        dists = point_to_points(query, points)
+        expected = np.sort(dists)[:5]
+        idx, got = tree.knn(query, 5)
+        assert idx.shape == (5,)
+        np.testing.assert_allclose(np.sort(got), expected)
+
+    def test_knn_k_larger_than_tree(self):
+        points = np.random.default_rng(13).normal(size=(3, 2))
+        tree = KDTree(points)
+        idx, dists = tree.knn([0.0, 0.0], 10)
+        assert idx.shape[0] == 3
+
+    def test_knn_exclude(self, tree_and_points):
+        tree, points = tree_and_points
+        idx, _ = tree.knn(points[7], 3, exclude=7)
+        assert 7 not in idx.tolist()
+
+    def test_knn_invalid_k(self, tree_and_points):
+        tree, _ = tree_and_points
+        with pytest.raises(ValueError):
+            tree.knn([0.0, 0.0, 0.0], 0)
+
+
+class TestCounters:
+    def test_counter_increments_on_queries(self):
+        points = np.random.default_rng(14).normal(size=(200, 2))
+        counter = WorkCounter()
+        tree = KDTree(points, counter=counter)
+        assert counter.get("distance_calcs") == 0.0
+        tree.range_count([0.0, 0.0], 1.0)
+        assert counter.get("distance_calcs") > 0.0
+
+    def test_default_counter_created(self):
+        tree = KDTree(np.zeros((5, 2)) + np.arange(5)[:, None])
+        tree.nearest_neighbor([0.0, 0.0])
+        assert tree.counter.get("distance_calcs") > 0.0
+
+
+class TestIncrementalKDTree:
+    def test_empty_tree(self):
+        tree = IncrementalKDTree(np.zeros((4, 2)))
+        idx, dist = tree.nearest_neighbor([0.0, 0.0])
+        assert idx == -1
+        assert np.isinf(dist)
+        assert tree.size == 0
+
+    def test_insert_and_query_matches_bruteforce(self):
+        rng = np.random.default_rng(15)
+        points = rng.uniform(0.0, 50.0, size=(150, 2))
+        tree = IncrementalKDTree(points)
+        inserted: list[int] = []
+        for i in range(points.shape[0]):
+            if inserted:
+                query = points[i]
+                expected_idx, expected_dist = brute_nn(points[inserted], query)
+                idx, dist = tree.nearest_neighbor(query)
+                assert dist == pytest.approx(
+                    point_to_points(query, points[[inserted[expected_idx]]])[0]
+                )
+            tree.insert(i)
+            inserted.append(i)
+        assert tree.size == points.shape[0]
+
+    def test_insert_out_of_range(self):
+        tree = IncrementalKDTree(np.zeros((3, 2)))
+        with pytest.raises(IndexError):
+            tree.insert(5)
+
+    def test_query_dimension_mismatch(self):
+        tree = IncrementalKDTree(np.zeros((3, 2)))
+        tree.insert(0)
+        with pytest.raises(ValueError):
+            tree.nearest_neighbor([0.0, 0.0, 0.0])
+
+    def test_counter_counts_node_visits(self):
+        points = np.random.default_rng(16).normal(size=(50, 2))
+        counter = WorkCounter()
+        tree = IncrementalKDTree(points, counter=counter)
+        for i in range(20):
+            tree.insert(i)
+        tree.nearest_neighbor(points[30])
+        assert counter.get("distance_calcs") > 0.0

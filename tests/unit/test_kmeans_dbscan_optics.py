@@ -1,0 +1,148 @@
+"""Unit tests for the non-DPC substrate algorithms: k-means, DBSCAN, OPTICS."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dbscan import DBSCAN
+from repro.baselines.kmeans import KMeans, kmeans_plus_plus_init
+from repro.baselines.optics import OPTICS
+from repro.data import generate_blobs
+from repro.metrics import adjusted_rand_index
+
+
+@pytest.fixture(scope="module")
+def separated_blobs():
+    centers = np.array([[0.0, 0.0], [100.0, 0.0], [50.0, 100.0]])
+    return generate_blobs(450, centers, spread=4.0, domain=(-50.0, 200.0), seed=0)
+
+
+class TestKMeansPlusPlus:
+    def test_returns_k_centroids(self, separated_blobs):
+        points, _ = separated_blobs
+        rng = np.random.default_rng(0)
+        centroids = kmeans_plus_plus_init(points, 3, rng)
+        assert centroids.shape == (3, 2)
+
+    def test_handles_duplicate_points(self):
+        points = np.tile([[1.0, 1.0]], (20, 1))
+        rng = np.random.default_rng(1)
+        centroids = kmeans_plus_plus_init(points, 3, rng)
+        np.testing.assert_allclose(centroids, 1.0)
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, separated_blobs):
+        points, truth = separated_blobs
+        model = KMeans(n_clusters=3, seed=0).fit(points)
+        assert adjusted_rand_index(truth, model.labels_) > 0.95
+
+    def test_labels_and_centroids_shapes(self, separated_blobs):
+        points, _ = separated_blobs
+        model = KMeans(n_clusters=3, seed=1).fit(points)
+        assert model.labels_.shape == (points.shape[0],)
+        assert model.centroids_.shape == (3, 2)
+        assert model.n_iter_ >= 1
+        assert np.isfinite(model.inertia_)
+
+    def test_more_clusters_lower_inertia(self, separated_blobs):
+        points, _ = separated_blobs
+        few = KMeans(n_clusters=2, seed=0).fit(points).inertia_
+        many = KMeans(n_clusters=6, seed=0).fit(points).inertia_
+        assert many < few
+
+    def test_predict(self, separated_blobs):
+        points, _ = separated_blobs
+        model = KMeans(n_clusters=3, seed=0).fit(points)
+        predictions = model.predict(points[:10])
+        np.testing.assert_array_equal(predictions, model.labels_[:10])
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            KMeans(n_clusters=2).predict(np.zeros((3, 2)))
+
+    def test_fewer_points_than_clusters_rejected(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=10).fit(np.zeros((3, 2)))
+
+    def test_fit_predict(self, separated_blobs):
+        points, _ = separated_blobs
+        labels = KMeans(n_clusters=3, seed=0).fit_predict(points)
+        assert labels.shape == (points.shape[0],)
+
+
+class TestDBSCAN:
+    def test_recovers_separated_blobs(self, separated_blobs):
+        points, truth = separated_blobs
+        model = DBSCAN(eps=10.0, min_pts=5).fit(points)
+        assert model.n_clusters_ == 3
+        non_noise = model.labels_ >= 0
+        assert adjusted_rand_index(truth[non_noise], model.labels_[non_noise]) > 0.95
+
+    def test_far_outlier_is_noise(self):
+        centers = np.array([[0.0, 0.0]])
+        points, _ = generate_blobs(100, centers, spread=1.0, domain=(-10, 10), seed=1)
+        points = np.vstack([points, [[500.0, 500.0]]])
+        points = np.clip(points, -1000, 1000)
+        model = DBSCAN(eps=5.0, min_pts=5).fit(points)
+        assert model.labels_[-1] == -1
+
+    def test_all_noise_when_eps_tiny(self, separated_blobs):
+        points, _ = separated_blobs
+        model = DBSCAN(eps=1e-6, min_pts=3).fit(points)
+        assert model.n_clusters_ == 0
+        assert (model.labels_ == -1).all()
+
+    def test_single_cluster_when_eps_huge(self, separated_blobs):
+        points, _ = separated_blobs
+        model = DBSCAN(eps=1e4, min_pts=3).fit(points)
+        assert model.n_clusters_ == 1
+
+    def test_core_mask(self, separated_blobs):
+        points, _ = separated_blobs
+        model = DBSCAN(eps=10.0, min_pts=5).fit(points)
+        assert model.core_mask_.sum() > 0
+        # Core points are never noise.
+        assert (model.labels_[model.core_mask_] >= 0).all()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DBSCAN(eps=0.0)
+        with pytest.raises(ValueError):
+            DBSCAN(eps=1.0, min_pts=0)
+
+    def test_fit_predict(self, separated_blobs):
+        points, _ = separated_blobs
+        labels = DBSCAN(eps=10.0, min_pts=5).fit_predict(points)
+        assert labels.shape == (points.shape[0],)
+
+
+class TestOPTICS:
+    def test_ordering_covers_all_points(self, separated_blobs):
+        points, _ = separated_blobs
+        model = OPTICS(eps=50.0, min_pts=5).fit(points)
+        assert np.sort(model.ordering_).tolist() == list(range(points.shape[0]))
+
+    def test_extract_clusters_matches_blob_count(self, separated_blobs):
+        points, truth = separated_blobs
+        model = OPTICS(eps=50.0, min_pts=5).fit(points)
+        labels = model.extract_clusters(threshold=10.0)
+        n_clusters = labels.max() + 1
+        assert n_clusters == 3
+        non_noise = labels >= 0
+        assert adjusted_rand_index(truth[non_noise], labels[non_noise]) > 0.9
+
+    def test_n_clusters_at_threshold_monotonicity(self, separated_blobs):
+        points, _ = separated_blobs
+        model = OPTICS(eps=200.0, min_pts=5).fit(points)
+        # A huge threshold merges everything into one cluster.
+        assert model.n_clusters_at(1e6) == 1
+
+    def test_extract_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            OPTICS(eps=1.0).extract_clusters(0.5)
+
+    def test_reachability_mostly_finite_for_dense_data(self, separated_blobs):
+        points, _ = separated_blobs
+        model = OPTICS(eps=50.0, min_pts=5).fit(points)
+        finite_fraction = np.isfinite(model.reachability_).mean()
+        assert finite_fraction > 0.9

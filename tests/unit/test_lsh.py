@@ -1,0 +1,94 @@
+"""Unit tests for repro.lsh.pstable."""
+
+import numpy as np
+import pytest
+
+from repro.lsh.pstable import LSHTable, PStableHash
+
+
+class TestPStableHash:
+    def test_hash_matrix_shape(self):
+        hash_function = PStableHash(dim=3, width=2.0, n_functions=5, seed=0)
+        points = np.random.default_rng(0).normal(size=(40, 3))
+        codes = hash_function.hash_points(points)
+        assert codes.shape == (40, 5)
+        assert codes.dtype == np.int64
+
+    def test_same_point_same_key(self):
+        hash_function = PStableHash(dim=2, width=1.0, seed=1)
+        point = np.array([[3.0, 4.0]])
+        keys = hash_function.bucket_keys(np.vstack([point, point]))
+        assert keys[0] == keys[1]
+
+    def test_deterministic_for_seed(self):
+        points = np.random.default_rng(2).normal(size=(10, 4))
+        a = PStableHash(dim=4, width=1.5, seed=7).hash_points(points)
+        b = PStableHash(dim=4, width=1.5, seed=7).hash_points(points)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        points = np.random.default_rng(3).normal(size=(50, 3))
+        a = PStableHash(dim=3, width=1.0, seed=0).hash_points(points)
+        b = PStableHash(dim=3, width=1.0, seed=1).hash_points(points)
+        assert not np.array_equal(a, b)
+
+    def test_nearby_points_collide_more_often_than_far_points(self):
+        rng = np.random.default_rng(4)
+        base = rng.uniform(0.0, 100.0, size=(200, 2))
+        near = base + rng.normal(scale=0.5, size=base.shape)
+        far = base + rng.normal(scale=50.0, size=base.shape)
+        hash_function = PStableHash(dim=2, width=8.0, n_functions=2, seed=5)
+        base_keys = hash_function.bucket_keys(base)
+        near_keys = hash_function.bucket_keys(near)
+        far_keys = hash_function.bucket_keys(far)
+        near_collisions = sum(a == b for a, b in zip(base_keys, near_keys))
+        far_collisions = sum(a == b for a, b in zip(base_keys, far_keys))
+        assert near_collisions > far_collisions
+
+    def test_dimension_mismatch(self):
+        hash_function = PStableHash(dim=3, width=1.0)
+        with pytest.raises(ValueError):
+            hash_function.hash_points(np.zeros((5, 2)))
+
+    @pytest.mark.parametrize("bad_kwargs", [
+        {"dim": 0, "width": 1.0},
+        {"dim": 2, "width": 0.0},
+        {"dim": 2, "width": 1.0, "n_functions": 0},
+    ])
+    def test_invalid_parameters(self, bad_kwargs):
+        with pytest.raises((ValueError, TypeError)):
+            PStableHash(**bad_kwargs)
+
+    def test_properties(self):
+        hash_function = PStableHash(dim=4, width=2.5, n_functions=3, seed=0)
+        assert hash_function.dim == 4
+        assert hash_function.width == 2.5
+        assert hash_function.n_functions == 3
+
+
+class TestLSHTable:
+    def test_buckets_partition_the_points(self):
+        points = np.random.default_rng(6).uniform(0.0, 50.0, size=(300, 3))
+        table = LSHTable(points, PStableHash(dim=3, width=10.0, seed=0))
+        total = sum(bucket.size for bucket in table.buckets.values())
+        assert total == 300
+        all_indices = np.sort(np.concatenate(list(table.buckets.values())))
+        np.testing.assert_array_equal(all_indices, np.arange(300))
+
+    def test_bucket_of_point_contains_point(self):
+        points = np.random.default_rng(7).uniform(size=(100, 2))
+        table = LSHTable(points, PStableHash(dim=2, width=0.3, seed=1))
+        for index in range(0, 100, 13):
+            assert index in table.bucket_of_point(index)
+
+    def test_bucket_sizes(self):
+        points = np.random.default_rng(8).uniform(size=(120, 2))
+        table = LSHTable(points, PStableHash(dim=2, width=0.5, seed=2))
+        sizes = table.bucket_sizes()
+        assert sizes.sum() == 120
+        assert sizes.shape[0] == table.num_buckets
+
+    def test_memory_bytes_positive(self):
+        points = np.random.default_rng(9).uniform(size=(60, 2))
+        table = LSHTable(points, PStableHash(dim=2, width=0.5, seed=3))
+        assert table.memory_bytes() > 0

@@ -1,0 +1,155 @@
+"""Unit tests for repro.metrics (Rand index, timing, memory)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.memory import format_bytes, memory_table
+from repro.metrics.rand_index import (
+    adjusted_rand_index,
+    center_agreement,
+    pair_confusion,
+    rand_index,
+)
+from repro.metrics.timing import PhaseTimer, decomposed_time_table, format_table
+
+
+class TestRandIndex:
+    def test_identical_labelings(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assert rand_index(labels, labels) == 1.0
+
+    def test_permuted_label_names(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        b = np.array([5, 5, 9, 9, 1, 1])
+        assert rand_index(a, b) == 1.0
+
+    def test_known_small_example(self):
+        # Classic example: RI = (a + b) / C(n, 2).
+        a = np.array([0, 0, 0, 1, 1, 1])
+        b = np.array([0, 0, 1, 1, 2, 2])
+        confusion = pair_confusion(a, b)
+        expected = (confusion["both_same"] + confusion["both_different"]) / 15.0
+        assert rand_index(a, b) == pytest.approx(expected)
+        assert rand_index(a, b) < 1.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, size=80)
+        b = rng.integers(0, 4, size=80)
+        assert rand_index(a, b) == pytest.approx(rand_index(b, a))
+
+    def test_noise_label_treated_as_cluster(self):
+        a = np.array([0, 0, -1, -1])
+        b = np.array([0, 0, -1, -1])
+        assert rand_index(a, b) == 1.0
+
+    def test_completely_different(self):
+        a = np.array([0, 0, 0, 0])
+        b = np.array([0, 1, 2, 3])
+        # Every pair same in a, different in b: zero agreements.
+        assert rand_index(a, b) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            rand_index([0, 1], [0, 1, 2])
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            rand_index([0], [0])
+
+
+class TestPairConfusion:
+    def test_counts_sum_to_total_pairs(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 5, size=60)
+        b = rng.integers(0, 3, size=60)
+        confusion = pair_confusion(a, b)
+        assert sum(confusion.values()) == 60 * 59 // 2
+
+    def test_identical_labelings_have_no_disagreements(self):
+        labels = np.array([0, 1, 1, 2, 2, 2])
+        confusion = pair_confusion(labels, labels)
+        assert confusion["a_same_b_different"] == 0
+        assert confusion["a_different_b_same"] == 0
+
+
+class TestAdjustedRandIndex:
+    def test_identical_is_one(self):
+        labels = np.array([0, 0, 1, 1, 2, 2, 3, 3])
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    def test_random_labelings_near_zero(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 5, size=2000)
+        b = rng.integers(0, 5, size=2000)
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    def test_lower_than_one_for_disagreement(self):
+        a = np.array([0, 0, 0, 1, 1, 1])
+        b = np.array([0, 0, 1, 1, 2, 2])
+        assert adjusted_rand_index(a, b) < 1.0
+
+    def test_ari_leq_ri_scale(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        b = np.array([0, 1, 1, 2, 2, 0])
+        assert -1.0 <= adjusted_rand_index(a, b) <= 1.0
+
+
+class TestCenterAgreement:
+    def test_identical_sets(self):
+        assert center_agreement([1, 5, 9], [9, 1, 5]) == 1.0
+
+    def test_partial_overlap(self):
+        assert center_agreement([1, 2, 3, 4], [3, 4, 5, 6]) == pytest.approx(2 / 6)
+
+    def test_both_empty(self):
+        assert center_agreement([], []) == 1.0
+
+    def test_disjoint(self):
+        assert center_agreement([1, 2], [3, 4]) == 0.0
+
+
+class TestTiming:
+    def test_phase_timer_accumulates(self):
+        timer = PhaseTimer()
+        with timer.measure("a"):
+            pass
+        with timer.measure("a"):
+            pass
+        with timer.measure("b"):
+            pass
+        assert timer.durations["a"] >= 0.0
+        assert set(timer.durations) == {"a", "b"}
+        assert timer.total() == pytest.approx(sum(timer.durations.values()))
+
+    def test_decomposed_time_table(self):
+        class FakeResult:
+            timings_ = {"local_density": 1.5, "dependency": 0.5, "total": 2.2}
+
+        rows = decomposed_time_table({"Ex-DPC": FakeResult()})
+        assert rows[0]["algorithm"] == "Ex-DPC"
+        assert rows[0]["rho_comp_s"] == pytest.approx(1.5)
+        assert rows[0]["delta_comp_s"] == pytest.approx(0.5)
+
+    def test_format_table_renders_all_rows(self):
+        rows = [
+            {"algorithm": "A", "value": 1.0},
+            {"algorithm": "B", "value": 2.5},
+        ]
+        text = format_table(rows)
+        assert "A" in text and "B" in text and "2.5000" in text
+
+    def test_format_table_empty(self):
+        assert "empty" in format_table([])
+
+
+class TestMemory:
+    def test_memory_table(self):
+        class FakeResult:
+            memory_bytes_ = 3_000_000
+
+        rows = memory_table({"Scan": FakeResult()})
+        assert rows[0]["memory_mb"] == pytest.approx(3.0)
+
+    def test_format_bytes(self):
+        assert format_bytes(2_500_000) == "2.50 MB"

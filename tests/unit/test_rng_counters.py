@@ -1,0 +1,82 @@
+"""Unit tests for repro.utils.rng and repro.utils.counters."""
+
+import numpy as np
+import pytest
+
+from repro.utils.counters import WorkCounter
+from repro.utils.rng import ensure_rng, random_tiebreak
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(5).uniform(size=4)
+        b = ensure_rng(5).uniform(size=4)
+        np.testing.assert_allclose(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+
+class TestRandomTiebreak:
+    def test_preserves_integer_order(self):
+        values = np.array([3.0, 1.0, 7.0, 1.0, 7.0])
+        jittered = random_tiebreak(values, seed=0)
+        # Values that differ by >= 1 keep their relative order.
+        assert jittered[0] > jittered[1]
+        assert jittered[2] > jittered[0]
+
+    def test_strictly_inside_unit_interval(self):
+        values = np.zeros(1000)
+        jittered = random_tiebreak(values, seed=1)
+        assert (jittered > 0.0).all()
+        assert (jittered < 1.0).all()
+
+    def test_breaks_ties(self):
+        values = np.full(500, 10.0)
+        jittered = random_tiebreak(values, seed=2)
+        assert np.unique(jittered).size == 500
+
+    def test_deterministic_for_seed(self):
+        values = np.arange(10, dtype=float)
+        np.testing.assert_allclose(
+            random_tiebreak(values, seed=3), random_tiebreak(values, seed=3)
+        )
+
+
+class TestWorkCounter:
+    def test_add_and_get(self):
+        counter = WorkCounter()
+        counter.add("distance_calcs", 5)
+        counter.add("distance_calcs", 2.5)
+        assert counter.get("distance_calcs") == pytest.approx(7.5)
+
+    def test_unknown_key_is_zero(self):
+        assert WorkCounter().get("missing") == 0.0
+
+    def test_merge(self):
+        a = WorkCounter()
+        b = WorkCounter()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 3)
+        a.merge(b)
+        assert a.get("x") == 3.0
+        assert a.get("y") == 3.0
+
+    def test_reset(self):
+        counter = WorkCounter()
+        counter.add("x", 4)
+        counter.reset()
+        assert counter.get("x") == 0.0
+        assert counter.as_dict() == {}
+
+    def test_as_dict_is_copy(self):
+        counter = WorkCounter()
+        counter.add("x", 1)
+        snapshot = counter.as_dict()
+        snapshot["x"] = 99
+        assert counter.get("x") == 1.0

@@ -1,0 +1,86 @@
+"""Unit tests for repro.index.rtree."""
+
+import numpy as np
+import pytest
+
+from repro.index.rtree import RTree
+from repro.utils.distance import point_to_points
+
+
+@pytest.fixture(scope="module")
+def rtree_and_points():
+    rng = np.random.default_rng(21)
+    points = rng.uniform(0.0, 1000.0, size=(500, 2))
+    return RTree(points, leaf_capacity=32, fanout=8), points
+
+
+class TestConstruction:
+    def test_properties(self, rtree_and_points):
+        tree, _ = rtree_and_points
+        assert tree.size == 500
+        assert tree.dim == 2
+        assert tree.node_count > 1
+        assert tree.memory_bytes() > 0
+
+    def test_small_input_single_leaf(self):
+        points = np.random.default_rng(22).normal(size=(10, 3))
+        tree = RTree(points, leaf_capacity=64)
+        assert tree.node_count == 1
+
+    def test_one_dimensional_points(self):
+        points = np.linspace(0.0, 100.0, 200).reshape(-1, 1)
+        tree = RTree(points, leaf_capacity=16)
+        assert tree.range_count([50.0], 5.0, strict=False) == len(
+            [x for x in points[:, 0] if abs(x - 50.0) <= 5.0]
+        )
+
+    def test_invalid_fanout(self):
+        with pytest.raises(ValueError):
+            RTree(np.zeros((4, 2)), fanout=1)
+
+
+class TestQueries:
+    @pytest.mark.parametrize("radius", [10.0, 50.0, 200.0])
+    def test_range_search_matches_bruteforce(self, rtree_and_points, radius):
+        tree, points = rtree_and_points
+        rng = np.random.default_rng(23)
+        for _ in range(8):
+            query = rng.uniform(0.0, 1000.0, size=2)
+            dists = point_to_points(query, points)
+            expected = set(np.flatnonzero(dists < radius).tolist())
+            got = set(tree.range_search(query, radius).tolist())
+            assert got == expected
+
+    def test_range_count_strict_vs_non_strict(self):
+        points = np.array([[0.0, 0.0], [3.0, 4.0]])
+        tree = RTree(points)
+        assert tree.range_count([0.0, 0.0], 5.0, strict=True) == 1
+        assert tree.range_count([0.0, 0.0], 5.0, strict=False) == 2
+
+    def test_nearest_neighbor_matches_bruteforce(self, rtree_and_points):
+        tree, points = rtree_and_points
+        rng = np.random.default_rng(24)
+        for _ in range(10):
+            query = rng.uniform(0.0, 1000.0, size=2)
+            dists = point_to_points(query, points)
+            idx, dist = tree.nearest_neighbor(query)
+            assert dist == pytest.approx(dists.min())
+
+    def test_nearest_neighbor_exclude(self, rtree_and_points):
+        tree, points = rtree_and_points
+        idx, dist = tree.nearest_neighbor(points[3], exclude=3)
+        assert idx != 3
+        assert dist > 0.0
+
+    def test_dimension_mismatch(self, rtree_and_points):
+        tree, _ = rtree_and_points
+        with pytest.raises(ValueError):
+            tree.range_count([0.0, 0.0, 0.0], 1.0)
+        with pytest.raises(ValueError):
+            tree.nearest_neighbor([0.0])
+
+    def test_counter_increments(self, rtree_and_points):
+        tree, _ = rtree_and_points
+        before = tree.counter.get("distance_calcs")
+        tree.range_count([500.0, 500.0], 100.0)
+        assert tree.counter.get("distance_calcs") > before

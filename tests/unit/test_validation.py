@@ -1,0 +1,94 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_non_negative,
+    check_points,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckPoints:
+    def test_returns_float64_contiguous(self):
+        points = check_points([[1, 2], [3, 4]])
+        assert points.dtype == np.float64
+        assert points.flags["C_CONTIGUOUS"]
+        assert points.shape == (2, 2)
+
+    def test_one_dimensional_input_reshaped(self):
+        points = check_points([1.0, 2.0, 3.0])
+        assert points.shape == (3, 1)
+
+    def test_rejects_three_dimensional(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_points(np.zeros((2, 2, 2)))
+
+    def test_rejects_too_few_points(self):
+        with pytest.raises(ValueError, match="at least 5"):
+            check_points(np.zeros((3, 2)), min_points=5)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            check_points([[0.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            check_points([[np.inf, 1.0]])
+
+    def test_rejects_empty_second_axis(self):
+        with pytest.raises(ValueError):
+            check_points(np.zeros((3, 0)))
+
+    def test_custom_name_in_message(self):
+        with pytest.raises(ValueError, match="queries"):
+            check_points(np.zeros((2, 2, 2)), name="queries")
+
+
+class TestScalarChecks:
+    def test_check_positive_accepts_int_and_float(self):
+        assert check_positive(3, "x") == 3.0
+        assert check_positive(0.5, "x") == 0.5
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5, float("nan"), float("inf")])
+    def test_check_positive_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_positive(bad, "x")
+
+    def test_check_positive_rejects_bool_and_str(self):
+        with pytest.raises(TypeError):
+            check_positive(True, "x")
+        with pytest.raises(TypeError):
+            check_positive("1", "x")
+
+    def test_check_non_negative_accepts_zero(self):
+        assert check_non_negative(0, "x") == 0.0
+
+    def test_check_non_negative_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative(-0.1, "x")
+
+    def test_check_positive_int(self):
+        assert check_positive_int(4, "x") == 4
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_check_positive_int_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError):
+            check_positive_int(bad, "x")
+
+    @pytest.mark.parametrize("bad", [1.5, True, "2"])
+    def test_check_positive_int_rejects_non_int(self, bad):
+        with pytest.raises(TypeError):
+            check_positive_int(bad, "x")
+
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_check_probability_accepts(self, value):
+        assert check_probability(value, "x") == value
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01])
+    def test_check_probability_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_probability(bad, "x")
