@@ -1,0 +1,147 @@
+"""Microbenchmark: vectorized batch query engine vs scalar per-point queries.
+
+The batch kd-tree API (``range_count_batch`` / ``range_search_batch`` /
+``knn_batch``; see docs/performance.md) exists to remove the per-query Python
+interpreter overhead that dominates the seed implementation's density and
+dependency phases.  This bench times both engines on the paper's primitive
+operations over the same tree and reports the speedup; the acceptance
+criterion for the batch engine is a >= 5x speedup on the density computation
+(``range_count`` over every point) at ``n = 20_000``, ``d = 2``.
+
+Both engines are verified to return identical results before any timing is
+reported, so the speedup is never bought with a wrong answer.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_batch_vs_scalar.py
+    PYTHONPATH=src python benchmarks/bench_batch_vs_scalar.py --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import time
+
+import numpy as np
+
+from repro.bench import print_table
+from repro.index.kdtree import KDTree
+
+DEFAULT_N = 20_000
+DEFAULT_DIM = 2
+DEFAULT_TARGET_DENSITY = 40.0
+
+
+def density_radius(n: int, dim: int, extent: float, target: float) -> float:
+    """Radius whose expected ball population is ``target`` for uniform data."""
+    unit_ball = math.pi ** (dim / 2.0) / math.gamma(dim / 2.0 + 1.0)
+    volume = extent**dim * target / n
+    return (volume / unit_ball) ** (1.0 / dim)
+
+
+def run_microbench(
+    n: int = DEFAULT_N,
+    dim: int = DEFAULT_DIM,
+    leaf_size: int = 32,
+    seed: int = 0,
+    k: int = 8,
+) -> dict:
+    """Time scalar vs batch queries on one tree; returns the result payload."""
+    extent = 1000.0
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0.0, extent, size=(n, dim))
+    d_cut = density_radius(n, dim, extent, DEFAULT_TARGET_DENSITY)
+    tree = KDTree(points, leaf_size=leaf_size)
+
+    rows: list[dict] = []
+
+    def record(operation: str, scalar_fn, batch_fn, check_fn) -> None:
+        start = time.perf_counter()
+        scalar_result = scalar_fn()
+        scalar_s = time.perf_counter() - start
+        start = time.perf_counter()
+        batch_result = batch_fn()
+        batch_s = time.perf_counter() - start
+        check_fn(scalar_result, batch_result)
+        rows.append(
+            {
+                "operation": operation,
+                "scalar_s": scalar_s,
+                "batch_s": batch_s,
+                "speedup": scalar_s / batch_s if batch_s > 0 else float("inf"),
+            }
+        )
+
+    # Density computation (Definition 1): one range count per point.
+    record(
+        "density range_count (all n points)",
+        lambda: np.asarray([tree.range_count(p, d_cut) for p in points]),
+        lambda: tree.range_count_batch(points, d_cut),
+        lambda s, b: np.testing.assert_array_equal(np.asarray(s), b),
+    )
+
+    # Range search (the Approx-DPC / S-Approx-DPC primitive); fewer queries
+    # because materialising every result set is the point of the comparison.
+    n_search = min(n, 5_000)
+    record(
+        f"range_search ({n_search} queries)",
+        lambda: [np.sort(tree.range_search(p, d_cut)) for p in points[:n_search]],
+        lambda: tree.range_search_batch(points[:n_search], d_cut),
+        lambda s, b: [np.testing.assert_array_equal(x, y) for x, y in zip(s, b)],
+    )
+
+    # k-nearest neighbours (the dependency fallback primitive).
+    n_knn = min(n, 5_000)
+    record(
+        f"knn k={k} ({n_knn} queries)",
+        lambda: [tree.knn(p, k) for p in points[:n_knn]],
+        lambda: tree.knn_batch(points[:n_knn], k),
+        lambda s, b: [
+            np.testing.assert_array_equal(idx, b[0][row, : idx.size])
+            for row, (idx, _) in enumerate(s)
+        ],
+    )
+
+    return {
+        "n": n,
+        "dim": dim,
+        "leaf_size": leaf_size,
+        "d_cut": d_cut,
+        "seed": seed,
+        "rows": rows,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=DEFAULT_N)
+    parser.add_argument("--dim", type=int, default=DEFAULT_DIM)
+    parser.add_argument("--leaf-size", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", type=str, default=None, help="write results to this path")
+    args = parser.parse_args()
+
+    payload = run_microbench(
+        n=args.n, dim=args.dim, leaf_size=args.leaf_size, seed=args.seed
+    )
+    print_table(
+        f"Batch vs scalar query engine (n={payload['n']}, d={payload['dim']}, "
+        f"leaf={payload['leaf_size']}, d_cut={payload['d_cut']:.2f})",
+        payload["rows"],
+    )
+    density_speedup = payload["rows"][0]["speedup"]
+    verdict = "PASS" if density_speedup >= 5.0 else "FAIL"
+    print(
+        f"\nDensity-computation speedup: {density_speedup:.1f}x "
+        f"(acceptance threshold 5x: {verdict})"
+    )
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"JSON written to {args.json}")
+
+
+if __name__ == "__main__":
+    main()

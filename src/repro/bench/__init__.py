@@ -17,6 +17,7 @@ paper's evaluation (§6).  They all build on this package:
 from repro.bench.reporting import print_series, print_table
 from repro.bench.runners import (
     ALGORITHM_BUILDERS,
+    ENGINE_AWARE_ALGORITHMS,
     build_algorithm,
     run_accuracy_suite,
     run_performance_suite,
@@ -35,6 +36,7 @@ __all__ = [
     "load_workload",
     "real_workload_names",
     "ALGORITHM_BUILDERS",
+    "ENGINE_AWARE_ALGORITHMS",
     "build_algorithm",
     "shared_thresholds",
     "run_accuracy_suite",

@@ -21,11 +21,17 @@ from repro.metrics import rand_index
 
 __all__ = [
     "ALGORITHM_BUILDERS",
+    "ENGINE_AWARE_ALGORITHMS",
     "build_algorithm",
     "shared_thresholds",
     "run_accuracy_suite",
     "run_performance_suite",
 ]
+
+#: Algorithms that accept the ``engine={"scalar","batch"}`` switch of the
+#: vectorised batch query engine (see docs/performance.md).  Baselines keep
+#: their own code paths and ignore the flag.
+ENGINE_AWARE_ALGORITHMS = frozenset({"Ex-DPC", "Approx-DPC", "S-Approx-DPC"})
 
 #: Algorithm name -> builder(d_cut, center selection kwargs) for every
 #: algorithm the evaluation section compares.  The names match the paper.
@@ -127,18 +133,24 @@ def run_performance_suite(
     algorithms: list[str],
     seed: int = 0,
     epsilon: float | None = None,
+    engine: str | None = None,
 ) -> dict[str, DPCResult]:
     """Fit every requested algorithm once on the workload and return the results.
 
     Used by the efficiency experiments (Table 6, Table 7, Figures 7--9); the
     caller extracts timings, work counts, memory or the parallel profile from
-    each :class:`~repro.core.result.DPCResult`.
+    each :class:`~repro.core.result.DPCResult`.  ``engine`` selects the
+    scalar or batch query engine for the algorithms in
+    :data:`ENGINE_AWARE_ALGORITHMS` (``None`` keeps each algorithm's
+    default).
     """
     results: dict[str, DPCResult] = {}
     for name in algorithms:
         extra: dict = {"rho_min": workload.rho_min, "n_clusters": workload.n_clusters}
         if name == "S-Approx-DPC" and epsilon is not None:
             extra["epsilon"] = epsilon
+        if engine is not None and name in ENGINE_AWARE_ALGORITHMS:
+            extra["engine"] = engine
         model = build_algorithm(name, workload.d_cut, seed=seed, **extra)
         results[name] = model.fit(workload.points)
     return results

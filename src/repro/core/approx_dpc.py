@@ -25,13 +25,22 @@ Because the approximation only ever assigns dependent distances of exactly
 Every phase is embarrassingly parallel; tasks are partitioned over threads
 with the cost-based greedy LPT policy of §4.5, which is what the recorded
 parallel profile reproduces.
+
+With the default ``engine="batch"``, the joint range searches and the exact
+dependency fallback are issued as chunked vectorised batch queries
+(:meth:`repro.index.kdtree.KDTree.range_search_batch`,
+:meth:`repro.core.exact_dependency.PartitionedDependencySearcher.query_batch`)
+that produce results identical to the scalar per-cell code.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.exact_dependency import PartitionedDependencySearcher
+from repro.core.exact_dependency import (
+    PartitionedDependencySearcher,
+    resolve_undecided_dependencies,
+)
 from repro.core.framework import DensityPeaksBase
 from repro.index.grid import UniformGrid
 from repro.index.kdtree import KDTree
@@ -47,7 +56,7 @@ class ApproxDPC(DensityPeaksBase):
     ----------
     d_cut:
         Cutoff distance of Definition 1.
-    rho_min, delta_min, n_clusters, n_jobs, seed, record_costs:
+    rho_min, delta_min, n_clusters, n_jobs, seed, record_costs, engine:
         See :class:`repro.core.framework.DensityPeaksBase`.
     leaf_size:
         Leaf bucket size of the kd-tree.
@@ -70,6 +79,7 @@ class ApproxDPC(DensityPeaksBase):
         record_costs: bool = True,
         leaf_size: int = 32,
         n_partitions: int | None = None,
+        engine: str = "batch",
     ):
         super().__init__(
             d_cut,
@@ -79,6 +89,7 @@ class ApproxDPC(DensityPeaksBase):
             n_jobs=n_jobs,
             seed=seed,
             record_costs=record_costs,
+            engine=engine,
         )
         self.leaf_size = leaf_size
         self.n_partitions = n_partitions
@@ -116,13 +127,10 @@ class ApproxDPC(DensityPeaksBase):
         range_costs = np.zeros(len(cells), dtype=np.float64)
         scan_costs = np.zeros(len(cells), dtype=np.float64)
 
-        def process_cell(position: int) -> None:
+        def scan_cell(position: int, candidates: np.ndarray) -> None:
+            """Exact member densities and cell bookkeeping from one joint result."""
             cell = cells[position]
             members = cell.point_indices
-            # Joint range search: one kd-tree query whose ball covers every
-            # member's d_cut-ball.
-            radius = d_cut + cell.max_center_dist
-            candidates = tree.range_search(cell.center, radius, strict=False)
             candidate_points = points[candidates]
             self._counter.add(
                 "distance_calcs", float(members.size) * float(candidates.size)
@@ -147,16 +155,39 @@ class ApproxDPC(DensityPeaksBase):
             self._counter.add("distance_calcs", float(candidates.size))
             best_sq = point_to_points_sq(points[cell.best_point], candidate_points)
             close = candidates[best_sq < d_cut_sq]
-            own_key = cell.key
-            neighbor_keys = {
-                key for key in grid.keys_of_points(close) if key != own_key
-            }
-            cell.neighbor_cells = sorted(neighbor_keys)
+            cell.neighbor_cells = grid.distinct_keys_of_points(
+                close, exclude=cell.key
+            )
 
             range_costs[position] = members.size
             scan_costs[position] = members.size * max(candidates.size, 1)
 
-        self._executor.map(process_cell, list(range(len(cells))))
+        if self.engine == "batch":
+            centers = np.stack([cell.center for cell in cells])
+            radii = np.asarray(
+                [d_cut + cell.max_center_dist for cell in cells], dtype=np.float64
+            )
+
+            def process_cell_chunk(chunk: np.ndarray) -> None:
+                # One batch kd-tree traversal answers the joint range search
+                # of every cell in the chunk.
+                candidate_lists = tree.range_search_batch(
+                    centers[chunk], radii[chunk], strict=False
+                )
+                for position, candidates in zip(chunk, candidate_lists):
+                    scan_cell(int(position), candidates)
+
+            self._executor.map_index_chunks(process_cell_chunk, len(cells))
+        else:
+            def process_cell(position: int) -> None:
+                cell = cells[position]
+                # Joint range search: one kd-tree query whose ball covers
+                # every member's d_cut-ball.
+                radius = d_cut + cell.max_center_dist
+                candidates = tree.range_search(cell.center, radius, strict=False)
+                scan_cell(position, candidates)
+
+            self._executor.map(process_cell, list(range(len(cells))))
 
         # §4.5: the range-search pass is balanced by |P(c)|, the scan pass by
         # |P(c)| * |R(...)|; both use the greedy LPT partitioner.
@@ -225,16 +256,10 @@ class ApproxDPC(DensityPeaksBase):
                 counter=self._counter,
             )
             self._fallback_memory = searcher.memory_bytes()
-
-            def resolve(index: int) -> tuple[int, int, float]:
-                neighbor, distance = searcher.query(index)
-                return index, neighbor, distance
-
-            resolutions = self._executor.map(resolve, undecided)
-            for index, neighbor, distance in resolutions:
-                dependent[index] = neighbor
-                delta[index] = distance
-                exact_mask[index] = True
+            resolve_undecided_dependencies(
+                searcher, undecided, self._executor, self.engine,
+                dependent, delta, exact_mask,
+            )
 
             costs = np.asarray(
                 [searcher.query_cost(float(rho[index])) for index in undecided]

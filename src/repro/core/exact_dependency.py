@@ -42,7 +42,50 @@ from repro.index.kdtree import KDTree
 from repro.utils.counters import WorkCounter
 from repro.utils.distance import point_to_points_sq
 
-__all__ = ["PartitionedDependencySearcher", "solve_partition_count"]
+__all__ = [
+    "PartitionedDependencySearcher",
+    "resolve_undecided_dependencies",
+    "solve_partition_count",
+]
+
+
+def resolve_undecided_dependencies(
+    searcher: "PartitionedDependencySearcher",
+    undecided,
+    executor,
+    engine: str,
+    dependent: np.ndarray,
+    delta: np.ndarray,
+    exact_mask: np.ndarray,
+) -> None:
+    """Resolve every undecided index with ``searcher`` and scatter the results.
+
+    Shared by the Approx-DPC fallback and S-Approx-DPC's partitioned second
+    phase: ``engine="batch"`` maps :meth:`PartitionedDependencySearcher.query_batch`
+    over contiguous chunks of the undecided set, ``engine="scalar"`` maps
+    :meth:`PartitionedDependencySearcher.query` one index per task.  Both
+    write the dependent index, distance and ``exact_mask=True`` for every
+    undecided point.
+    """
+    if engine == "batch":
+        undecided_arr = np.asarray(undecided, dtype=np.intp)
+
+        def resolve_chunk(chunk):
+            return searcher.query_batch(undecided_arr[chunk])
+
+        resolutions = executor.map_index_chunks(resolve_chunk, undecided_arr.size)
+        dependent[undecided_arr] = np.concatenate([r[0] for r in resolutions])
+        delta[undecided_arr] = np.concatenate([r[1] for r in resolutions])
+        exact_mask[undecided_arr] = True
+    else:
+        def resolve(index: int) -> tuple[int, int, float]:
+            neighbor, distance = searcher.query(index)
+            return index, neighbor, distance
+
+        for index, neighbor, distance in executor.map(resolve, list(undecided)):
+            dependent[index] = neighbor
+            delta[index] = distance
+            exact_mask[index] = True
 
 
 def solve_partition_count(n: int, dim: int) -> int:
@@ -214,3 +257,63 @@ class PartitionedDependencySearcher:
         if best_idx < 0:
             return -1, np.inf
         return best_idx, float(np.sqrt(best_sq))
+
+    def query_batch(self, indices) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised batch counterpart of :meth:`query`.
+
+        Classifies every (query, partition) pair into the paper's three cases
+        at once: case (i) pairs are answered with one batch nearest-neighbour
+        search per partition
+        (:meth:`repro.index.kdtree.KDTree.nearest_neighbor_batch`), case (ii)
+        pairs with a single vectorised scan of the straddling partition, and
+        case (iii) pairs are skipped.  Returns ``(dependent_indices,
+        distances)`` arrays identical to calling :meth:`query` per index
+        (``-1`` / ``inf`` for the globally densest candidate).
+        """
+        indices = np.asarray(indices, dtype=np.intp).reshape(-1)
+        n_queries = indices.size
+        best_idx = np.full(n_queries, -1, dtype=np.intp)
+        best_sq = np.full(n_queries, np.inf)
+        if n_queries == 0:
+            return best_idx, best_sq.copy()
+
+        query_points = self._points[indices]
+        query_rho = self._rho[indices]
+        for part in self._partitions:
+            active = part.max_rho > query_rho
+            if not active.any():
+                continue
+            denser_all = part.min_rho > query_rho
+            case_i = np.flatnonzero(active & denser_all)
+            case_ii = np.flatnonzero(active & ~denser_all)
+            if case_i.size:
+                local_idx, distance = part.tree.nearest_neighbor_batch(
+                    query_points[case_i]
+                )
+                d_sq = distance * distance
+                found = local_idx >= 0
+                better = found & (d_sq < best_sq[case_i])
+                targets = case_i[better]
+                best_sq[targets] = d_sq[better]
+                best_idx[targets] = part.member_indices[local_idx[better]]
+            if case_ii.size:
+                members = part.member_indices
+                eligible = (
+                    self._rho[members][None, :] > query_rho[case_ii, None]
+                ) & (members[None, :] != indices[case_ii, None])
+                counts = eligible.sum(axis=1)
+                self._counter.add("distance_calcs", float(counts.sum()))
+                diff = (
+                    query_points[case_ii][:, None, :]
+                    - self._points[members][None, :, :]
+                )
+                d_sq = np.einsum("qjd,qjd->qj", diff, diff)
+                d_sq = np.where(eligible, d_sq, np.inf)
+                pos = np.argmin(d_sq, axis=1)
+                vals = d_sq[np.arange(case_ii.size), pos]
+                better = vals < best_sq[case_ii]
+                targets = case_ii[better]
+                best_sq[targets] = vals[better]
+                best_idx[targets] = members[pos[better]]
+
+        return best_idx, np.sqrt(best_sq)

@@ -67,6 +67,14 @@ class DensityPeaksBase(abc.ABC):
         When true (default) the estimator records per-task cost estimates for
         each parallel phase so that thread-scaling can be simulated afterwards
         via ``result.parallel_profile_``.
+    engine:
+        Query-execution engine for the density and dependency hot paths.
+        ``"batch"`` (the default) issues chunked, vectorised batch queries
+        through :meth:`repro.parallel.executor.ParallelExecutor.map_index_chunks`;
+        ``"scalar"`` runs the original one-query-per-point code, which is
+        slower but exercises the per-query work-counter instrumentation.
+        Both engines produce identical results (property-tested); baselines
+        that have no batch kernels simply ignore the flag.
     """
 
     #: Human-readable algorithm name; subclasses override.
@@ -82,8 +90,14 @@ class DensityPeaksBase(abc.ABC):
         n_jobs: int = 1,
         seed: int | None = 0,
         record_costs: bool = True,
+        engine: str = "batch",
     ):
         self.d_cut = check_positive(d_cut, "d_cut")
+        if engine not in ("scalar", "batch"):
+            raise ValueError(
+                f"engine must be 'scalar' or 'batch', got {engine!r}"
+            )
+        self.engine = engine
         self.rho_min = None if rho_min is None else check_non_negative(rho_min, "rho_min")
         if delta_min is not None and n_clusters is not None:
             raise ValueError("delta_min and n_clusters are mutually exclusive")
@@ -232,6 +246,7 @@ class DensityPeaksBase(abc.ABC):
             "n_clusters": self.n_clusters,
             "n_jobs": self.n_jobs,
             "seed": self.seed,
+            "engine": self.engine,
         }
 
     def __repr__(self) -> str:

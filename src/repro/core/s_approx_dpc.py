@@ -26,13 +26,20 @@ representative point per cell:
 
 Larger ``epsilon`` means fewer cells, fewer range searches, and a coarser
 result (Table 5); ``epsilon -> 0`` degenerates towards Approx-DPC's grid.
+
+With the default ``engine="batch"``, the per-cell range searches and the
+partitioned exact fallback are issued as chunked vectorised batch queries
+that produce results identical to the scalar per-cell code.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.exact_dependency import PartitionedDependencySearcher
+from repro.core.exact_dependency import (
+    PartitionedDependencySearcher,
+    resolve_undecided_dependencies,
+)
 from repro.core.framework import DensityPeaksBase
 from repro.index.kdtree import KDTree
 from repro.index.sample_grid import SampledGrid
@@ -53,7 +60,7 @@ class SApproxDPC(DensityPeaksBase):
         Approximation parameter (> 0).  The grid cell side is
         ``epsilon * d_cut / sqrt(d)``; larger values mean faster, coarser
         clustering.
-    rho_min, delta_min, n_clusters, n_jobs, seed, record_costs:
+    rho_min, delta_min, n_clusters, n_jobs, seed, record_costs, engine:
         See :class:`repro.core.framework.DensityPeaksBase`.  Note that
         ``rho_min`` only applies to picked points (non-picked points inherit
         their representative's density), mirroring §5.
@@ -79,6 +86,7 @@ class SApproxDPC(DensityPeaksBase):
         record_costs: bool = True,
         leaf_size: int = 32,
         fallback_factor: float = 4.0,
+        engine: str = "batch",
     ):
         super().__init__(
             d_cut,
@@ -88,6 +96,7 @@ class SApproxDPC(DensityPeaksBase):
             n_jobs=n_jobs,
             seed=seed,
             record_costs=record_costs,
+            engine=engine,
         )
         self.epsilon = check_positive(epsilon, "epsilon")
         self.leaf_size = leaf_size
@@ -124,26 +133,38 @@ class SApproxDPC(DensityPeaksBase):
         cells = grid.cells()
         costs = np.zeros(len(cells), dtype=np.float64)
 
-        def process_cell(position: int) -> None:
+        def finish_cell(position: int, neighbors: np.ndarray) -> None:
             cell = cells[position]
-            picked = cell.picked
-            neighbors = tree.range_search(points[picked], d_cut, strict=True)
             density = float(neighbors.size)
             cell.density = density
-            rho[picked] = density
+            rho[cell.picked] = density
 
             # A strict range search already returns exactly the points within
             # d_cut of the picked point, so N(c) is read straight off it.
-            own_key = cell.key
-            neighbor_keys = {
-                grid.key_of_point(int(index))
-                for index in neighbors
-                if grid.key_of_point(int(index)) != own_key
-            }
-            cell.neighbor_cells = sorted(neighbor_keys)
+            cell.neighbor_cells = grid.distinct_keys_of_points(
+                neighbors, exclude=cell.key
+            )
             costs[position] = density + 1.0
 
-        self._executor.map(process_cell, list(range(len(cells))))
+        if self.engine == "batch":
+            picked_arr = np.asarray([cell.picked for cell in cells], dtype=np.intp)
+
+            def process_cell_chunk(chunk: np.ndarray) -> None:
+                neighbor_lists = tree.range_search_batch(
+                    points[picked_arr[chunk]], d_cut, strict=True
+                )
+                for position, neighbors in zip(chunk, neighbor_lists):
+                    finish_cell(int(position), neighbors)
+
+            self._executor.map_index_chunks(process_cell_chunk, len(cells))
+        else:
+            def process_cell(position: int) -> None:
+                neighbors = tree.range_search(
+                    points[cells[position].picked], d_cut, strict=True
+                )
+                finish_cell(position, neighbors)
+
+            self._executor.map(process_cell, list(range(len(cells))))
 
         # Non-picked points inherit their representative's density (the paper
         # exempts them from rho_min; sharing the picked density keeps the
@@ -249,16 +270,10 @@ class SApproxDPC(DensityPeaksBase):
             counter=self._counter,
         )
         self._fallback_memory = searcher.memory_bytes()
-
-        def resolve(index: int) -> tuple[int, int, float]:
-            neighbor, distance = searcher.query(index)
-            return index, neighbor, distance
-
-        resolutions = self._executor.map(resolve, undecided)
-        for index, neighbor, distance in resolutions:
-            dependent[index] = neighbor
-            delta[index] = distance
-            exact_mask[index] = True
+        resolve_undecided_dependencies(
+            searcher, undecided, self._executor, self.engine,
+            dependent, delta, exact_mask,
+        )
         costs = np.asarray(
             [searcher.query_cost(float(rho[index])) for index in undecided]
         )

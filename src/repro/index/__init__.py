@@ -17,6 +17,20 @@ here from scratch:
   point per cell and neighbouring-cell sets.
 * :class:`repro.index.sample_grid.SampledGrid` -- the ``epsilon``-scaled grid
   of S-Approx-DPC with one *picked* point per cell.
+
+Batch query engine
+------------------
+The kd-tree additionally exposes a *vectorised batch* API --
+``range_count_batch`` / ``range_search_batch`` / ``knn_batch`` /
+``nearest_neighbor_batch`` -- that answers many queries with one iterative
+traversal: internal nodes route whole query subsets with a single vectorised
+comparison and leaves evaluate entire ``queries x bucket`` distance blocks at
+once.  The grids mirror this with vectorised construction
+(:func:`repro.index.grid.lattice_groups`) and batch key lookups
+(``distinct_keys_of_points``).  Batch results are
+bit-for-bit equal to the scalar queries (property-tested in
+``tests/property/test_batch_equivalence.py``); ``docs/performance.md``
+documents the design and the measured speedups.
 """
 
 from repro.index.grid import UniformGrid

@@ -18,6 +18,13 @@ listed in the paper:
 The density-dependent fields are filled in by the clustering algorithm during
 the local-density phase (they cannot be known at construction time); the grid
 itself is purely geometric.
+
+Construction and the key lookups are fully vectorised: the integer lattice is
+computed for all points at once, points are grouped into cells with a single
+``numpy.unique`` pass (:func:`lattice_groups`), and
+:meth:`UniformGrid.distinct_keys_of_points` answers batch key queries without
+a Python-level loop per point.  These batch entry points are what the
+``engine="batch"`` code paths of Approx-DPC and S-Approx-DPC use.
 """
 
 from __future__ import annotations
@@ -28,7 +35,51 @@ import numpy as np
 
 from repro.utils.validation import check_points, check_positive
 
-__all__ = ["GridCell", "UniformGrid"]
+__all__ = ["GridCell", "UniformGrid", "lattice_groups", "distinct_lattice_keys"]
+
+
+def lattice_groups(
+    points: np.ndarray, cell_side: float
+) -> tuple[np.ndarray, np.ndarray, list[np.ndarray]]:
+    """Group points into uniform grid cells with one vectorised pass.
+
+    Returns ``(lattice, unique_keys, groups)`` where ``lattice`` holds every
+    point's integer cell coordinates (shape ``(n, d)``), ``unique_keys`` the
+    distinct cell coordinates in lexicographic order (shape ``(m, d)``), and
+    ``groups[j]`` the indices of the points in cell ``j`` in ascending point
+    order.
+    """
+    lattice = np.floor(points / cell_side).astype(np.int64)
+    unique_keys, inverse = np.unique(lattice, axis=0, return_inverse=True)
+    inverse = inverse.reshape(-1)
+    order = np.argsort(inverse, kind="stable").astype(np.intp)
+    boundaries = np.searchsorted(inverse[order], np.arange(unique_keys.shape[0] + 1))
+    groups = [
+        order[boundaries[j] : boundaries[j + 1]] for j in range(unique_keys.shape[0])
+    ]
+    return lattice, unique_keys, groups
+
+
+def distinct_lattice_keys(
+    lattice: np.ndarray, indices, exclude=None
+) -> list[tuple[int, ...]]:
+    """Sorted distinct rows of ``lattice[indices]`` as key tuples.
+
+    Vectorised equivalent of ``sorted({tuple(lattice[i]) for i in indices})``
+    (``numpy.unique`` over rows is lexicographic, matching tuple order);
+    ``exclude`` optionally drops one key, typically the querying cell's own.
+    Shared by both grid classes to answer batch ``N(c)`` neighbour lookups
+    (§4.1).
+    """
+    idx = np.asarray(indices, dtype=np.intp).reshape(-1)
+    if idx.size == 0:
+        return []
+    unique_rows = np.unique(lattice[idx], axis=0)
+    keys = list(map(tuple, unique_rows.tolist()))
+    if exclude is not None:
+        exclude = tuple(exclude)
+        keys = [key for key in keys if key != exclude]
+    return keys
 
 
 @dataclass
@@ -96,21 +147,23 @@ class UniformGrid:
         self._cell_side = check_positive(cell_side, "cell_side")
         self._n, self._dim = self._points.shape
 
-        lattice = np.floor(self._points / self._cell_side).astype(np.int64)
-        self._point_keys = [tuple(row) for row in lattice]
+        lattice, unique_keys, groups = lattice_groups(self._points, self._cell_side)
+        self._lattice = lattice
+        self._point_keys = list(map(tuple, lattice.tolist()))
 
-        cells: dict[tuple[int, ...], list[int]] = {}
-        for index, key in enumerate(self._point_keys):
-            cells.setdefault(key, []).append(index)
+        # Distance of every point to its own cell center, computed in one
+        # vectorised pass; per-cell maxima are then simple reductions.
+        half = self._cell_side / 2.0
+        centers_per_point = lattice.astype(np.float64) * self._cell_side + half
+        diffs = self._points - centers_per_point
+        center_dist_sq = np.einsum("ij,ij->i", diffs, diffs)
 
         self._cells: dict[tuple[int, ...], GridCell] = {}
-        half = self._cell_side / 2.0
-        for key, indices in cells.items():
-            idx = np.asarray(indices, dtype=np.intp)
-            center = (np.asarray(key, dtype=np.float64) * self._cell_side) + half
-            coords = self._points[idx]
-            diffs = coords - center
-            max_dist = float(np.sqrt(np.einsum("ij,ij->i", diffs, diffs).max()))
+        key_rows = unique_keys.tolist()
+        for position, idx in enumerate(groups):
+            key = tuple(key_rows[position])
+            center = unique_keys[position].astype(np.float64) * self._cell_side + half
+            max_dist = float(np.sqrt(center_dist_sq[idx].max()))
             self._cells[key] = GridCell(
                 key=key,
                 point_indices=idx,
@@ -179,6 +232,14 @@ class UniformGrid:
     def keys_of_points(self, indices) -> list[tuple[int, ...]]:
         """Return the lattice keys of the cells containing each point in ``indices``."""
         return [self._point_keys[int(i)] for i in indices]
+
+    def distinct_keys_of_points(self, indices, exclude=None) -> list[tuple[int, ...]]:
+        """Return the sorted distinct lattice keys covering ``indices``.
+
+        See :func:`distinct_lattice_keys`; this is the batch-engine primitive
+        behind the ``N(c)`` neighbour sets of §4.1.
+        """
+        return distinct_lattice_keys(self._lattice, indices, exclude=exclude)
 
     def memory_bytes(self) -> int:
         """Approximate memory footprint of the grid structure in bytes."""

@@ -21,6 +21,28 @@ paper:
     neighbour search returns the exact dependent point.
 
 Both trees use the Euclidean metric and break ties by the smallest index.
+
+Batch queries
+-------------
+Every scalar query on :class:`KDTree` has a vectorised batch counterpart --
+``range_count_batch``, ``range_search_batch``, ``knn_batch`` and
+``nearest_neighbor_batch``.  The batch methods traverse the tree
+*iteratively*: an explicit stack holds ``(node, query-subset)`` frontier
+entries, an internal node partitions its query subset between children with
+one vectorised comparison, and a leaf evaluates all ``|subset| x |bucket|``
+distances in a single numpy kernel.  Each tree node is therefore visited at
+most once per batch call (with whatever query subset reaches it) instead of
+once per query, which removes the per-point Python recursion that dominates
+the scalar hot path.
+
+The batch methods apply exactly the same per-query pruning rules and
+identical per-pair arithmetic (``diff`` then a squared-norm ``einsum``) as
+the scalar ones, so their results are bit-for-bit equal; the property suite
+in ``tests/property/test_batch_equivalence.py`` locks that in.  Two
+deliberate, documented normalisations keep results order-independent:
+``range_search_batch`` returns each query's hit indices in ascending order
+(the scalar method reports traversal order), and the nearest-neighbour
+queries break exact distance ties by the smallest point index.
 """
 
 from __future__ import annotations
@@ -310,11 +332,14 @@ class KDTree:
         best_idx = -1
         best_sq = np.inf
         # Depth-first traversal ordered by the near child first; prune subtrees
-        # whose splitting plane is farther than the current best distance.
+        # whose splitting plane is strictly farther than the current best
+        # distance.  The non-strict comparison keeps equal-distance candidates
+        # reachable so the smallest-index tie-break is traversal-order
+        # independent (and therefore identical to ``nearest_neighbor_batch``).
         stack: list[tuple[int, float]] = [(self._root, 0.0)]
         while stack:
             node, plane_sq = stack.pop()
-            if plane_sq >= best_sq:
+            if plane_sq > best_sq:
                 continue
             if self._is_leaf(node):
                 idx = self._indices[self._start_arr[node] : self._stop_arr[node]]
@@ -326,8 +351,10 @@ class KDTree:
                     d_sq = np.where(idx == exclude, np.inf, d_sq)
                 if mask is not None:
                     d_sq = np.where(mask[idx], d_sq, np.inf)
-                pos = int(np.argmin(d_sq))
-                if d_sq[pos] < best_sq:
+                pos = int(np.lexsort((idx, d_sq))[0])
+                if d_sq[pos] < best_sq or (
+                    d_sq[pos] == best_sq and int(idx[pos]) < best_idx
+                ):
                     best_sq = float(d_sq[pos])
                     best_idx = int(idx[pos])
                 continue
@@ -368,7 +395,7 @@ class KDTree:
         stack: list[tuple[int, float]] = [(self._root, 0.0)]
         while stack:
             node, plane_sq = stack.pop()
-            if plane_sq >= best_sq[-1]:
+            if plane_sq > best_sq[-1]:
                 continue
             if self._is_leaf(node):
                 idx = self._indices[self._start_arr[node] : self._stop_arr[node]]
@@ -380,7 +407,10 @@ class KDTree:
                     d_sq = np.where(idx == exclude, np.inf, d_sq)
                 merged_sq = np.concatenate([best_sq, d_sq])
                 merged_idx = np.concatenate([best_idx, idx])
-                order = np.argsort(merged_sq, kind="stable")[:k]
+                # Lexicographic (distance, index) order: exact distance ties
+                # resolve to the smallest index regardless of traversal order,
+                # matching knn_batch bit for bit.
+                order = np.lexsort((merged_idx, merged_sq))[:k]
                 best_sq = merged_sq[order]
                 best_idx = merged_idx[order]
                 continue
@@ -396,6 +426,350 @@ class KDTree:
 
         valid = best_idx >= 0
         return best_idx[valid], np.sqrt(best_sq[valid])
+
+    # ---------------------------------------------------------- batch queries
+
+    def _check_query_batch(self, queries) -> np.ndarray:
+        """Validate a ``(q, d)`` query batch (a bare ``(d,)`` vector is promoted)."""
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim == 1 and queries.shape[0] == self._dim:
+            queries = queries.reshape(1, -1)
+        if queries.size == 0:
+            return queries.reshape(0, self._dim)
+        if queries.ndim != 2 or queries.shape[1] != self._dim:
+            raise ValueError(
+                f"queries must have shape (q, {self._dim}), got {queries.shape}"
+            )
+        return queries
+
+    def _check_radius_sq_batch(self, radius, n_queries: int) -> np.ndarray:
+        """Return per-query *squared* radii from a scalar or length-q array."""
+        radius_arr = np.asarray(radius, dtype=np.float64)
+        if radius_arr.ndim == 0:
+            radius_value = check_positive(float(radius_arr), "radius")
+            radius_arr = np.full(n_queries, radius_value)
+        else:
+            radius_arr = radius_arr.reshape(-1)
+            if radius_arr.shape[0] != n_queries:
+                raise ValueError(
+                    f"radius must be a scalar or have one entry per query "
+                    f"({n_queries}), got {radius_arr.shape[0]}"
+                )
+            if radius_arr.size and float(radius_arr.min()) <= 0.0:
+                raise ValueError("every radius must be positive")
+        return radius_arr * radius_arr
+
+    def _leaf_distances_sq(self, queries_sub: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        """Squared distances from every query in the subset to every leaf point.
+
+        Uses the same ``diff``-then-``einsum`` arithmetic as the scalar
+        :func:`repro.utils.distance.point_to_points_sq`, so every pair produces
+        the bit-identical squared distance in both code paths.
+        """
+        diff = queries_sub[:, None, :] - self._points[idx][None, :, :]
+        return np.einsum("qjd,qjd->qj", diff, diff)
+
+    def _range_traverse_batch(self, queries, radius_sq, on_leaf) -> None:
+        """Shared frontier traversal of the batch range queries.
+
+        ``on_leaf(qidx, idx, hits)`` receives the query subset that reached the
+        leaf, the leaf's point indices and the boolean hit matrix.  The child
+        routing replicates the scalar rule per query: the near side is always
+        visited and the far side only when the splitting plane is within the
+        query radius, so the set of visited ``(node, query)`` pairs -- and the
+        recorded distance-calculation counts -- match the scalar methods
+        exactly.
+        """
+        stack: list[tuple[int, np.ndarray]] = [
+            (self._root, np.arange(queries.shape[0], dtype=np.intp))
+        ]
+        while stack:
+            node, qidx = stack.pop()
+            if self._is_leaf(node):
+                idx = self._indices[self._start_arr[node] : self._stop_arr[node]]
+                if idx.size == 0:
+                    continue
+                self.counter.add("distance_calcs", float(qidx.size) * float(idx.size))
+                d_sq = self._leaf_distances_sq(queries[qidx], idx)
+                on_leaf(qidx, idx, d_sq)
+                continue
+            dim = self._split_dim_arr[node]
+            diff = queries[qidx, dim] - self._split_val_arr[node]
+            within = diff * diff <= radius_sq[qidx]
+            left_q = qidx[(diff < 0.0) | within]
+            right_q = qidx[(diff >= 0.0) | within]
+            if left_q.size:
+                stack.append((self._left_arr[node], left_q))
+            if right_q.size:
+                stack.append((self._right_arr[node], right_q))
+
+    def range_count_batch(self, queries, radius, strict: bool = True) -> np.ndarray:
+        """Vectorised batch counterpart of :meth:`range_count`.
+
+        Parameters
+        ----------
+        queries:
+            Array of shape ``(q, d)``; an empty batch returns an empty array.
+        radius:
+            Scalar radius shared by every query, or an array of ``q`` per-query
+            radii (Approx-DPC's joint range search uses per-cell radii).
+        strict:
+            Count ``dist < radius`` when true (Definition 1), else
+            ``dist <= radius``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Integer counts, one per query, identical to calling
+            :meth:`range_count` per point.
+        """
+        queries = self._check_query_batch(queries)
+        n_queries = queries.shape[0]
+        radius_sq = self._check_radius_sq_batch(radius, n_queries)
+        counts = np.zeros(n_queries, dtype=np.intp)
+        if n_queries == 0:
+            return counts
+
+        def on_leaf(qidx: np.ndarray, idx: np.ndarray, d_sq: np.ndarray) -> None:
+            bound = radius_sq[qidx, None]
+            hits = d_sq < bound if strict else d_sq <= bound
+            counts[qidx] += hits.sum(axis=1)
+
+        self._range_traverse_batch(queries, radius_sq, on_leaf)
+        return counts
+
+    def range_search_batch(
+        self, queries, radius, strict: bool = True
+    ) -> list[np.ndarray]:
+        """Vectorised batch counterpart of :meth:`range_search`.
+
+        Returns one index array per query holding the same point set as the
+        scalar method, but sorted in ascending index order (the scalar method
+        reports hits in traversal order, which is an implementation detail).
+        ``radius`` may be a scalar or an array of per-query radii.
+        """
+        queries = self._check_query_batch(queries)
+        n_queries = queries.shape[0]
+        radius_sq = self._check_radius_sq_batch(radius, n_queries)
+        results: list[np.ndarray] = [
+            np.empty(0, dtype=np.intp) for _ in range(n_queries)
+        ]
+        if n_queries == 0:
+            return results
+        hit_queries: list[np.ndarray] = []
+        hit_points: list[np.ndarray] = []
+
+        def on_leaf(qidx: np.ndarray, idx: np.ndarray, d_sq: np.ndarray) -> None:
+            bound = radius_sq[qidx, None]
+            hits = d_sq < bound if strict else d_sq <= bound
+            rows, cols = np.nonzero(hits)
+            if rows.size:
+                hit_queries.append(qidx[rows])
+                hit_points.append(idx[cols])
+
+        self._range_traverse_batch(queries, radius_sq, on_leaf)
+        if not hit_queries:
+            return results
+        all_queries = np.concatenate(hit_queries)
+        all_points = np.concatenate(hit_points)
+        order = np.argsort(all_queries, kind="stable")
+        all_queries = all_queries[order]
+        all_points = all_points[order]
+        boundaries = np.searchsorted(all_queries, np.arange(n_queries + 1))
+        for query in range(n_queries):
+            start, stop = boundaries[query], boundaries[query + 1]
+            if stop > start:
+                results[query] = np.sort(all_points[start:stop])
+        return results
+
+    def _knn_batch_impl(
+        self,
+        queries: np.ndarray,
+        k: int,
+        exclude: Optional[np.ndarray],
+        mask: Optional[np.ndarray],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Frontier-based batch k-nearest-neighbour search.
+
+        Returns ``(indices, squared_distances)`` of shape ``(q, k)`` padded
+        with ``-1`` / ``inf``.  Exact distance ties are broken by the smallest
+        index, which (together with the non-strict pruning test) makes the
+        result independent of traversal order and therefore identical to the
+        scalar methods.
+        """
+        n_queries = queries.shape[0]
+        best_sq = np.full((n_queries, k), np.inf)
+        best_idx = np.full((n_queries, k), -1, dtype=np.intp)
+        if n_queries == 0:
+            return best_idx, best_sq
+
+        # Leaf node each query was routed to by the seeding pass; refinement
+        # skips that (query, leaf) pair so no leaf is merged twice per query.
+        home_leaf = np.full(n_queries, -1, dtype=np.intp)
+
+        def merge_leaf(qidx: np.ndarray, idx: np.ndarray, node: int = -1) -> None:
+            """Fold one leaf's distance block into the per-query best arrays."""
+            if node >= 0:
+                fresh = home_leaf[qidx] != node
+                if not fresh.all():
+                    qidx = qidx[fresh]
+                    if qidx.size == 0:
+                        return
+            self.counter.add("distance_calcs", float(qidx.size) * float(idx.size))
+            d_sq = self._leaf_distances_sq(queries[qidx], idx)
+            if exclude is not None:
+                d_sq = np.where(idx[None, :] == exclude[qidx][:, None], np.inf, d_sq)
+            if mask is not None:
+                d_sq = np.where(mask[idx][None, :], d_sq, np.inf)
+            # Merge only the rows this leaf can actually improve (or tie,
+            # which may still lower the winning index).
+            improving = d_sq.min(axis=1) <= best_sq[qidx, -1]
+            if not improving.any():
+                return
+            rows = qidx[improving]
+            d_sq = d_sq[improving]
+            merged_sq = np.concatenate([best_sq[rows], d_sq], axis=1)
+            merged_idx = np.concatenate(
+                [best_idx[rows], np.broadcast_to(idx, (rows.size, idx.size))],
+                axis=1,
+            )
+            # Lexicographic (distance, index) order: exact distance ties
+            # resolve to the smallest index regardless of traversal order,
+            # matching the scalar methods bit for bit.
+            order = np.lexsort((merged_idx, merged_sq), axis=-1)[:, :k]
+            best_sq[rows] = np.take_along_axis(merged_sq, order, axis=1)
+            best_idx[rows] = np.take_along_axis(merged_idx, order, axis=1)
+
+        # Seeding pass: route every query to its home leaf (near side only,
+        # so the subsets partition and each node is visited at most once) and
+        # initialise the best arrays from that leaf's bucket.  This tightens
+        # the pruning bounds before the refinement pass starts, which keeps
+        # the far-side frontier small; it only ever lowers bounds, so the
+        # refinement pass still visits every node the scalar search would.
+        seed_stack: list[tuple[int, np.ndarray]] = [
+            (self._root, np.arange(n_queries, dtype=np.intp))
+        ]
+        while seed_stack:
+            node, qidx = seed_stack.pop()
+            if self._is_leaf(node):
+                home_leaf[qidx] = node
+                idx = self._indices[self._start_arr[node] : self._stop_arr[node]]
+                if idx.size:
+                    merge_leaf(qidx, idx)
+                continue
+            diff = queries[qidx, self._split_dim_arr[node]] - self._split_val_arr[node]
+            on_left = diff < 0.0
+            if on_left.any():
+                seed_stack.append((self._left_arr[node], qidx[on_left]))
+            if not on_left.all():
+                seed_stack.append((self._right_arr[node], qidx[~on_left]))
+
+        stack: list[tuple[int, np.ndarray, np.ndarray]] = [
+            (self._root, np.arange(n_queries, dtype=np.intp), np.zeros(n_queries))
+        ]
+        while stack:
+            node, qidx, plane_sq = stack.pop()
+            # Bounds may have tightened since this entry was pushed; the
+            # non-strict comparison keeps equal-distance candidates reachable
+            # so the smallest-index tie-break is traversal-order independent.
+            alive = plane_sq <= best_sq[qidx, -1]
+            if not alive.all():
+                qidx = qidx[alive]
+                plane_sq = plane_sq[alive]
+            if qidx.size == 0:
+                continue
+            if self._is_leaf(node):
+                idx = self._indices[self._start_arr[node] : self._stop_arr[node]]
+                if idx.size:
+                    merge_leaf(qidx, idx, node)
+                continue
+            dim = self._split_dim_arr[node]
+            diff = queries[qidx, dim] - self._split_val_arr[node]
+            diff_sq = diff * diff
+            bound = best_sq[qidx, -1]
+            on_left = diff < 0.0
+            left_take = on_left | (diff_sq <= bound)
+            right_take = ~on_left | (diff_sq <= bound)
+            # Pop order is LIFO: push the child that is the far side for the
+            # majority of queries first, so most queries explore their near
+            # side first and tighten the pruning bound early.
+            left_first = np.count_nonzero(on_left) * 2 >= qidx.size
+            children = (
+                (
+                    (self._right_arr[node], right_take, np.where(on_left, diff_sq, 0.0)),
+                    (self._left_arr[node], left_take, np.where(on_left, 0.0, diff_sq)),
+                )
+                if left_first
+                else (
+                    (self._left_arr[node], left_take, np.where(on_left, 0.0, diff_sq)),
+                    (self._right_arr[node], right_take, np.where(on_left, diff_sq, 0.0)),
+                )
+            )
+            for child, take, child_plane in children:
+                if take.all():
+                    stack.append((child, qidx, child_plane))
+                elif take.any():
+                    stack.append((child, qidx[take], child_plane[take]))
+        return best_idx, best_sq
+
+    def knn_batch(
+        self, queries, k: int, *, exclude: Optional[np.ndarray] = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised batch counterpart of :meth:`knn`.
+
+        Parameters
+        ----------
+        queries:
+            Array of shape ``(q, d)``.
+        k:
+            Number of neighbours per query.
+        exclude:
+            Optional array of ``q`` point indices, one per query, to ignore
+            (typically the query points themselves).
+
+        Returns
+        -------
+        tuple
+            ``(indices, distances)`` of shape ``(q, k)`` sorted by increasing
+            distance per row, ties broken by the smallest index.  When a query
+            has fewer than ``k`` eligible neighbours the trailing slots hold
+            ``-1`` / ``inf`` (the scalar :meth:`knn` trims them instead).
+        """
+        queries = self._check_query_batch(queries)
+        k = check_positive_int(k, "k")
+        if exclude is not None:
+            exclude = np.asarray(exclude, dtype=np.intp).reshape(-1)
+            if exclude.shape[0] != queries.shape[0]:
+                raise ValueError("exclude must hold one point index per query")
+        best_idx, best_sq = self._knn_batch_impl(queries, k, exclude, None)
+        return best_idx, np.sqrt(best_sq)
+
+    def nearest_neighbor_batch(
+        self,
+        queries,
+        *,
+        exclude: Optional[np.ndarray] = None,
+        mask: Optional[np.ndarray] = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised batch counterpart of :meth:`nearest_neighbor`.
+
+        ``exclude`` is an optional array of one point index per query;
+        ``mask`` is the same per-point eligibility array the scalar method
+        accepts (shared by every query in the batch).  Returns ``(indices,
+        distances)`` arrays of length ``q`` with ``-1`` / ``inf`` for queries
+        with no eligible neighbour.
+        """
+        queries = self._check_query_batch(queries)
+        if exclude is not None:
+            exclude = np.asarray(exclude, dtype=np.intp).reshape(-1)
+            if exclude.shape[0] != queries.shape[0]:
+                raise ValueError("exclude must hold one point index per query")
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.shape[0] != self._n:
+                raise ValueError("mask must have one entry per indexed point")
+        best_idx, best_sq = self._knn_batch_impl(queries, 1, exclude, mask)
+        return best_idx[:, 0], np.sqrt(best_sq[:, 0])
 
 
 class _IncNode:

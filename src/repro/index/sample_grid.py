@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.index.grid import distinct_lattice_keys, lattice_groups
 from repro.utils.validation import check_points, check_positive
 
 __all__ = ["SampledCell", "SampledGrid"]
@@ -73,21 +74,22 @@ class SampledGrid:
         self._cell_side = check_positive(cell_side, "cell_side")
         self._n, self._dim = self._points.shape
 
-        lattice = np.floor(self._points / self._cell_side).astype(np.int64)
-        self._point_keys = [tuple(row) for row in lattice]
+        lattice, unique_keys, groups = lattice_groups(self._points, self._cell_side)
+        self._lattice = lattice
+        self._point_keys = list(map(tuple, lattice.tolist()))
 
-        groups: dict[tuple[int, ...], list[int]] = {}
-        for index, key in enumerate(self._point_keys):
-            groups.setdefault(key, []).append(index)
-
+        # Squared distance of every point to its own cell center in one
+        # vectorised pass; the representative of a cell is its argmin.
         half = self._cell_side / 2.0
+        centers_per_point = lattice.astype(np.float64) * self._cell_side + half
+        diffs = self._points - centers_per_point
+        center_dist_sq = np.einsum("ij,ij->i", diffs, diffs)
+
         self._cells: dict[tuple[int, ...], SampledCell] = {}
-        for key, indices in groups.items():
-            idx = np.asarray(indices, dtype=np.intp)
-            center = (np.asarray(key, dtype=np.float64) * self._cell_side) + half
-            coords = self._points[idx]
-            diffs = coords - center
-            picked_pos = int(np.argmin(np.einsum("ij,ij->i", diffs, diffs)))
+        key_rows = unique_keys.tolist()
+        for position, idx in enumerate(groups):
+            key = tuple(key_rows[position])
+            picked_pos = int(np.argmin(center_dist_sq[idx]))
             self._cells[key] = SampledCell(
                 key=key,
                 point_indices=idx,
@@ -143,6 +145,13 @@ class SampledGrid:
     def picked_points(self) -> np.ndarray:
         """Return the indices of all picked points, one per non-empty cell."""
         return np.asarray([cell.picked for cell in self._cells.values()], dtype=np.intp)
+
+    def distinct_keys_of_points(self, indices, exclude=None) -> list[tuple[int, ...]]:
+        """Return the sorted distinct lattice keys covering ``indices``.
+
+        See :func:`repro.index.grid.distinct_lattice_keys`.
+        """
+        return distinct_lattice_keys(self._lattice, indices, exclude=exclude)
 
     def memory_bytes(self) -> int:
         """Approximate memory footprint of the grid structure in bytes."""

@@ -15,9 +15,16 @@ multicore model* that computes the makespan a ``t``-thread machine would
 achieve for a measured set of task costs under each policy.  The simulation is
 what regenerates the paper's thread-scaling figure (Figure 9); see DESIGN.md
 for the substitution rationale.
+
+For the vectorised ``engine="batch"`` hot paths, the executor additionally
+supports *chunked* execution (:func:`repro.parallel.executor.split_indices`
+and :meth:`~repro.parallel.executor.ParallelExecutor.map_index_chunks`): the
+point-index range is split into a few contiguous chunks per worker and each
+worker answers its whole chunk with one vectorised batch query instead of one
+Python task per point.  ``docs/performance.md`` describes the design.
 """
 
-from repro.parallel.executor import ParallelExecutor, resolve_n_jobs
+from repro.parallel.executor import ParallelExecutor, resolve_n_jobs, split_indices
 from repro.parallel.partition import greedy_partition, partition_imbalance
 from repro.parallel.scheduler import dynamic_schedule_makespan, static_schedule_makespan
 from repro.parallel.simulate import (
@@ -29,6 +36,7 @@ from repro.parallel.simulate import (
 __all__ = [
     "ParallelExecutor",
     "resolve_n_jobs",
+    "split_indices",
     "greedy_partition",
     "partition_imbalance",
     "dynamic_schedule_makespan",

@@ -11,6 +11,18 @@ eager error propagation, and no hidden state.  Thread-count *scaling*
 experiments do not use this class directly; they use the simulated multicore
 model in :mod:`repro.parallel.simulate`, which is fed by the per-task costs
 recorded during a serial run (see DESIGN.md, substitution table).
+
+Chunked batch execution
+-----------------------
+The vectorised ``engine="batch"`` code paths do not map one task per point --
+per-task Python overhead would swamp the numpy kernels.  Instead the caller
+splits the index range into a few contiguous chunks per worker
+(:func:`split_indices` / :meth:`ParallelExecutor.map_index_chunks`) and each
+worker answers its whole chunk with one batch kd-tree query.  With one worker
+the entire range becomes a single chunk, which maximises the vectorised work
+per Python call; with ``t`` workers a small multiple of ``t`` chunks keeps the
+thread pool busy while numpy kernels release the GIL.  See
+``docs/performance.md`` for the design and measurements.
 """
 
 from __future__ import annotations
@@ -19,9 +31,11 @@ import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
+import numpy as np
+
 from repro.utils.validation import check_positive_int
 
-__all__ = ["ParallelExecutor", "resolve_n_jobs"]
+__all__ = ["ParallelExecutor", "resolve_n_jobs", "split_indices"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -38,6 +52,25 @@ def resolve_n_jobs(n_jobs: int | None) -> int:
     if n_jobs == -1:
         return max(1, os.cpu_count() or 1)
     return check_positive_int(n_jobs, "n_jobs")
+
+
+def split_indices(n_items: int, n_chunks: int) -> list[np.ndarray]:
+    """Split ``range(n_items)`` into at most ``n_chunks`` contiguous index arrays.
+
+    Empty chunks are dropped, so the result holds ``min(n_items, n_chunks)``
+    arrays (or none when ``n_items == 0``).  Concatenating the chunks yields
+    ``arange(n_items)``, which lets callers reassemble per-chunk batch results
+    in index order.
+    """
+    if n_items < 0:
+        raise ValueError("n_items must be non-negative")
+    n_chunks = check_positive_int(n_chunks, "n_chunks")
+    if n_items == 0:
+        return []
+    return [
+        chunk.astype(np.intp)
+        for chunk in np.array_split(np.arange(n_items), min(n_chunks, n_items))
+    ]
 
 
 class ParallelExecutor:
@@ -79,3 +112,26 @@ class ParallelExecutor:
             return [func(chunk) for chunk in chunk_list]
         with ThreadPoolExecutor(max_workers=self._n_jobs) as pool:
             return list(pool.map(func, chunk_list))
+
+    def map_index_chunks(
+        self,
+        func: Callable[[np.ndarray], R],
+        n_items: int,
+        chunks_per_worker: int = 4,
+    ) -> list[R]:
+        """Apply ``func`` to contiguous index chunks covering ``range(n_items)``.
+
+        This is the entry point of the vectorised batch engine: with one
+        worker the whole range is a single chunk (one batch kd-tree call);
+        with ``t`` workers the range is split into ``t * chunks_per_worker``
+        chunks so the pool stays busy even when chunk costs are skewed.
+        Results are returned in index (chunk) order; concatenating them
+        restores per-item ordering.
+        """
+        if self._n_jobs == 1:
+            n_chunks = 1
+        else:
+            n_chunks = self._n_jobs * check_positive_int(
+                chunks_per_worker, "chunks_per_worker"
+            )
+        return self.map_chunks(func, split_indices(n_items, n_chunks))

@@ -2,10 +2,22 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.data import generate_blobs, generate_syn
+
+# Hypothesis profiles: "dev" (default) explores freely; "ci" is pinned for
+# determinism (fixed example budget, derandomized) so CI runs are reproducible
+# across Python versions.  Select with HYPOTHESIS_PROFILE=ci.
+settings.register_profile("dev", deadline=None)
+settings.register_profile(
+    "ci", deadline=None, max_examples=60, derandomize=True, print_blob=True
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 def reference_local_density(points: np.ndarray, d_cut: float) -> np.ndarray:
