@@ -13,8 +13,10 @@ paper's ordering exactly (see EXPERIMENTS.md).
 
 Run the full table with ``python benchmarks/bench_table6_decomposed_time.py``;
 pass ``--engine {scalar,batch,both}`` to select the query engine(s) of the
-proposed algorithms (see docs/performance.md) and ``--json PATH`` to dump the
-rows for the perf trajectory.
+proposed algorithms (see docs/performance.md), ``--backend
+{serial,thread,process}`` with ``--n-jobs`` to measure the decomposed times
+on a real execution backend (see docs/parallel.md), and ``--json PATH`` to
+dump the rows for the perf trajectory.
 """
 
 from __future__ import annotations
@@ -41,7 +43,13 @@ ALGORITHMS = [
 ]
 
 
-def _table(names, algorithms=ALGORITHMS, engines=("scalar", "batch")) -> list[dict]:
+def _table(
+    names,
+    algorithms=ALGORITHMS,
+    engines=("scalar", "batch"),
+    backend: str | None = None,
+    n_jobs: int = 1,
+) -> list[dict]:
     rows = []
     for name in names:
         workload = load_workload(name)
@@ -53,15 +61,28 @@ def _table(names, algorithms=ALGORITHMS, engines=("scalar", "batch")) -> list[di
                 if position == 0
                 else [a for a in algorithms if a in ENGINE_AWARE_ALGORITHMS]
             )
-            results = run_performance_suite(workload, selected, engine=engine)
+            results = run_performance_suite(
+                workload, selected, engine=engine, backend=backend, n_jobs=n_jobs
+            )
             for algorithm, result in results.items():
+                # Report the backend that actually executed: only the batch
+                # engine of the engine-aware algorithms has process kernels;
+                # baselines and scalar-engine rows degrade to the thread path
+                # under the process backend (see docs/parallel.md).
+                requested = result.params_.get("backend", "-")
+                engine_aware = algorithm in ENGINE_AWARE_ALGORITHMS
+                if requested == "process" and not (
+                    engine_aware and engine == "batch"
+                ):
+                    effective = "process->thread"
+                else:
+                    effective = requested
                 rows.append(
                     {
                         "dataset": workload.name,
                         "algorithm": algorithm,
-                        "engine": engine
-                        if algorithm in ENGINE_AWARE_ALGORITHMS
-                        else "-",
+                        "engine": engine if engine_aware else "-",
+                        "backend": effective,
                         "rho_time_s": result.timings_["local_density"],
                         "delta_time_s": result.timings_["dependency"],
                         "rho_distance_calcs": result.work_["density_distance_calcs"],
@@ -94,11 +115,29 @@ def main() -> None:
         default="both",
         help="query engine for Ex-DPC / Approx-DPC / S-Approx-DPC",
     )
+    parser.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default=None,
+        help="execution backend of every algorithm's parallel phases "
+        "(default: each estimator's default)",
+    )
+    parser.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        help="worker count for the selected backend",
+    )
     parser.add_argument("--json", type=str, default=None, help="dump rows to this path")
     args = parser.parse_args()
     engines = ("scalar", "batch") if args.engine == "both" else (args.engine,)
 
-    rows = _table(real_workload_names(), engines=engines)
+    rows = _table(
+        real_workload_names(),
+        engines=engines,
+        backend=args.backend,
+        n_jobs=args.n_jobs,
+    )
     print_table(
         "Table 6: decomposed time and distance computations per algorithm",
         rows,

@@ -65,6 +65,7 @@ class LSHDDP(DensityPeaksBase):
         delta_min: float | None = None,
         n_clusters: int | None = None,
         n_jobs: int = 1,
+        backend: str | None = None,
         seed: int | None = 0,
         record_costs: bool = True,
     ):
@@ -74,6 +75,7 @@ class LSHDDP(DensityPeaksBase):
             delta_min=delta_min,
             n_clusters=n_clusters,
             n_jobs=n_jobs,
+            backend=backend,
             seed=seed,
             record_costs=record_costs,
         )

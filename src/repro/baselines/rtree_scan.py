@@ -39,6 +39,7 @@ class RTreeScanDPC(ScanDPC):
         delta_min: float | None = None,
         n_clusters: int | None = None,
         n_jobs: int = 1,
+        backend: str | None = None,
         seed: int | None = 0,
         record_costs: bool = True,
         chunk_size: int = 1024,
@@ -51,6 +52,7 @@ class RTreeScanDPC(ScanDPC):
             delta_min=delta_min,
             n_clusters=n_clusters,
             n_jobs=n_jobs,
+            backend=backend,
             seed=seed,
             record_costs=record_costs,
             chunk_size=chunk_size,

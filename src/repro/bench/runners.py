@@ -134,6 +134,8 @@ def run_performance_suite(
     seed: int = 0,
     epsilon: float | None = None,
     engine: str | None = None,
+    backend: str | None = None,
+    n_jobs: int = 1,
 ) -> dict[str, DPCResult]:
     """Fit every requested algorithm once on the workload and return the results.
 
@@ -142,7 +144,10 @@ def run_performance_suite(
     each :class:`~repro.core.result.DPCResult`.  ``engine`` selects the
     scalar or batch query engine for the algorithms in
     :data:`ENGINE_AWARE_ALGORITHMS` (``None`` keeps each algorithm's
-    default).
+    default); ``backend`` and ``n_jobs`` select the execution backend and
+    worker count of every algorithm's parallel phases (``None`` / ``1`` keep
+    the defaults), which is how the measured -- as opposed to simulated --
+    scaling sweeps run.
     """
     results: dict[str, DPCResult] = {}
     for name in algorithms:
@@ -151,6 +156,10 @@ def run_performance_suite(
             extra["epsilon"] = epsilon
         if engine is not None and name in ENGINE_AWARE_ALGORITHMS:
             extra["engine"] = engine
+        if backend is not None:
+            extra["backend"] = backend
+        if n_jobs != 1:
+            extra["n_jobs"] = n_jobs
         model = build_algorithm(name, workload.d_cut, seed=seed, **extra)
         results[name] = model.fit(workload.points)
     return results

@@ -68,6 +68,19 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument(
         "--epsilon", type=float, default=0.5, help="S-Approx-DPC approximation parameter"
     )
+    cluster.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        help="workers for the parallel phases (-1: all CPUs in the affinity mask)",
+    )
+    cluster.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default=None,
+        help="execution backend (default: REPRO_DEFAULT_BACKEND or 'thread'; "
+        "see docs/parallel.md)",
+    )
     cluster.add_argument("--seed", type=int, default=0, help="random seed")
     cluster.add_argument(
         "--output", default=None, help="write labels CSV (+ JSON sidecar) here"
@@ -100,6 +113,8 @@ def _run_cluster(args: argparse.Namespace) -> int:
         "rho_min": args.rho_min,
         "delta_min": args.delta_min,
         "n_clusters": args.n_clusters,
+        "n_jobs": args.n_jobs,
+        "backend": args.backend,
         "seed": args.seed,
     }
     if name == "S-Approx-DPC":

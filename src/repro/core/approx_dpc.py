@@ -35,6 +35,8 @@ that produce results identical to the scalar per-cell code.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.core.exact_dependency import (
@@ -42,11 +44,74 @@ from repro.core.exact_dependency import (
     resolve_undecided_dependencies,
 )
 from repro.core.framework import DensityPeaksBase
-from repro.index.grid import UniformGrid
+from repro.index.grid import UniformGrid, distinct_lattice_keys
 from repro.index.kdtree import KDTree
+from repro.parallel.backends import kernel_joint_density, pack_tree_arrays
 from repro.utils.distance import point_to_points_sq
 
-__all__ = ["ApproxDPC"]
+__all__ = ["ApproxDPC", "CellDensitySummary", "cell_density_summary"]
+
+
+@dataclass
+class CellDensitySummary:
+    """Result of one cell's density scan (picklable; see §4.2).
+
+    Produced by :func:`cell_density_summary` for one grid cell: the exact
+    member densities read off the joint range-search result, the cell's
+    densest point, the ``N(c)`` neighbour keys, and the bookkeeping the cost
+    model and work counters need.
+    """
+
+    counts: np.ndarray
+    best_point: int
+    neighbor_keys: list[tuple[int, ...]]
+    n_candidates: int
+    n_distance_calcs: float
+
+
+def cell_density_summary(
+    points: np.ndarray,
+    lattice: np.ndarray,
+    members: np.ndarray,
+    candidates: np.ndarray,
+    d_cut_sq: float,
+    cell_key: tuple[int, ...],
+) -> CellDensitySummary:
+    """Exact member densities and cell bookkeeping from one joint result.
+
+    Shared by the in-process batch/scalar paths and the process-backend
+    kernel (:func:`repro.parallel.backends.kernel_joint_density`), so every
+    backend performs bit-identical arithmetic on identical inputs.
+    """
+    candidate_points = points[candidates]
+    member_points = points[members]
+
+    # Exact density of every member by scanning the shared result.
+    diffs_sq = (
+        np.einsum("ij,ij->i", member_points, member_points)[:, None]
+        + np.einsum("ij,ij->i", candidate_points, candidate_points)[None, :]
+        - 2.0 * member_points @ candidate_points.T
+    )
+    np.maximum(diffs_sq, 0.0, out=diffs_sq)
+    counts = (diffs_sq < d_cut_sq).sum(axis=1)
+
+    # Cell bookkeeping: densest point and N(c).
+    best_pos = int(np.argmax(counts))
+    best_point = int(members[best_pos])
+    best_sq = point_to_points_sq(points[best_point], candidate_points)
+    close = candidates[best_sq < d_cut_sq]
+    neighbor_keys = distinct_lattice_keys(lattice, close, exclude=cell_key)
+
+    n_distance_calcs = float(members.size) * float(candidates.size) + float(
+        candidates.size
+    )
+    return CellDensitySummary(
+        counts=counts,
+        best_point=best_point,
+        neighbor_keys=neighbor_keys,
+        n_candidates=int(candidates.size),
+        n_distance_calcs=n_distance_calcs,
+    )
 
 
 class ApproxDPC(DensityPeaksBase):
@@ -75,6 +140,7 @@ class ApproxDPC(DensityPeaksBase):
         delta_min: float | None = None,
         n_clusters: int | None = None,
         n_jobs: int = 1,
+        backend: str | None = None,
         seed: int | None = 0,
         record_costs: bool = True,
         leaf_size: int = 32,
@@ -87,6 +153,7 @@ class ApproxDPC(DensityPeaksBase):
             delta_min=delta_min,
             n_clusters=n_clusters,
             n_jobs=n_jobs,
+            backend=backend,
             seed=seed,
             record_costs=record_costs,
             engine=engine,
@@ -113,11 +180,17 @@ class ApproxDPC(DensityPeaksBase):
             total += self._grid.memory_bytes()
         return total + self._fallback_memory
 
+    def _shared_arrays(self):
+        arrays = pack_tree_arrays(self._tree)
+        arrays["lattice"] = self._grid.lattice
+        return arrays
+
     # ---------------------------------------------------------------- density
 
     def _compute_local_density(self, points: np.ndarray) -> np.ndarray:
         tree = self._tree
         grid = self._grid
+        lattice = grid.lattice
         n = points.shape[0]
         d_cut = self.d_cut
         d_cut_sq = d_cut * d_cut
@@ -127,40 +200,13 @@ class ApproxDPC(DensityPeaksBase):
         range_costs = np.zeros(len(cells), dtype=np.float64)
         scan_costs = np.zeros(len(cells), dtype=np.float64)
 
-        def scan_cell(position: int, candidates: np.ndarray) -> None:
-            """Exact member densities and cell bookkeeping from one joint result."""
+        def summarize(position: int, candidates: np.ndarray) -> CellDensitySummary:
             cell = cells[position]
-            members = cell.point_indices
-            candidate_points = points[candidates]
-            self._counter.add(
-                "distance_calcs", float(members.size) * float(candidates.size)
+            summary = cell_density_summary(
+                points, lattice, cell.point_indices, candidates, d_cut_sq, cell.key
             )
-
-            # Exact density of every member by scanning the shared result.
-            diffs_sq = (
-                np.einsum("ij,ij->i", points[members], points[members])[:, None]
-                + np.einsum("ij,ij->i", candidate_points, candidate_points)[None, :]
-                - 2.0 * points[members] @ candidate_points.T
-            )
-            np.maximum(diffs_sq, 0.0, out=diffs_sq)
-            counts = (diffs_sq < d_cut_sq).sum(axis=1)
-            rho[members] = counts
-
-            # Cell bookkeeping: densest point, min density and N(c).
-            best_pos = int(np.argmax(counts))
-            cell.best_point = int(members[best_pos])
-            cell.min_density = float(counts.min())
-            cell.max_density = float(counts.max())
-
-            self._counter.add("distance_calcs", float(candidates.size))
-            best_sq = point_to_points_sq(points[cell.best_point], candidate_points)
-            close = candidates[best_sq < d_cut_sq]
-            cell.neighbor_cells = grid.distinct_keys_of_points(
-                close, exclude=cell.key
-            )
-
-            range_costs[position] = members.size
-            scan_costs[position] = members.size * max(candidates.size, 1)
+            self._counter.add("distance_calcs", summary.n_distance_calcs)
+            return summary
 
         if self.engine == "batch":
             centers = np.stack([cell.center for cell in cells])
@@ -168,26 +214,58 @@ class ApproxDPC(DensityPeaksBase):
                 [d_cut + cell.max_center_dist for cell in cells], dtype=np.float64
             )
 
-            def process_cell_chunk(chunk: np.ndarray) -> None:
+            # Process-backend descriptor: the payload is sliced per chunk so
+            # each submission carries only its own cells' centers/radii/
+            # members; the tree and lattice travel through shared memory.
+            def payload_fn(chunk: np.ndarray) -> dict:
+                return {
+                    "d_cut": d_cut,
+                    "centers": centers[chunk],
+                    "radii": radii[chunk],
+                    "members": [cells[int(p)].point_indices for p in chunk],
+                    "cell_keys": [cells[int(p)].key for p in chunk],
+                }
+
+            task = self._process_task(kernel_joint_density, payload_fn=payload_fn)
+
+            def process_cell_chunk(chunk: np.ndarray) -> list[CellDensitySummary]:
                 # One batch kd-tree traversal answers the joint range search
                 # of every cell in the chunk.
                 candidate_lists = tree.range_search_batch(
                     centers[chunk], radii[chunk], strict=False
                 )
-                for position, candidates in zip(chunk, candidate_lists):
-                    scan_cell(int(position), candidates)
+                return [
+                    summarize(int(position), candidates)
+                    for position, candidates in zip(chunk, candidate_lists)
+                ]
 
-            self._executor.map_index_chunks(process_cell_chunk, len(cells))
+            chunk_summaries = self._executor.map_index_chunks(
+                process_cell_chunk, len(cells), task=task
+            )
+            summaries = [summary for chunk in chunk_summaries for summary in chunk]
         else:
-            def process_cell(position: int) -> None:
+            def process_cell(position: int) -> CellDensitySummary:
                 cell = cells[position]
                 # Joint range search: one kd-tree query whose ball covers
                 # every member's d_cut-ball.
                 radius = d_cut + cell.max_center_dist
                 candidates = tree.range_search(cell.center, radius, strict=False)
-                scan_cell(position, candidates)
+                return summarize(position, candidates)
 
-            self._executor.map(process_cell, list(range(len(cells))))
+            summaries = self._executor.map(process_cell, list(range(len(cells))))
+
+        # Scatter the (backend-agnostic) per-cell summaries: exact member
+        # densities, densest point, density extrema, N(c), and the §4.5 cost
+        # model inputs.
+        for position, (cell, summary) in enumerate(zip(cells, summaries)):
+            members = cell.point_indices
+            rho[members] = summary.counts
+            cell.best_point = summary.best_point
+            cell.min_density = float(summary.counts.min())
+            cell.max_density = float(summary.counts.max())
+            cell.neighbor_cells = summary.neighbor_keys
+            range_costs[position] = members.size
+            scan_costs[position] = members.size * max(summary.n_candidates, 1)
 
         # §4.5: the range-search pass is balanced by |P(c)|, the scan pass by
         # |P(c)| * |R(...)|; both use the greedy LPT partitioner.
@@ -259,6 +337,7 @@ class ApproxDPC(DensityPeaksBase):
             resolve_undecided_dependencies(
                 searcher, undecided, self._executor, self.engine,
                 dependent, delta, exact_mask,
+                process_task_builder=self._process_task,
             )
 
             costs = np.asarray(

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.framework import DensityPeaksBase
 from repro.index.kdtree import IncrementalKDTree, KDTree
+from repro.parallel.backends import kernel_range_count, pack_tree_arrays
 
 __all__ = ["ExDPC"]
 
@@ -53,6 +54,7 @@ class ExDPC(DensityPeaksBase):
         delta_min: float | None = None,
         n_clusters: int | None = None,
         n_jobs: int = 1,
+        backend: str | None = None,
         seed: int | None = 0,
         record_costs: bool = True,
         leaf_size: int = 32,
@@ -64,6 +66,7 @@ class ExDPC(DensityPeaksBase):
             delta_min=delta_min,
             n_clusters=n_clusters,
             n_jobs=n_jobs,
+            backend=backend,
             seed=seed,
             record_costs=record_costs,
             engine=engine,
@@ -79,6 +82,9 @@ class ExDPC(DensityPeaksBase):
     def _index_memory_bytes(self) -> int:
         return self._tree.memory_bytes() if self._tree is not None else 0
 
+    def _shared_arrays(self):
+        return pack_tree_arrays(self._tree)
+
     # ---------------------------------------------------------------- density
 
     def _compute_local_density(self, points: np.ndarray) -> np.ndarray:
@@ -87,11 +93,15 @@ class ExDPC(DensityPeaksBase):
 
         if self.engine == "batch":
             # Chunked batch queries: each worker answers a contiguous block of
-            # points with one vectorised tree traversal.
+            # points with one vectorised tree traversal.  Under the process
+            # backend the same computation runs as a picklable chunk task
+            # against the shared-memory copy of the flattened tree.
+            task = self._process_task(kernel_range_count, {"d_cut": self.d_cut})
+
             def density_of_chunk(chunk: np.ndarray) -> np.ndarray:
                 return tree.range_count_batch(points[chunk], self.d_cut, strict=True)
 
-            counts = self._executor.map_index_chunks(density_of_chunk, n)
+            counts = self._executor.map_index_chunks(density_of_chunk, n, task=task)
             rho = np.concatenate(counts).astype(np.float64)
         else:
             def density_of(index: int) -> int:

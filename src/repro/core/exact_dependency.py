@@ -34,11 +34,13 @@ temporary-cluster method.
 
 from __future__ import annotations
 
+import secrets
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.index.kdtree import KDTree
+from repro.parallel.backends import kernel_partitioned_dependency
 from repro.utils.counters import WorkCounter
 from repro.utils.distance import point_to_points_sq
 
@@ -57,6 +59,8 @@ def resolve_undecided_dependencies(
     dependent: np.ndarray,
     delta: np.ndarray,
     exact_mask: np.ndarray,
+    *,
+    process_task_builder=None,
 ) -> None:
     """Resolve every undecided index with ``searcher`` and scatter the results.
 
@@ -66,14 +70,39 @@ def resolve_undecided_dependencies(
     :meth:`PartitionedDependencySearcher.query` one index per task.  Both
     write the dependent index, distance and ``exact_mask=True`` for every
     undecided point.
+
+    ``process_task_builder`` is the estimator's
+    :meth:`~repro.core.framework.DensityPeaksBase._process_task` hook.  Under
+    the process backend the searcher itself is not pickled: each worker
+    rebuilds it once per phase (cached by the ``token`` in the payload) from
+    the shared point matrix plus :meth:`PartitionedDependencySearcher.shared_query_params`,
+    which is deterministic and therefore bit-identical to the parent's.
     """
     if engine == "batch":
         undecided_arr = np.asarray(undecided, dtype=np.intp)
 
+        task = None
+        if process_task_builder is not None:
+            payload = {
+                "token": secrets.token_hex(8),
+                "undecided": undecided_arr,
+                **searcher.shared_query_params(),
+            }
+            task = process_task_builder(kernel_partitioned_dependency, payload)
+
         def resolve_chunk(chunk):
             return searcher.query_batch(undecided_arr[chunk])
 
-        resolutions = executor.map_index_chunks(resolve_chunk, undecided_arr.size)
+        # On the process path the payload above is O(n) (rho plus the
+        # undecided set) and is re-pickled per submission, so one chunk per
+        # worker beats the default oversubscription; the thread path pickles
+        # nothing and keeps the finer default split for skew tolerance.
+        resolutions = executor.map_index_chunks(
+            resolve_chunk,
+            undecided_arr.size,
+            chunks_per_worker=1 if task is not None else 4,
+            task=task,
+        )
         dependent[undecided_arr] = np.concatenate([r[0] for r in resolutions])
         delta[undecided_arr] = np.concatenate([r[1] for r in resolutions])
         exact_mask[undecided_arr] = True
@@ -143,10 +172,13 @@ class PartitionedDependencySearcher:
         self._points = points
         self._rho = rho
         self._counter = counter if counter is not None else WorkCounter()
+        self._leaf_size = int(leaf_size)
         if candidate_indices is None:
             candidates = np.arange(points.shape[0], dtype=np.intp)
+            self._candidate_indices = None
         else:
             candidates = np.asarray(candidate_indices, dtype=np.intp)
+            self._candidate_indices = candidates
         if candidates.size == 0:
             raise ValueError("candidate set must not be empty")
 
@@ -179,6 +211,26 @@ class PartitionedDependencySearcher:
     def n_partitions(self) -> int:
         """Number of density slices actually built."""
         return len(self._partitions)
+
+    @property
+    def counter(self) -> WorkCounter:
+        """The work counter queries report into."""
+        return self._counter
+
+    def shared_query_params(self) -> dict:
+        """Small picklable parameters from which a worker can rebuild this searcher.
+
+        Construction is deterministic in ``(points, rho, candidate_indices,
+        n_partitions, leaf_size)``, so a worker holding the shared point
+        matrix reproduces identical partitions and kd-trees; the resolved
+        partition count is passed so Equation (2) is not re-derived.
+        """
+        return {
+            "rho": self._rho,
+            "candidates": self._candidate_indices,
+            "n_partitions": self._n_partitions,
+            "leaf_size": self._leaf_size,
+        }
 
     def memory_bytes(self) -> int:
         """Approximate footprint of the per-partition kd-trees."""

@@ -27,7 +27,9 @@ import numpy as np
 
 from repro.core.assignment import assign_clusters
 from repro.core.result import DPCResult
+from repro.parallel.backends import ChunkTask, resolve_backend
 from repro.parallel.executor import ParallelExecutor, resolve_n_jobs
+from repro.parallel.shm import SharedArrayBundle
 from repro.parallel.simulate import SimulatedMulticore
 from repro.utils.counters import WorkCounter
 from repro.utils.rng import ensure_rng, random_tiebreak
@@ -58,8 +60,17 @@ class DensityPeaksBase(abc.ABC):
         heuristic instead of thresholding ``delta``.  This is how the
         evaluation section fixes "13 clusters on Syn" / "15 clusters on Sx".
     n_jobs:
-        Worker threads for the parallelisable phases.  ``1`` runs serially
-        (recommended for pure-Python workloads; see DESIGN.md).
+        Workers for the parallelisable phases.  ``1`` runs serially
+        (recommended for small inputs); ``-1`` uses every CPU the process's
+        affinity mask allows.
+    backend:
+        Execution backend for the parallel phases: ``"serial"``, ``"thread"``
+        or ``"process"`` (see ``docs/parallel.md``).  ``None`` (default)
+        reads the ``REPRO_DEFAULT_BACKEND`` environment variable and falls
+        back to ``"thread"``.  The process backend ships the batch-engine
+        phases to worker processes as picklable index-chunk tasks reading the
+        dataset and the flattened kd-tree through shared memory; all three
+        backends produce bit-for-bit identical results (property-tested).
     seed:
         Seed for the density tie-breaking perturbation (and any internal
         randomness such as LSH directions in subclasses).
@@ -88,11 +99,13 @@ class DensityPeaksBase(abc.ABC):
         delta_min: float | None = None,
         n_clusters: int | None = None,
         n_jobs: int = 1,
+        backend: str | None = None,
         seed: int | None = 0,
         record_costs: bool = True,
         engine: str = "batch",
     ):
         self.d_cut = check_positive(d_cut, "d_cut")
+        self.backend = resolve_backend(backend)
         if engine not in ("scalar", "batch"):
             raise ValueError(
                 f"engine must be 'scalar' or 'batch', got {engine!r}"
@@ -159,53 +172,58 @@ class DensityPeaksBase(abc.ABC):
         rng = ensure_rng(self.seed)
         profile = SimulatedMulticore()
         self._profile = profile
-        self._executor = ParallelExecutor(self.n_jobs)
+        self._executor = ParallelExecutor(self.n_jobs, backend=self.backend)
         self._counter = WorkCounter()
+        self._shared_bundle = None
         timings: dict[str, float] = {}
         work: dict[str, float] = {}
 
-        start_total = time.perf_counter()
+        try:
+            start_total = time.perf_counter()
 
-        start = time.perf_counter()
-        self._build_index(points)
-        timings["index_build"] = time.perf_counter() - start
+            start = time.perf_counter()
+            self._build_index(points)
+            timings["index_build"] = time.perf_counter() - start
 
-        start = time.perf_counter()
-        work_before = self._counter.get("distance_calcs")
-        rho_raw = np.asarray(self._compute_local_density(points), dtype=np.float64)
-        work["density_distance_calcs"] = (
-            self._counter.get("distance_calcs") - work_before
-        )
-        timings["local_density"] = time.perf_counter() - start
-        if rho_raw.shape[0] != points.shape[0]:
-            raise RuntimeError("local density array has the wrong length")
+            start = time.perf_counter()
+            work_before = self._counter.get("distance_calcs")
+            rho_raw = np.asarray(self._compute_local_density(points), dtype=np.float64)
+            work["density_distance_calcs"] = (
+                self._counter.get("distance_calcs") - work_before
+            )
+            timings["local_density"] = time.perf_counter() - start
+            if rho_raw.shape[0] != points.shape[0]:
+                raise RuntimeError("local density array has the wrong length")
 
-        # Tie-break densities so dependent points are well-defined (§3).
-        rho = random_tiebreak(rho_raw, rng)
+            # Tie-break densities so dependent points are well-defined (§3).
+            rho = random_tiebreak(rho_raw, rng)
 
-        start = time.perf_counter()
-        work_before = self._counter.get("distance_calcs")
-        dependent, delta, exact_mask = self._compute_dependencies(points, rho)
-        work["dependency_distance_calcs"] = (
-            self._counter.get("distance_calcs") - work_before
-        )
-        timings["dependency"] = time.perf_counter() - start
-        work["total_distance_calcs"] = self._counter.get("distance_calcs")
+            start = time.perf_counter()
+            work_before = self._counter.get("distance_calcs")
+            dependent, delta, exact_mask = self._compute_dependencies(points, rho)
+            work["dependency_distance_calcs"] = (
+                self._counter.get("distance_calcs") - work_before
+            )
+            timings["dependency"] = time.perf_counter() - start
+            work["total_distance_calcs"] = self._counter.get("distance_calcs")
 
-        start = time.perf_counter()
-        labels, centers, noise_mask = assign_clusters(
-            rho,
-            rho_raw,
-            delta,
-            dependent,
-            rho_min=self.rho_min,
-            delta_min=self.delta_min,
-            n_clusters=self.n_clusters,
-        )
-        timings["assignment"] = time.perf_counter() - start
-        timings["total"] = time.perf_counter() - start_total
+            start = time.perf_counter()
+            labels, centers, noise_mask = assign_clusters(
+                rho,
+                rho_raw,
+                delta,
+                dependent,
+                rho_min=self.rho_min,
+                delta_min=self.delta_min,
+                n_clusters=self.n_clusters,
+            )
+            timings["assignment"] = time.perf_counter() - start
+            timings["total"] = time.perf_counter() - start_total
 
-        self._scale_profile_to_timings(profile, timings)
+            self._scale_profile_to_timings(profile, timings)
+            memory_bytes = self._total_memory_bytes(points)
+        finally:
+            self._release_parallel_resources()
 
         dependent = np.asarray(dependent, dtype=np.intp).copy()
         dependent[centers] = -1  # a center's dependent point is itself (§2.1)
@@ -224,7 +242,7 @@ class DensityPeaksBase(abc.ABC):
             exact_dependency_mask_=np.asarray(exact_mask, dtype=bool),
             timings_=timings,
             work_=work,
-            memory_bytes_=self._total_memory_bytes(points),
+            memory_bytes_=memory_bytes,
             parallel_profile_=profile,
             params_=self.get_params(),
             algorithm_=self.algorithm_name,
@@ -245,6 +263,7 @@ class DensityPeaksBase(abc.ABC):
             "delta_min": self.delta_min,
             "n_clusters": self.n_clusters,
             "n_jobs": self.n_jobs,
+            "backend": self.backend,
             "seed": self.seed,
             "engine": self.engine,
         }
@@ -297,10 +316,77 @@ class DensityPeaksBase(abc.ABC):
             phase.serial_overhead = phase.serial_overhead * scale
 
     def _total_memory_bytes(self, points: np.ndarray) -> int:
-        """Points + index structures + per-point result arrays."""
+        """Points + index structures + per-point result arrays + shared memory.
+
+        The index term includes the flattened kd-tree arrays (node bounds,
+        split dims/values, children, and the point-index permutation; see
+        :class:`repro.index.kdtree.KDTreeArrays`) through each algorithm's
+        :meth:`_index_memory_bytes`.  The shared-memory segment published for
+        the process backend is physical memory paid exactly once -- workers
+        map the same pages -- so it is counted once here, never per worker.
+        """
         per_point_arrays = 5  # rho, rho_raw, delta, dependent, labels
         return int(
             points.nbytes
             + self._index_memory_bytes()
             + per_point_arrays * 8 * points.shape[0]
+            + self._shared_memory_bytes()
         )
+
+    def _shared_memory_bytes(self) -> int:
+        """Size of the shared-memory segment published for the process backend."""
+        bundle = getattr(self, "_shared_bundle", None)
+        return bundle.nbytes if bundle is not None else 0
+
+    # ------------------------------------------------------- process backend
+
+    def _shared_arrays(self) -> dict[str, np.ndarray] | None:
+        """Arrays to publish to worker processes (subclass hook).
+
+        Subclasses with process kernels return a flat name -> array mapping
+        (typically the point matrix plus the flattened kd-tree via
+        :func:`repro.parallel.backends.pack_tree_arrays`); ``None`` (the
+        default) means the algorithm has no process kernels and its phases
+        fall back to the thread path under the process backend.
+        """
+        return None
+
+    def _process_task(self, kernel, payload=None, payload_fn=None) -> ChunkTask | None:
+        """Build the process-backend task descriptor for one parallel phase.
+
+        Returns ``None`` unless this fit runs on the process backend and the
+        subclass publishes shared arrays; the caller then simply passes the
+        result as ``task=`` to ``map_index_chunks``, keeping the serial and
+        thread paths untouched.  The backing shared-memory segment is created
+        on first use and reused by every later phase of the same fit.
+        """
+        if self._executor.backend != "process":
+            return None
+        if self._shared_bundle is None:
+            arrays = self._shared_arrays()
+            if arrays is None:
+                return None
+            self._shared_bundle = SharedArrayBundle.create(arrays)
+        return ChunkTask(
+            kernel=kernel,
+            spec=self._shared_bundle.spec,
+            payload=payload or {},
+            payload_fn=payload_fn,
+            counter=self._counter,
+        )
+
+    def _release_parallel_resources(self) -> None:
+        """Tear down the worker pool and the shared-memory segment (fit end).
+
+        Order matters: the pool is drained first so no worker still maps the
+        segment, then the owner closes its mapping and unlinks the segment
+        name.  ``memory_bytes_`` is computed before this runs.
+        """
+        executor = getattr(self, "_executor", None)
+        if executor is not None:
+            executor.close()
+        bundle = getattr(self, "_shared_bundle", None)
+        if bundle is not None:
+            bundle.close()
+            bundle.unlink()
+            self._shared_bundle = None

@@ -41,8 +41,10 @@ from repro.core.exact_dependency import (
     resolve_undecided_dependencies,
 )
 from repro.core.framework import DensityPeaksBase
+from repro.index.grid import distinct_lattice_keys
 from repro.index.kdtree import KDTree
 from repro.index.sample_grid import SampledGrid
+from repro.parallel.backends import kernel_picked_density, pack_tree_arrays
 from repro.utils.distance import point_to_points_sq
 from repro.utils.validation import check_positive
 
@@ -82,6 +84,7 @@ class SApproxDPC(DensityPeaksBase):
         delta_min: float | None = None,
         n_clusters: int | None = None,
         n_jobs: int = 1,
+        backend: str | None = None,
         seed: int | None = 0,
         record_costs: bool = True,
         leaf_size: int = 32,
@@ -94,6 +97,7 @@ class SApproxDPC(DensityPeaksBase):
             delta_min=delta_min,
             n_clusters=n_clusters,
             n_jobs=n_jobs,
+            backend=backend,
             seed=seed,
             record_costs=record_costs,
             engine=engine,
@@ -121,11 +125,17 @@ class SApproxDPC(DensityPeaksBase):
             total += self._grid.memory_bytes()
         return total + self._fallback_memory
 
+    def _shared_arrays(self):
+        arrays = pack_tree_arrays(self._tree)
+        arrays["lattice"] = self._grid.lattice
+        return arrays
+
     # ---------------------------------------------------------------- density
 
     def _compute_local_density(self, points: np.ndarray) -> np.ndarray:
         tree = self._tree
         grid = self._grid
+        lattice = grid.lattice
         n = points.shape[0]
         d_cut = self.d_cut
         rho = np.zeros(n, dtype=np.float64)
@@ -133,38 +143,53 @@ class SApproxDPC(DensityPeaksBase):
         cells = grid.cells()
         costs = np.zeros(len(cells), dtype=np.float64)
 
-        def finish_cell(position: int, neighbors: np.ndarray) -> None:
-            cell = cells[position]
-            density = float(neighbors.size)
-            cell.density = density
-            rho[cell.picked] = density
-
+        def summarize(position: int, neighbors: np.ndarray) -> tuple[float, list]:
             # A strict range search already returns exactly the points within
             # d_cut of the picked point, so N(c) is read straight off it.
-            cell.neighbor_cells = grid.distinct_keys_of_points(
-                neighbors, exclude=cell.key
-            )
-            costs[position] = density + 1.0
+            cell = cells[position]
+            keys = distinct_lattice_keys(lattice, neighbors, exclude=cell.key)
+            return float(neighbors.size), keys
 
         if self.engine == "batch":
             picked_arr = np.asarray([cell.picked for cell in cells], dtype=np.intp)
 
-            def process_cell_chunk(chunk: np.ndarray) -> None:
+            task = self._process_task(
+                kernel_picked_density,
+                payload_fn=lambda chunk: {
+                    "d_cut": d_cut,
+                    "picked": picked_arr[chunk],
+                },
+            )
+
+            def process_cell_chunk(chunk: np.ndarray) -> list[tuple[float, list]]:
                 neighbor_lists = tree.range_search_batch(
                     points[picked_arr[chunk]], d_cut, strict=True
                 )
-                for position, neighbors in zip(chunk, neighbor_lists):
-                    finish_cell(int(position), neighbors)
+                return [
+                    summarize(int(position), neighbors)
+                    for position, neighbors in zip(chunk, neighbor_lists)
+                ]
 
-            self._executor.map_index_chunks(process_cell_chunk, len(cells))
+            chunk_results = self._executor.map_index_chunks(
+                process_cell_chunk, len(cells), task=task
+            )
+            summaries = [summary for chunk in chunk_results for summary in chunk]
         else:
-            def process_cell(position: int) -> None:
+            def process_cell(position: int) -> tuple[float, list]:
                 neighbors = tree.range_search(
                     points[cells[position].picked], d_cut, strict=True
                 )
-                finish_cell(position, neighbors)
+                return summarize(position, neighbors)
 
-            self._executor.map(process_cell, list(range(len(cells))))
+            summaries = self._executor.map(process_cell, list(range(len(cells))))
+
+        for position, (cell, (density, neighbor_keys)) in enumerate(
+            zip(cells, summaries)
+        ):
+            cell.density = density
+            rho[cell.picked] = density
+            cell.neighbor_cells = neighbor_keys
+            costs[position] = density + 1.0
 
         # Non-picked points inherit their representative's density (the paper
         # exempts them from rho_min; sharing the picked density keeps the
@@ -273,6 +298,7 @@ class SApproxDPC(DensityPeaksBase):
         resolve_undecided_dependencies(
             searcher, undecided, self._executor, self.engine,
             dependent, delta, exact_mask,
+            process_task_builder=self._process_task,
         )
         costs = np.asarray(
             [searcher.query_cost(float(rho[index])) for index in undecided]

@@ -34,8 +34,15 @@ documents the design and the measured speedups.
 """
 
 from repro.index.grid import UniformGrid
-from repro.index.kdtree import IncrementalKDTree, KDTree
+from repro.index.kdtree import IncrementalKDTree, KDTree, KDTreeArrays
 from repro.index.rtree import RTree
 from repro.index.sample_grid import SampledGrid
 
-__all__ = ["KDTree", "IncrementalKDTree", "RTree", "UniformGrid", "SampledGrid"]
+__all__ = [
+    "KDTree",
+    "KDTreeArrays",
+    "IncrementalKDTree",
+    "RTree",
+    "UniformGrid",
+    "SampledGrid",
+]

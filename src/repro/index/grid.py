@@ -193,6 +193,16 @@ class UniformGrid:
         """The indexed point set."""
         return self._points
 
+    @property
+    def lattice(self) -> np.ndarray:
+        """Integer cell coordinates of every point (shape ``(n, d)``).
+
+        This array is all a worker process needs to answer the batch key
+        lookups (:func:`distinct_lattice_keys`), so the process backend ships
+        it through shared memory instead of pickling the cell objects.
+        """
+        return self._lattice
+
     def __len__(self) -> int:
         return len(self._cells)
 

@@ -47,7 +47,8 @@ queries break exact distance ties by the smallest point index.
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass, fields
+from typing import Mapping, Optional
 
 import numpy as np
 
@@ -55,9 +56,181 @@ from repro.utils.counters import WorkCounter
 from repro.utils.distance import point_to_points_sq
 from repro.utils.validation import check_points, check_positive, check_positive_int
 
-__all__ = ["KDTree", "IncrementalKDTree"]
+__all__ = ["KDTree", "KDTreeArrays", "IncrementalKDTree"]
 
 _NO_CHILD = -1
+
+
+@dataclass(frozen=True)
+class KDTreeArrays:
+    """Structure-of-arrays representation of a bulk-loaded kd-tree.
+
+    The whole tree is seven contiguous numpy arrays: per-node split
+    dimensions and values, child links, the ``[start, stop)`` bounds of each
+    node's slice of the permutation array, and the permutation of point
+    indices itself.  Node ``0`` is the root; children are stored in preorder
+    (a node is allocated before its left subtree, which precedes its right
+    subtree).  Leaves have ``left == right == -1`` and ``split_dim == -1``.
+
+    Because the representation is plain arrays it can be placed in (or viewed
+    from) a :mod:`multiprocessing.shared_memory` segment and reattached in a
+    worker process with :meth:`KDTree.from_arrays` -- no pickling, no rebuild,
+    zero copies.  The batch query kernels operate on these arrays directly.
+    """
+
+    split_dim: np.ndarray  #: per-node split dimension (``-1`` for leaves)
+    split_val: np.ndarray  #: per-node split coordinate value
+    left: np.ndarray  #: left child node id (``-1`` for leaves)
+    right: np.ndarray  #: right child node id (``-1`` for leaves)
+    start: np.ndarray  #: node bounds: first position in ``indices``
+    stop: np.ndarray  #: node bounds: one past the last position in ``indices``
+    indices: np.ndarray  #: permutation of point indices, leaf buckets contiguous
+
+    @property
+    def node_count(self) -> int:
+        """Total number of tree nodes (internal + leaves)."""
+        return int(self.split_dim.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Total byte size of the seven arrays."""
+        return int(sum(getattr(self, f.name).nbytes for f in fields(self)))
+
+    def to_mapping(self, prefix: str = "") -> dict[str, np.ndarray]:
+        """Return the arrays as a flat ``{prefix + field: array}`` mapping."""
+        return {prefix + f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_mapping(
+        cls, mapping: Mapping[str, np.ndarray], prefix: str = ""
+    ) -> "KDTreeArrays":
+        """Rebuild the structure from a mapping produced by :meth:`to_mapping`."""
+        return cls(**{f.name: mapping[prefix + f.name] for f in fields(cls)})
+
+    def validate(self, points: np.ndarray, leaf_size: int) -> None:
+        """Check the structural invariants of the flattened tree.
+
+        Raises ``ValueError`` on the first violated invariant.  Used by the
+        construction tests and available for debugging attached shared-memory
+        views.
+        """
+        n, dim = points.shape
+        if self.node_count < 1:
+            raise ValueError("tree must have at least one node")
+        if not np.array_equal(np.sort(self.indices), np.arange(n)):
+            raise ValueError("indices is not a permutation of arange(n)")
+        if int(self.start[0]) != 0 or int(self.stop[0]) != n:
+            raise ValueError("root node does not cover [0, n)")
+        visited = 0
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            visited += 1
+            lo, hi = int(self.start[node]), int(self.stop[node])
+            if not 0 <= lo < hi <= n:
+                raise ValueError(f"node {node} has invalid bounds [{lo}, {hi})")
+            if int(self.left[node]) == _NO_CHILD:
+                if int(self.right[node]) != _NO_CHILD:
+                    raise ValueError(f"leaf {node} has a right child")
+                if int(self.split_dim[node]) != -1:
+                    raise ValueError(f"leaf {node} has a split dimension")
+                coords = points[self.indices[lo:hi]]
+                if hi - lo > leaf_size and np.any(
+                    coords.max(axis=0) != coords.min(axis=0)
+                ):
+                    raise ValueError(
+                        f"leaf {node} exceeds leaf_size without zero spread"
+                    )
+                continue
+            left, right = int(self.left[node]), int(self.right[node])
+            axis = int(self.split_dim[node])
+            if not 0 <= axis < dim:
+                raise ValueError(f"node {node} has invalid split dimension {axis}")
+            for child in (left, right):
+                if not 0 <= child < self.node_count:
+                    raise ValueError(f"node {node} has out-of-range child {child}")
+            if int(self.start[left]) != lo or int(self.stop[right]) != hi:
+                raise ValueError(f"children of node {node} do not cover its bounds")
+            if int(self.stop[left]) != int(self.start[right]):
+                raise ValueError(f"children of node {node} are not contiguous")
+            value = float(self.split_val[node])
+            left_coords = points[self.indices[lo : int(self.stop[left])], axis]
+            right_coords = points[self.indices[int(self.start[right]) : hi], axis]
+            if left_coords.size == 0 or right_coords.size == 0:
+                raise ValueError(f"node {node} has an empty child")
+            if float(left_coords.max()) > value or float(right_coords.min()) < value:
+                raise ValueError(f"node {node} violates the split-value invariant")
+            stack.append(left)
+            stack.append(right)
+        if visited != self.node_count:
+            raise ValueError(
+                f"reachable nodes ({visited}) != node_count ({self.node_count})"
+            )
+
+
+def _build_tree_arrays(points: np.ndarray, leaf_size: int) -> KDTreeArrays:
+    """Bulk-load the flattened kd-tree over ``points``.
+
+    Nodes are allocated in preorder into preallocated arrays (a tree over
+    ``n`` points has at most ``2n - 1`` nodes since every split produces two
+    non-empty sides), then trimmed to the actual node count.
+    """
+    n = points.shape[0]
+    capacity = max(1, 2 * n)
+    split_dim = np.full(capacity, -1, dtype=np.intp)
+    split_val = np.zeros(capacity, dtype=np.float64)
+    left = np.full(capacity, _NO_CHILD, dtype=np.intp)
+    right = np.full(capacity, _NO_CHILD, dtype=np.intp)
+    start = np.zeros(capacity, dtype=np.intp)
+    stop = np.zeros(capacity, dtype=np.intp)
+    indices = np.arange(n, dtype=np.intp)
+
+    n_nodes = 0
+
+    def build(lo: int, hi: int) -> int:
+        nonlocal n_nodes
+        node = n_nodes
+        n_nodes += 1
+        count = hi - lo
+        if count <= leaf_size:
+            start[node] = lo
+            stop[node] = hi
+            return node
+
+        subset = indices[lo:hi]
+        coords = points[subset]
+        spreads = coords.max(axis=0) - coords.min(axis=0)
+        dim = int(np.argmax(spreads))
+        if spreads[dim] == 0.0:
+            # All points identical along every axis: keep them in one leaf to
+            # avoid infinite recursion on duplicate-heavy data.
+            start[node] = lo
+            stop[node] = hi
+            return node
+
+        mid = count // 2
+        order = np.argpartition(coords[:, dim], mid)
+        indices[lo:hi] = subset[order]
+        split_value = float(points[indices[lo + mid], dim])
+
+        split_dim[node] = dim
+        split_val[node] = split_value
+        start[node] = lo
+        stop[node] = hi
+        left[node] = build(lo, lo + mid)
+        right[node] = build(lo + mid, hi)
+        return node
+
+    build(0, n)
+    return KDTreeArrays(
+        split_dim=split_dim[:n_nodes].copy(),
+        split_val=split_val[:n_nodes].copy(),
+        left=left[:n_nodes].copy(),
+        right=right[:n_nodes].copy(),
+        start=start[:n_nodes].copy(),
+        stop=stop[:n_nodes].copy(),
+        indices=indices,
+    )
 
 
 class KDTree:
@@ -87,71 +260,58 @@ class KDTree:
         #: Work counter accumulating distance evaluations and node visits
         #: performed by queries on this tree.
         self.counter = counter if counter is not None else WorkCounter()
+        self._arrays = _build_tree_arrays(self._points, self._leaf_size)
+        self._bind_arrays()
 
-        # Flat node arrays.  Internal nodes store a split dimension and value;
-        # leaves store a [start, stop) range into the permutation array.
-        self._split_dim: list[int] = []
-        self._split_val: list[float] = []
-        self._left: list[int] = []
-        self._right: list[int] = []
-        self._start: list[int] = []
-        self._stop: list[int] = []
-        self._indices = np.arange(self._n, dtype=np.intp)
+    def _bind_arrays(self) -> None:
+        """Expose the structure-of-arrays fields under the query-code aliases."""
+        arrays = self._arrays
+        self._split_dim_arr = arrays.split_dim
+        self._split_val_arr = arrays.split_val
+        self._left_arr = arrays.left
+        self._right_arr = arrays.right
+        self._start_arr = arrays.start
+        self._stop_arr = arrays.stop
+        self._indices = arrays.indices
+        self._root = 0
 
-        self._root = self._build(0, self._n)
+    @classmethod
+    def from_arrays(
+        cls,
+        points,
+        arrays: KDTreeArrays,
+        *,
+        leaf_size: int = 32,
+        counter: WorkCounter | None = None,
+        validate: bool = False,
+    ) -> "KDTree":
+        """Wrap an existing flattened tree without rebuilding it.
 
-        self._split_dim_arr = np.asarray(self._split_dim, dtype=np.intp)
-        self._split_val_arr = np.asarray(self._split_val, dtype=np.float64)
-        self._left_arr = np.asarray(self._left, dtype=np.intp)
-        self._right_arr = np.asarray(self._right, dtype=np.intp)
-        self._start_arr = np.asarray(self._start, dtype=np.intp)
-        self._stop_arr = np.asarray(self._stop, dtype=np.intp)
-
-    # ------------------------------------------------------------------ build
-
-    def _new_node(self) -> int:
-        self._split_dim.append(-1)
-        self._split_val.append(0.0)
-        self._left.append(_NO_CHILD)
-        self._right.append(_NO_CHILD)
-        self._start.append(0)
-        self._stop.append(0)
-        return len(self._split_dim) - 1
-
-    def _build(self, start: int, stop: int) -> int:
-        """Recursively build the subtree over ``self._indices[start:stop]``."""
-        node = self._new_node()
-        count = stop - start
-        if count <= self._leaf_size:
-            self._start[node] = start
-            self._stop[node] = stop
-            return node
-
-        subset = self._indices[start:stop]
-        coords = self._points[subset]
-        spreads = coords.max(axis=0) - coords.min(axis=0)
-        dim = int(np.argmax(spreads))
-        if spreads[dim] == 0.0:
-            # All points identical along every axis: keep them in one leaf to
-            # avoid infinite recursion on duplicate-heavy data.
-            self._start[node] = start
-            self._stop[node] = stop
-            return node
-
-        mid = count // 2
-        order = np.argpartition(coords[:, dim], mid)
-        self._indices[start:stop] = subset[order]
-        split_value = float(self._points[self._indices[start + mid], dim])
-
-        self._split_dim[node] = dim
-        self._split_val[node] = split_value
-        self._start[node] = start
-        self._stop[node] = stop
-        self._left[node] = self._build(start, start + mid)
-        self._right[node] = self._build(start + mid, stop)
-        return node
+        ``points`` and ``arrays`` are adopted as-is (typically zero-copy views
+        over a shared-memory segment attached by a worker process); no data is
+        copied and no O(n log n) build runs.  Pass ``validate=True`` to check
+        the structural invariants of ``arrays`` first.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError("points must be a 2-D array")
+        tree = cls.__new__(cls)
+        tree._points = points
+        tree._leaf_size = check_positive_int(leaf_size, "leaf_size")
+        tree._n, tree._dim = points.shape
+        tree.counter = counter if counter is not None else WorkCounter()
+        tree._arrays = arrays
+        if validate:
+            arrays.validate(points, tree._leaf_size)
+        tree._bind_arrays()
+        return tree
 
     # ------------------------------------------------------------- properties
+
+    @property
+    def arrays(self) -> KDTreeArrays:
+        """The flattened structure-of-arrays form of the tree."""
+        return self._arrays
 
     @property
     def points(self) -> np.ndarray:
@@ -176,24 +336,15 @@ class KDTree:
     @property
     def node_count(self) -> int:
         """Total number of tree nodes (internal + leaves)."""
-        return len(self._split_dim)
+        return self._arrays.node_count
 
     def memory_bytes(self) -> int:
         """Approximate memory footprint of the index structure in bytes.
 
-        Counts the node arrays and the permutation array but not the point
-        matrix itself (which is shared with the caller).
+        Counts the flattened node arrays and the permutation array but not the
+        point matrix itself (which is shared with the caller).
         """
-        arrays = (
-            self._split_dim_arr,
-            self._split_val_arr,
-            self._left_arr,
-            self._right_arr,
-            self._start_arr,
-            self._stop_arr,
-            self._indices,
-        )
-        return int(sum(a.nbytes for a in arrays))
+        return self._arrays.nbytes
 
     # ---------------------------------------------------------------- queries
 

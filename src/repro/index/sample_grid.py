@@ -118,6 +118,15 @@ class SampledGrid:
         """The indexed point set."""
         return self._points
 
+    @property
+    def lattice(self) -> np.ndarray:
+        """Integer cell coordinates of every point (shape ``(n, d)``).
+
+        Shipped through shared memory by the process backend so workers can
+        answer :func:`repro.index.grid.distinct_lattice_keys` lookups.
+        """
+        return self._lattice
+
     def __len__(self) -> int:
         return len(self._cells)
 

@@ -9,12 +9,16 @@ The paper parallelizes its algorithms on a multicore CPU with two policies:
   estimated cheaply before it runs.
 
 This package implements both policies over a small task abstraction, provides
-a real thread/process executor, and — because CPython's GIL prevents genuine
-fine-grained speedups for pure-Python workloads — an analytic *simulated
-multicore model* that computes the makespan a ``t``-thread machine would
-achieve for a measured set of task costs under each policy.  The simulation is
-what regenerates the paper's thread-scaling figure (Figure 9); see DESIGN.md
-for the substitution rationale.
+a real executor with pluggable backends (``serial`` / ``thread`` /
+``process``; see :mod:`repro.parallel.backends`), shared-memory array
+publishing for the process backend (:mod:`repro.parallel.shm`), and an
+analytic *simulated multicore model* that computes the makespan a
+``t``-thread machine would achieve for a measured set of task costs under
+each policy.  The simulation regenerates the paper's thread-scaling figure
+(Figure 9) shape analytically; the process backend additionally produces
+*measured* wall-clock speedup curves (``benchmarks/bench_fig9_threads.py
+--backend process``).  See DESIGN.md for the substitution rationale and
+``docs/parallel.md`` for the backend architecture.
 
 For the vectorised ``engine="batch"`` hot paths, the executor additionally
 supports *chunked* execution (:func:`repro.parallel.executor.split_indices`
@@ -24,9 +28,11 @@ worker answers its whole chunk with one vectorised batch query instead of one
 Python task per point.  ``docs/performance.md`` describes the design.
 """
 
+from repro.parallel.backends import BACKENDS, ChunkTask, resolve_backend
 from repro.parallel.executor import ParallelExecutor, resolve_n_jobs, split_indices
 from repro.parallel.partition import greedy_partition, partition_imbalance
 from repro.parallel.scheduler import dynamic_schedule_makespan, static_schedule_makespan
+from repro.parallel.shm import BundleSpec, SharedArrayBundle
 from repro.parallel.simulate import (
     ParallelPhase,
     SimulatedMulticore,
@@ -34,9 +40,14 @@ from repro.parallel.simulate import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "ChunkTask",
+    "resolve_backend",
     "ParallelExecutor",
     "resolve_n_jobs",
     "split_indices",
+    "BundleSpec",
+    "SharedArrayBundle",
     "greedy_partition",
     "partition_imbalance",
     "dynamic_schedule_makespan",

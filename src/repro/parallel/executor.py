@@ -1,16 +1,26 @@
-"""Real parallel execution of independent tasks.
+"""Real parallel execution of independent tasks over pluggable backends.
 
 The algorithms in :mod:`repro.core` express every parallel phase as a list of
 independent callables (or a function mapped over a list of task descriptors).
-:class:`ParallelExecutor` runs them either serially (``n_jobs=1``, the default
-and the fastest option for pure-Python workloads under the GIL) or on a
-thread pool.
+:class:`ParallelExecutor` runs them on one of three backends
+(:data:`repro.parallel.backends.BACKENDS`):
 
-The executor intentionally stays minimal: deterministic result ordering,
-eager error propagation, and no hidden state.  Thread-count *scaling*
-experiments do not use this class directly; they use the simulated multicore
-model in :mod:`repro.parallel.simulate`, which is fed by the per-task costs
-recorded during a serial run (see DESIGN.md, substitution table).
+* ``"serial"`` -- everything in the calling thread;
+* ``"thread"`` -- a ``ThreadPoolExecutor`` (the numpy kernels of the batch
+  engine release the GIL, Python-level code does not);
+* ``"process"`` -- a ``ProcessPoolExecutor`` fed with picklable index-chunk
+  task descriptors (:class:`repro.parallel.backends.ChunkTask`) that read the
+  dataset and the flattened kd-tree through shared memory
+  (:mod:`repro.parallel.shm`).  This is the backend that delivers *measured*
+  multicore speedups, matching the paper's multicore target.
+
+The executor keeps deterministic result ordering, eager error propagation,
+and no hidden state beyond the lazily created worker pool (release it with
+:meth:`ParallelExecutor.close`).  Closure-based entry points (``map``,
+``map_chunks``) cannot cross a process boundary, so under the process backend
+they degrade to threads; only descriptor-based chunk tasks
+(:meth:`ParallelExecutor.map_index_chunks` with ``task=...``) are shipped to
+worker processes.  Results are identical either way (property-tested).
 
 Chunked batch execution
 -----------------------
@@ -21,18 +31,24 @@ splits the index range into a few contiguous chunks per worker
 worker answers its whole chunk with one batch kd-tree query.  With one worker
 the entire range becomes a single chunk, which maximises the vectorised work
 per Python call; with ``t`` workers a small multiple of ``t`` chunks keeps the
-thread pool busy while numpy kernels release the GIL.  See
+pool busy while chunk costs are skewed.  See ``docs/parallel.md`` and
 ``docs/performance.md`` for the design and measurements.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
 
+from repro.parallel.backends import (
+    START_METHOD_ENV,
+    ChunkTask,
+    execute_chunk,
+    resolve_backend,
+)
 from repro.utils.validation import check_positive_int
 
 __all__ = ["ParallelExecutor", "resolve_n_jobs", "split_indices"]
@@ -44,12 +60,19 @@ R = TypeVar("R")
 def resolve_n_jobs(n_jobs: int | None) -> int:
     """Normalise an ``n_jobs`` parameter.
 
-    ``None`` or ``1`` mean serial execution; ``-1`` means "use every available
-    CPU"; any other positive integer is returned unchanged.
+    ``None`` or ``1`` mean serial execution; ``-1`` means "use every CPU this
+    process may run on" -- the scheduling affinity mask where the platform
+    exposes it (so container / CI core limits are honored), the raw CPU count
+    otherwise; any other positive integer is returned unchanged.
     """
     if n_jobs is None:
         return 1
     if n_jobs == -1:
+        if hasattr(os, "sched_getaffinity"):
+            try:
+                return max(1, len(os.sched_getaffinity(0)))
+            except OSError:  # pragma: no cover - affinity query refused
+                pass
         return max(1, os.cpu_count() or 1)
     return check_positive_int(n_jobs, "n_jobs")
 
@@ -74,26 +97,47 @@ def split_indices(n_items: int, n_chunks: int) -> list[np.ndarray]:
 
 
 class ParallelExecutor:
-    """Map a function over tasks, serially or on a thread pool.
+    """Map a function over tasks on a serial, thread, or process backend.
 
     Parameters
     ----------
     n_jobs:
-        Number of worker threads.  ``1`` (default) runs everything in the
-        calling thread, ``-1`` uses all available CPUs.
+        Number of workers.  ``1`` (default) runs everything in the calling
+        thread for the serial/thread backends; the process backend keeps a
+        one-worker pool so its overhead is measured honestly.  ``-1`` uses
+        every CPU the process's affinity mask allows.
+    backend:
+        ``"serial"``, ``"thread"`` or ``"process"``; ``None`` reads the
+        ``REPRO_DEFAULT_BACKEND`` environment variable (default ``"thread"``).
     """
 
-    def __init__(self, n_jobs: int | None = 1):
+    def __init__(self, n_jobs: int | None = 1, backend: str | None = None):
         self._n_jobs = resolve_n_jobs(n_jobs)
+        self._backend = resolve_backend(backend)
+        self._pool: ProcessPoolExecutor | None = None
 
     @property
     def n_jobs(self) -> int:
         """The resolved number of workers."""
         return self._n_jobs
 
+    @property
+    def backend(self) -> str:
+        """The resolved execution backend."""
+        return self._backend
+
+    # ------------------------------------------------------------ closure API
+
+    def _use_threads(self, n_tasks: int) -> bool:
+        return self._backend != "serial" and self._n_jobs > 1 and n_tasks > 1
+
     def map(self, func: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
-        """Apply ``func`` to every task and return results in task order."""
-        if self._n_jobs == 1 or len(tasks) <= 1:
+        """Apply ``func`` to every task and return results in task order.
+
+        Closures cannot cross a process boundary, so the process backend runs
+        this on threads (results are identical; see module docstring).
+        """
+        if not self._use_threads(len(tasks)):
             return [func(task) for task in tasks]
         with ThreadPoolExecutor(max_workers=self._n_jobs) as pool:
             return list(pool.map(func, tasks))
@@ -108,16 +152,25 @@ class ParallelExecutor:
         and each worker processes a whole chunk in one call.
         """
         chunk_list = [chunk for chunk in chunks if len(chunk) > 0]
-        if self._n_jobs == 1 or len(chunk_list) <= 1:
+        if not self._use_threads(len(chunk_list)):
             return [func(chunk) for chunk in chunk_list]
         with ThreadPoolExecutor(max_workers=self._n_jobs) as pool:
             return list(pool.map(func, chunk_list))
+
+    # -------------------------------------------------------- chunk-task API
+
+    def _n_chunks(self, chunks_per_worker: int) -> int:
+        if self._n_jobs == 1:
+            return 1
+        return self._n_jobs * check_positive_int(chunks_per_worker, "chunks_per_worker")
 
     def map_index_chunks(
         self,
         func: Callable[[np.ndarray], R],
         n_items: int,
         chunks_per_worker: int = 4,
+        *,
+        task: ChunkTask | None = None,
     ) -> list[R]:
         """Apply ``func`` to contiguous index chunks covering ``range(n_items)``.
 
@@ -127,11 +180,64 @@ class ParallelExecutor:
         chunks so the pool stays busy even when chunk costs are skewed.
         Results are returned in index (chunk) order; concatenating them
         restores per-item ordering.
+
+        ``task`` is the process-backend counterpart of ``func``: a picklable
+        :class:`~repro.parallel.backends.ChunkTask` descriptor performing the
+        same computation against shared-memory arrays.  It is used only when
+        this executor's backend is ``"process"``; callers that have no
+        process kernel simply pass ``None`` and fall back to threads.
         """
-        if self._n_jobs == 1:
-            n_chunks = 1
-        else:
-            n_chunks = self._n_jobs * check_positive_int(
-                chunks_per_worker, "chunks_per_worker"
+        if self._backend == "process" and task is not None:
+            return self._map_process_chunks(task, n_items, chunks_per_worker)
+        return self.map_chunks(
+            func, split_indices(n_items, self._n_chunks(chunks_per_worker))
+        )
+
+    def _map_process_chunks(
+        self, task: ChunkTask, n_items: int, chunks_per_worker: int
+    ) -> list:
+        chunks = split_indices(n_items, self._n_chunks(chunks_per_worker))
+        if not chunks:
+            return []
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(
+                execute_chunk, task.spec, task.kernel, task.payload_for(chunk), chunk
             )
-        return self.map_chunks(func, split_indices(n_items, n_chunks))
+            for chunk in chunks
+        ]
+        results = []
+        for future in futures:
+            value, distance_calcs = future.result()
+            if task.counter is not None and distance_calcs:
+                task.counter.add("distance_calcs", distance_calcs)
+            results.append(value)
+        return results
+
+    # -------------------------------------------------------------- lifecycle
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            import multiprocessing
+
+            method = os.environ.get(START_METHOD_ENV)
+            if method is None:
+                methods = multiprocessing.get_all_start_methods()
+                method = "fork" if "fork" in methods else None
+            context = multiprocessing.get_context(method)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._n_jobs, mp_context=context
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool, if one was created (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

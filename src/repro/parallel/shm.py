@@ -1,0 +1,184 @@
+"""Zero-copy numpy array sharing over :mod:`multiprocessing.shared_memory`.
+
+The process backend must hand every worker the dataset and the flattened
+kd-tree (:class:`repro.index.kdtree.KDTreeArrays`) without pickling megabytes
+of arrays into each task.  :class:`SharedArrayBundle` packs a named mapping of
+numpy arrays into **one** shared-memory segment:
+
+* the owner (the fitting process) calls :meth:`SharedArrayBundle.create`,
+  which copies each array into the segment exactly once and records a
+  picklable :class:`BundleSpec` (segment name + per-array offset/shape/dtype);
+* each worker calls :meth:`SharedArrayBundle.attach` with the spec -- a few
+  hundred bytes over the pipe -- and receives zero-copy numpy views backed by
+  the same physical pages, whatever the multiprocessing start method;
+* the owner calls :meth:`SharedArrayBundle.close` and
+  :meth:`SharedArrayBundle.unlink` when the fit finishes.
+
+Lifecycle contract (see ``docs/parallel.md``): exactly one ``create`` /
+``unlink`` pair per fit on the owner side, at most one ``attach`` per worker
+(workers cache bundles by segment name), and ``close`` in every process that
+holds a handle.  Views into an attached bundle must not outlive the bundle.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Mapping
+
+import numpy as np
+
+__all__ = ["ArraySpec", "BundleSpec", "SharedArrayBundle"]
+
+#: Byte alignment of every array inside the segment; 64 matches the cache
+#: line (and any SIMD alignment numpy kernels could want).
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Placement of one array inside the segment (picklable)."""
+
+    key: str
+    offset: int
+    shape: tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class BundleSpec:
+    """Everything a worker needs to attach a bundle (picklable, tiny)."""
+
+    segment_name: str
+    total_bytes: int
+    entries: tuple[ArraySpec, ...]
+
+
+class SharedArrayBundle:
+    """A named mapping of numpy arrays backed by one shared-memory segment."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, spec: BundleSpec, owner: bool):
+        self._shm = shm
+        self._spec = spec
+        self._owner = owner
+        self._closed = False
+        self._arrays: dict[str, np.ndarray] = {}
+        for entry in spec.entries:
+            view = np.ndarray(
+                entry.shape,
+                dtype=np.dtype(entry.dtype),
+                buffer=shm.buf,
+                offset=entry.offset,
+            )
+            view.flags.writeable = False
+            self._arrays[entry.key] = view
+
+    # ----------------------------------------------------------- construction
+
+    @classmethod
+    def create(cls, arrays: Mapping[str, np.ndarray]) -> "SharedArrayBundle":
+        """Copy ``arrays`` into a fresh segment (once) and return the owner handle."""
+        if not arrays:
+            raise ValueError("cannot create an empty bundle")
+        entries: list[ArraySpec] = []
+        offset = 0
+        materialised: dict[str, np.ndarray] = {}
+        for key, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            materialised[key] = array
+            offset = _aligned(offset)
+            entries.append(
+                ArraySpec(
+                    key=key,
+                    offset=offset,
+                    shape=tuple(array.shape),
+                    dtype=array.dtype.str,
+                )
+            )
+            offset += array.nbytes
+        total = max(offset, 1)  # zero-byte segments are not allowed
+        name = f"repro_{secrets.token_hex(8)}"
+        shm = shared_memory.SharedMemory(create=True, size=total, name=name)
+        spec = BundleSpec(
+            segment_name=shm.name, total_bytes=total, entries=tuple(entries)
+        )
+        for entry in entries:
+            source = materialised[entry.key]
+            if source.nbytes == 0:
+                continue
+            dest = np.ndarray(
+                entry.shape,
+                dtype=np.dtype(entry.dtype),
+                buffer=shm.buf,
+                offset=entry.offset,
+            )
+            dest[...] = source
+        return cls(shm, spec, owner=True)
+
+    @classmethod
+    def attach(cls, spec: BundleSpec) -> "SharedArrayBundle":
+        """Attach to an existing segment and return zero-copy views."""
+        shm = shared_memory.SharedMemory(name=spec.segment_name, create=False)
+        # CPython < 3.13 registers *attached* segments with the resource
+        # tracker as if this process owned them, which triggers spurious
+        # "leaked shared_memory" warnings (and an unlink race) when a worker
+        # exits while the owner still holds the segment.  Only the creating
+        # process is responsible for unlinking, so undo the registration.
+        try:  # pragma: no cover - depends on interpreter version/platform
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+        return cls(shm, spec, owner=False)
+
+    # ---------------------------------------------------------------- access
+
+    @property
+    def spec(self) -> BundleSpec:
+        """The picklable description of the segment layout."""
+        return self._spec
+
+    @property
+    def arrays(self) -> dict[str, np.ndarray]:
+        """Read-only zero-copy views, one per packed array."""
+        return self._arrays
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the backing segment; the cost is paid once, not per worker."""
+        return int(self._spec.total_bytes)
+
+    # --------------------------------------------------------------- teardown
+
+    def close(self) -> None:
+        """Drop this process's mapping of the segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._arrays = {}
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner side, after :meth:`close`; idempotent)."""
+        if not self._owner:
+            return
+        # Under the fork start method workers share the owner's resource
+        # tracker, so a worker's attach-time unregister (see attach()) also
+        # dropped the owner's entry; re-register first so the unregister
+        # performed inside unlink() finds it instead of logging a KeyError.
+        try:  # pragma: no cover - interpreter-version dependent
+            from multiprocessing import resource_tracker
+
+            resource_tracker.register(self._shm._name, "shared_memory")
+        except Exception:
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double unlink
+            pass

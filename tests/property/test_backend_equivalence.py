@@ -1,0 +1,139 @@
+"""Property tests: serial ≡ thread ≡ process execution backends.
+
+The backend refactor's contract is that the choice of execution backend is
+invisible in the results: for every algorithm and both query engines, the
+``DPCResult`` arrays (labels, rho, delta, dependent, exact mask, centers) are
+bit-for-bit identical whether the parallel phases run in the calling thread,
+on a thread pool, or on worker processes reading the dataset and the
+flattened kd-tree through shared memory.  These tests pin that down over
+hypothesis-generated point sets (following the pattern of
+``test_batch_equivalence.py``) plus deterministic moderate-size datasets that
+exercise the dependency fallback and the work-counter merging.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ApproxDPC, ExDPC, SApproxDPC
+from repro.data.synthetic import generate_syn
+
+# Process fits spin up a pool each, so the example budget is deliberately
+# small; the deterministic tests below cover the larger configurations.
+MAX_EXAMPLES = 8
+
+ALGORITHMS = [
+    pytest.param(ExDPC, {}, id="ex-dpc"),
+    pytest.param(ApproxDPC, {}, id="approx-dpc"),
+    pytest.param(SApproxDPC, {"epsilon": 0.8}, id="s-approx-dpc"),
+]
+
+
+def _result_arrays(result):
+    return (
+        result.labels_,
+        result.rho_,
+        result.delta_,
+        result.dependent_,
+        result.exact_dependency_mask_,
+        result.centers_,
+        result.noise_mask_,
+    )
+
+
+def _assert_results_equal(reference, other, context: str):
+    for name, ref, got in zip(
+        ("labels", "rho", "delta", "dependent", "exact_mask", "centers", "noise"),
+        _result_arrays(reference),
+        _result_arrays(other),
+    ):
+        np.testing.assert_array_equal(ref, got, err_msg=f"{context}: {name} differ")
+
+
+@st.composite
+def small_point_sets(draw):
+    """Random 2-D point sets, sometimes lattice-valued to force exact ties."""
+    n = draw(st.integers(8, 48))
+    if draw(st.booleans()):
+        coordinate = st.integers(0, 6).map(float)
+    else:
+        coordinate = st.floats(
+            min_value=-50.0, max_value=50.0, allow_nan=False, width=32
+        )
+    rows = draw(
+        st.lists(
+            st.lists(coordinate, min_size=2, max_size=2), min_size=n, max_size=n
+        )
+    )
+    return np.asarray(rows, dtype=np.float64)
+
+
+@pytest.mark.parametrize("cls,extra", ALGORITHMS)
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(points=small_point_sets(), d_cut=st.floats(min_value=0.5, max_value=30.0))
+def test_backends_bitwise_equal(cls, extra, points, d_cut):
+    results = {}
+    for backend in ("serial", "thread", "process"):
+        model = cls(
+            d_cut=d_cut, n_clusters=2, n_jobs=2, backend=backend, seed=0, **extra
+        )
+        results[backend] = model.fit(points)
+    _assert_results_equal(
+        results["serial"], results["thread"], f"{cls.__name__} serial vs thread"
+    )
+    _assert_results_equal(
+        results["serial"], results["process"], f"{cls.__name__} serial vs process"
+    )
+
+
+@pytest.mark.parametrize("cls,extra", ALGORITHMS)
+@pytest.mark.parametrize("engine", ["batch", "scalar"])
+def test_backends_equal_on_syn(cls, extra, engine):
+    """Moderate Syn dataset: every backend and engine agrees bit for bit."""
+    points, _ = generate_syn(n_points=400, seed=7)
+    results = {}
+    for backend in ("serial", "thread", "process"):
+        model = cls(
+            d_cut=2_000.0,
+            n_clusters=4,
+            n_jobs=2,
+            backend=backend,
+            engine=engine,
+            seed=0,
+            **extra,
+        )
+        results[backend] = model.fit(points)
+    _assert_results_equal(results["serial"], results["thread"], "serial vs thread")
+    _assert_results_equal(results["serial"], results["process"], "serial vs process")
+    # Work counters are merged deterministically on the serial and process
+    # paths (the thread path interleaves adds), so the totals match exactly.
+    assert results["serial"].work_ == results["process"].work_
+
+
+@pytest.mark.parametrize("cls,extra", ALGORITHMS)
+def test_process_backend_n_jobs_one(cls, extra):
+    """A one-worker process pool is valid and agrees with serial execution."""
+    points, _ = generate_syn(n_points=120, seed=11)
+    serial = cls(d_cut=2_000.0, n_clusters=3, backend="serial", seed=0, **extra).fit(
+        points
+    )
+    process = cls(
+        d_cut=2_000.0, n_clusters=3, n_jobs=1, backend="process", seed=0, **extra
+    ).fit(points)
+    _assert_results_equal(serial, process, "serial vs process(n_jobs=1)")
+
+
+def test_default_backend_env(monkeypatch):
+    """REPRO_DEFAULT_BACKEND selects the backend when the estimator passes None."""
+    monkeypatch.setenv("REPRO_DEFAULT_BACKEND", "serial")
+    assert ExDPC(d_cut=1.0, n_clusters=2).backend == "serial"
+    monkeypatch.setenv("REPRO_DEFAULT_BACKEND", "process")
+    assert ExDPC(d_cut=1.0, n_clusters=2).backend == "process"
+    monkeypatch.delenv("REPRO_DEFAULT_BACKEND")
+    assert ExDPC(d_cut=1.0, n_clusters=2).backend == "thread"
+    # Explicit argument wins over the environment.
+    monkeypatch.setenv("REPRO_DEFAULT_BACKEND", "process")
+    assert ExDPC(d_cut=1.0, n_clusters=2, backend="serial").backend == "serial"

@@ -1,0 +1,203 @@
+"""Unit tests for the execution backends, shared-memory bundles and executor."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.index.kdtree import KDTree
+from repro.parallel.backends import (
+    BACKENDS,
+    ChunkTask,
+    kernel_range_count,
+    pack_tree_arrays,
+    resolve_backend,
+    worker_context,
+)
+from repro.parallel.executor import ParallelExecutor, resolve_n_jobs
+from repro.parallel.shm import SharedArrayBundle
+from repro.utils.counters import WorkCounter
+
+
+class TestResolveBackend:
+    def test_explicit_values(self):
+        for backend in BACKENDS:
+            assert resolve_backend(backend) == backend
+
+    def test_default_is_thread(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DEFAULT_BACKEND", raising=False)
+        assert resolve_backend(None) == "thread"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEFAULT_BACKEND", "process")
+        assert resolve_backend(None) == "process"
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend("gpu")
+
+
+class TestResolveNJobsAffinity:
+    def test_minus_one_respects_affinity_mask(self):
+        resolved = resolve_n_jobs(-1)
+        assert resolved >= 1
+        if hasattr(os, "sched_getaffinity"):
+            # Container / CI core limits shrink the affinity mask below the
+            # raw CPU count; -1 must honor the mask, not the hardware.
+            assert resolved == len(os.sched_getaffinity(0))
+
+    def test_minus_one_without_affinity(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 7)
+        assert resolve_n_jobs(-1) == 7
+
+
+class TestSharedArrayBundle:
+    def test_roundtrip_values_and_dtypes(self):
+        arrays = {
+            "a": np.arange(10, dtype=np.float64),
+            "b": np.arange(6, dtype=np.intp).reshape(2, 3),
+            "c": np.asarray([True, False, True]),
+        }
+        bundle = SharedArrayBundle.create(arrays)
+        try:
+            attached = SharedArrayBundle.attach(bundle.spec)
+            try:
+                for key, source in arrays.items():
+                    np.testing.assert_array_equal(attached.arrays[key], source)
+                    assert attached.arrays[key].dtype == source.dtype
+                    assert not attached.arrays[key].flags.writeable
+            finally:
+                attached.close()
+        finally:
+            bundle.close()
+            bundle.unlink()
+
+    def test_spec_is_small_and_picklable(self):
+        bundle = SharedArrayBundle.create({"points": np.zeros((1000, 2))})
+        try:
+            blob = pickle.dumps(bundle.spec)
+            # The spec ships with every task submission: it must stay tiny
+            # (metadata only), never the arrays themselves.
+            assert len(blob) < 1024
+        finally:
+            bundle.close()
+            bundle.unlink()
+
+    def test_nbytes_counts_segment_once(self):
+        data = np.zeros((100, 2))
+        bundle = SharedArrayBundle.create({"points": data})
+        try:
+            assert bundle.nbytes >= data.nbytes
+            assert bundle.nbytes < 2 * data.nbytes + 256
+        finally:
+            bundle.close()
+            bundle.unlink()
+
+    def test_close_and_unlink_are_idempotent(self):
+        bundle = SharedArrayBundle.create({"x": np.zeros(4)})
+        bundle.close()
+        bundle.close()
+        bundle.unlink()
+        bundle.unlink()
+
+    def test_empty_bundle_rejected(self):
+        with pytest.raises(ValueError):
+            SharedArrayBundle.create({})
+
+
+class TestWorkerContext:
+    def test_tree_rebuilt_from_shared_arrays(self):
+        points = np.random.default_rng(0).uniform(-10, 10, size=(200, 2))
+        tree = KDTree(points, leaf_size=8)
+        bundle = SharedArrayBundle.create(pack_tree_arrays(tree))
+        try:
+            ctx = worker_context(bundle.spec)
+            assert ctx.tree.node_count == tree.node_count
+            assert ctx.tree.leaf_size == tree.leaf_size
+            queries = points[:17]
+            np.testing.assert_array_equal(
+                ctx.tree.range_count_batch(queries, 3.0),
+                tree.range_count_batch(queries, 3.0),
+            )
+            # Attach-once contract: the same spec returns the cached context.
+            assert worker_context(bundle.spec) is ctx
+            ctx.bundle.close()
+        finally:
+            bundle.close()
+            bundle.unlink()
+
+    def test_phase_state_builds_once(self):
+        bundle = SharedArrayBundle.create({"points": np.zeros((4, 2))})
+        try:
+            ctx = worker_context(bundle.spec)
+            calls = []
+            assert ctx.phase_state("t", lambda: calls.append(1) or "state") == "state"
+            assert ctx.phase_state("t", lambda: calls.append(1) or "other") == "state"
+            assert len(calls) == 1
+            ctx.bundle.close()
+        finally:
+            bundle.close()
+            bundle.unlink()
+
+
+class TestExecutorProcessPath:
+    def test_process_chunk_task_matches_closure(self):
+        points = np.random.default_rng(1).uniform(-10, 10, size=(300, 2))
+        tree = KDTree(points, leaf_size=16)
+        bundle = SharedArrayBundle.create(pack_tree_arrays(tree))
+        counter = WorkCounter()
+        task = ChunkTask(
+            kernel=kernel_range_count,
+            spec=bundle.spec,
+            payload={"d_cut": 2.5},
+            counter=counter,
+        )
+        executor = ParallelExecutor(2, backend="process")
+        try:
+            results = executor.map_index_chunks(
+                lambda chunk: tree.range_count_batch(points[chunk], 2.5, strict=True),
+                points.shape[0],
+                task=task,
+            )
+            expected = tree.range_count_batch(points, 2.5, strict=True)
+            np.testing.assert_array_equal(np.concatenate(results), expected)
+            # The workers' distance counts were folded back into the parent
+            # counter, matching the serial total exactly.
+            assert counter.get("distance_calcs") == tree.counter.get("distance_calcs")
+        finally:
+            executor.close()
+            bundle.close()
+            bundle.unlink()
+
+    def test_process_backend_without_task_uses_threads(self):
+        executor = ParallelExecutor(2, backend="process")
+        try:
+            results = executor.map_index_chunks(lambda chunk: chunk.sum(), 10)
+            assert sum(results) == sum(range(10))
+        finally:
+            executor.close()
+
+    def test_serial_backend_never_spawns(self):
+        executor = ParallelExecutor(4, backend="serial")
+        order = []
+        executor.map(order.append, [1, 2, 3])
+        assert order == [1, 2, 3]
+        executor.close()
+
+    def test_close_is_idempotent(self):
+        executor = ParallelExecutor(2, backend="process")
+        executor.close()
+        executor.close()
+
+    def test_payload_fn_slices_per_chunk(self):
+        chunks_seen = []
+        task = ChunkTask(
+            kernel=kernel_range_count,
+            spec=None,
+            payload_fn=lambda chunk: chunks_seen.append(chunk) or {"d_cut": 1.0},
+        )
+        chunk = np.arange(3)
+        assert task.payload_for(chunk) == {"d_cut": 1.0}
+        assert chunks_seen and chunks_seen[0] is chunk

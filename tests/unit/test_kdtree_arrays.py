@@ -1,0 +1,116 @@
+"""Unit tests for the flattened kd-tree representation (KDTreeArrays)."""
+
+import numpy as np
+import pytest
+
+from repro.index.kdtree import KDTree, KDTreeArrays
+
+
+def _random_points(n, d, seed=0):
+    return np.random.default_rng(seed).uniform(-100.0, 100.0, size=(n, d))
+
+
+class TestConstructionInvariants:
+    @pytest.mark.parametrize("n,d,leaf_size", [(1, 1, 1), (7, 2, 2), (200, 3, 4), (500, 2, 32)])
+    def test_validate_passes_on_built_trees(self, n, d, leaf_size):
+        points = _random_points(n, d, seed=n)
+        tree = KDTree(points, leaf_size=leaf_size)
+        tree.arrays.validate(tree.points, leaf_size)
+
+    def test_validate_passes_on_duplicate_heavy_data(self):
+        # Zero-spread subsets become oversized leaves instead of recursing.
+        points = np.array([[1.0, 2.0]] * 50 + [[3.0, 4.0]] * 50)
+        tree = KDTree(points, leaf_size=4)
+        tree.arrays.validate(tree.points, 4)
+
+    def test_root_covers_everything_and_indices_permute(self):
+        tree = KDTree(_random_points(123, 2), leaf_size=8)
+        arrays = tree.arrays
+        assert int(arrays.start[0]) == 0 and int(arrays.stop[0]) == 123
+        np.testing.assert_array_equal(np.sort(arrays.indices), np.arange(123))
+
+    def test_children_partition_parent_ranges(self):
+        tree = KDTree(_random_points(300, 2), leaf_size=8)
+        arrays = tree.arrays
+        internal = np.flatnonzero(arrays.left >= 0)
+        for node in internal:
+            left, right = int(arrays.left[node]), int(arrays.right[node])
+            assert arrays.start[left] == arrays.start[node]
+            assert arrays.stop[left] == arrays.start[right]
+            assert arrays.stop[right] == arrays.stop[node]
+
+    def test_split_value_separates_children(self):
+        points = _random_points(256, 2, seed=5)
+        tree = KDTree(points, leaf_size=4)
+        arrays = tree.arrays
+        for node in np.flatnonzero(arrays.left >= 0):
+            axis = int(arrays.split_dim[node])
+            value = float(arrays.split_val[node])
+            left, right = int(arrays.left[node]), int(arrays.right[node])
+            left_coords = points[
+                arrays.indices[arrays.start[left] : arrays.stop[left]], axis
+            ]
+            right_coords = points[
+                arrays.indices[arrays.start[right] : arrays.stop[right]], axis
+            ]
+            assert left_coords.max() <= value <= right_coords.min()
+
+    def test_node_count_bound(self):
+        tree = KDTree(_random_points(500, 2), leaf_size=1)
+        assert tree.node_count <= 2 * 500 - 1
+
+    def test_validate_rejects_corruption(self):
+        tree = KDTree(_random_points(64, 2), leaf_size=4)
+        arrays = tree.arrays
+        broken = KDTreeArrays(
+            split_dim=arrays.split_dim,
+            split_val=arrays.split_val,
+            left=arrays.left,
+            right=arrays.right,
+            start=arrays.start,
+            stop=arrays.stop,
+            indices=arrays.indices[::-1].copy(),
+        )
+        broken.indices[0] = broken.indices[1]  # no longer a permutation
+        with pytest.raises(ValueError):
+            broken.validate(tree.points, 4)
+
+
+class TestFromArrays:
+    def test_from_arrays_answers_identical_queries(self):
+        points = _random_points(200, 2, seed=9)
+        tree = KDTree(points, leaf_size=8)
+        view = KDTree.from_arrays(
+            points, tree.arrays, leaf_size=tree.leaf_size, validate=True
+        )
+        queries = _random_points(20, 2, seed=10)
+        np.testing.assert_array_equal(
+            tree.range_count_batch(queries, 25.0),
+            view.range_count_batch(queries, 25.0),
+        )
+        idx_a, dist_a = tree.nearest_neighbor_batch(queries)
+        idx_b, dist_b = view.nearest_neighbor_batch(queries)
+        np.testing.assert_array_equal(idx_a, idx_b)
+        np.testing.assert_array_equal(dist_a, dist_b)
+        assert view.node_count == tree.node_count
+        assert view.memory_bytes() == tree.memory_bytes()
+
+    def test_from_arrays_does_not_copy(self):
+        points = np.ascontiguousarray(_random_points(50, 2))
+        tree = KDTree(points, leaf_size=8)
+        view = KDTree.from_arrays(tree.points, tree.arrays)
+        assert view.points is tree.points
+        assert view.arrays is tree.arrays
+
+    def test_mapping_roundtrip(self):
+        tree = KDTree(_random_points(80, 3), leaf_size=8)
+        mapping = tree.arrays.to_mapping(prefix="tree.")
+        rebuilt = KDTreeArrays.from_mapping(mapping, prefix="tree.")
+        for name in ("split_dim", "split_val", "left", "right", "start", "stop", "indices"):
+            np.testing.assert_array_equal(
+                getattr(rebuilt, name), getattr(tree.arrays, name)
+            )
+
+    def test_nbytes_matches_memory_bytes(self):
+        tree = KDTree(_random_points(64, 2), leaf_size=8)
+        assert tree.arrays.nbytes == tree.memory_bytes()
