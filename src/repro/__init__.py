@@ -30,6 +30,9 @@ from repro.metrics import adjusted_rand_index, center_agreement, rand_index
 
 __version__ = "1.0.0"
 
+# Imported after __version__: the snapshot writer records the library version.
+from repro.stream import StreamingDPC, load_model, save_model  # noqa: E402
+
 __all__ = [
     # paper contributions
     "ExDPC",
@@ -52,6 +55,10 @@ __all__ = [
     "RTree",
     "UniformGrid",
     "SampledGrid",
+    # streaming / serving
+    "StreamingDPC",
+    "save_model",
+    "load_model",
     # metrics
     "rand_index",
     "adjusted_rand_index",

@@ -78,6 +78,11 @@ class CFSFDPA(ScanDPC):
         self._pivot_members: list[np.ndarray] = []
         self._pivot_radii: np.ndarray | None = None
 
+    def get_params(self):
+        params = super().get_params()
+        params["n_pivots"] = self.n_pivots
+        return params
+
     # ------------------------------------------------------------------ index
 
     def _build_index(self, points: np.ndarray) -> None:

@@ -1,28 +1,39 @@
 """Command-line interface.
 
-Three subcommands cover the everyday workflows of the library::
+Five subcommands cover the everyday workflows of the library::
 
     python -m repro.cli cluster data.csv --algorithm approx-dpc --d-cut 2000 \\
-        --n-clusters 13 --output labels.csv
-    python -m repro.cli generate syn --n-points 10000 --output syn.csv
+        --n-clusters 13 --output labels.csv --save-model model.npz
+    python -m repro.cli predict model.npz new_points.csv --output labels.csv
+    python -m repro.cli stream data.csv --d-cut 2000 --n-clusters 13 \\
+        --window 5000 --batch 500
+    python -m repro.cli generate syn --sampling-rate 0.1 --output syn.csv
     python -m repro.cli info
 
-``cluster`` reads a CSV / ``.npy`` point matrix, runs the chosen algorithm and
-writes the per-point labels (plus a JSON metadata sidecar); ``generate``
-materialises one of the benchmark datasets; ``info`` lists the available
-algorithms and datasets with their parameters.
+``cluster`` reads a CSV / ``.npy`` / ``.npz`` point matrix, runs the chosen
+algorithm and writes the per-point labels (plus a JSON metadata sidecar) and
+optionally a reusable model snapshot; ``predict`` assigns new points with a
+saved snapshot (the fit-once / serve-anywhere recipe of
+``docs/streaming.md``); ``stream`` replays a point file through the
+sliding-window :class:`repro.stream.StreamingDPC`; ``generate`` materialises
+one of the benchmark datasets; ``info`` lists the available algorithms and
+datasets with their parameters.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Sequence
+
+import numpy as np
 
 from repro import __version__
 from repro.bench.runners import ALGORITHM_BUILDERS
 from repro.bench.workloads import load_workload
-from repro.io import load_points, save_points, save_result
+from repro.io import load_model, load_points, save_model, save_points, save_result
 
 __all__ = ["main", "build_parser"]
 
@@ -85,6 +96,77 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument(
         "--output", default=None, help="write labels CSV (+ JSON sidecar) here"
     )
+    cluster.add_argument(
+        "--save-model",
+        default=None,
+        metavar="PATH",
+        help="save the fitted model as a .npz snapshot for `repro predict` "
+        "(see docs/streaming.md)",
+    )
+
+    predict = subparsers.add_parser(
+        "predict", help="assign new points with a saved model snapshot"
+    )
+    predict.add_argument(
+        "model", help=".npz snapshot written by save_model / cluster --save-model"
+    )
+    predict.add_argument(
+        "input", help="CSV / .npy / .npz file with one point per row"
+    )
+    predict.add_argument(
+        "--output", default=None, help="write the predicted labels CSV here"
+    )
+    predict.add_argument(
+        "--mmap",
+        action="store_true",
+        help="memory-map the snapshot arrays instead of loading them",
+    )
+    predict.add_argument(
+        "--n-jobs", type=int, default=1, help="workers for the predict phases"
+    )
+    predict.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default=None,
+        help="execution backend for the predict phases",
+    )
+
+    stream = subparsers.add_parser(
+        "stream", help="replay a point file through the sliding-window StreamingDPC"
+    )
+    stream.add_argument("input", help="CSV / .npy / .npz file with one point per row")
+    stream.add_argument("--d-cut", type=float, required=True, help="cutoff distance")
+    stream.add_argument("--rho-min", type=float, default=None, help="noise threshold")
+    stream.add_argument(
+        "--delta-min", type=float, default=None, help="cluster-center threshold"
+    )
+    stream.add_argument(
+        "--n-clusters", type=int, default=None, help="number of centers to select"
+    )
+    stream.add_argument(
+        "--window", type=int, default=2000, help="sliding window size (default: 2000)"
+    )
+    stream.add_argument(
+        "--batch", type=int, default=200, help="points ingested per update batch"
+    )
+    stream.add_argument("--seed", type=int, default=0, help="random seed")
+    stream.add_argument(
+        "--refit-equivalence",
+        action="store_true",
+        help="verify every update against a cold refit (slow; debugging aid)",
+    )
+    stream.add_argument(
+        "--output", default=None, help="write the final window's labels CSV here"
+    )
+    stream.add_argument(
+        "--save-model",
+        default=None,
+        metavar="PATH",
+        help="snapshot the final window state as a servable .npz model",
+    )
+    stream.add_argument(
+        "--json", default=None, metavar="PATH", help="write ingest statistics as JSON"
+    )
 
     generate = subparsers.add_parser("generate", help="generate a benchmark dataset")
     generate.add_argument("dataset", choices=_DATASETS, help="dataset name")
@@ -107,8 +189,24 @@ def _run_cluster(args: argparse.Namespace) -> int:
         )
         return 2
 
-    points = load_points(args.input)
     name = _CLI_ALGORITHMS[args.algorithm]
+    if args.save_model:
+        from repro.stream.snapshot import SNAPSHOT_ALGORITHMS
+
+        if name not in SNAPSHOT_ALGORITHMS:
+            # Fail before the (possibly expensive) fit, not after it.
+            supported = sorted(
+                cli for cli, paper in _CLI_ALGORITHMS.items()
+                if paper in SNAPSHOT_ALGORITHMS
+            )
+            print(
+                f"error: --save-model does not support {args.algorithm!r}; "
+                f"snapshot-capable algorithms: {', '.join(supported)}",
+                file=sys.stderr,
+            )
+            return 2
+
+    points = load_points(args.input)
     kwargs = {
         "rho_min": args.rho_min,
         "delta_min": args.delta_min,
@@ -126,12 +224,113 @@ def _run_cluster(args: argparse.Namespace) -> int:
     if args.output:
         written = save_result(result, args.output)
         print(f"labels written to {written} (metadata: {written.with_suffix('.json')})")
+    if args.save_model:
+        written = save_model(model, args.save_model)
+        print(f"model snapshot written to {written}")
+    return 0
+
+
+def _write_labels(labels: np.ndarray, path: str | Path) -> Path:
+    """Write a bare label column as CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savetxt(path, np.asarray(labels, dtype=np.int64)[:, None],
+               fmt="%d", header="label", comments="")
+    return path
+
+
+def _label_summary(labels: np.ndarray) -> str:
+    labels = np.asarray(labels)
+    n_noise = int(np.count_nonzero(labels < 0))
+    values, counts = np.unique(labels[labels >= 0], return_counts=True)
+    sizes = ", ".join(f"{int(v)}:{int(c)}" for v, c in zip(values, counts))
+    return (
+        f"points           : {labels.shape[0]}\n"
+        f"clusters         : {values.size}\n"
+        f"noise points     : {n_noise}\n"
+        f"cluster sizes    : {sizes if sizes else '(none)'}"
+    )
+
+
+def _run_predict(args: argparse.Namespace) -> int:
+    from repro.parallel.backends import resolve_backend
+    from repro.parallel.executor import resolve_n_jobs
+
+    model = load_model(args.model, mmap=args.mmap)
+    model.n_jobs = resolve_n_jobs(args.n_jobs)
+    if args.backend is not None:
+        model.backend = resolve_backend(args.backend)
+    points = load_points(args.input)
+    labels = model.predict(points)
+    print(f"algorithm        : {model.algorithm_name} (snapshot: {args.model})")
+    print(_label_summary(labels))
+    if args.output:
+        written = _write_labels(labels, args.output)
+        print(f"labels written to {written}")
+    return 0
+
+
+def _run_stream(args: argparse.Namespace) -> int:
+    from repro.stream import StreamingDPC
+
+    if args.delta_min is None and args.n_clusters is None:
+        print(
+            "error: provide --delta-min or --n-clusters (inspect the decision "
+            "graph to choose a threshold)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.batch <= 0 or args.window < 2:
+        print("error: --batch must be positive and --window at least 2", file=sys.stderr)
+        return 2
+
+    points = load_points(args.input)
+    model = StreamingDPC(
+        args.d_cut,
+        window_size=args.window,
+        rho_min=args.rho_min,
+        delta_min=args.delta_min,
+        n_clusters=args.n_clusters,
+        seed=args.seed,
+        refit_equivalence=args.refit_equivalence,
+    )
+    warmup = min(points.shape[0], args.window)
+    model.fit(points[:warmup])
+    print(
+        f"warmup fit       : {warmup} points, "
+        f"{model.centers_.shape[0]} clusters"
+    )
+    for start in range(warmup, points.shape[0], args.batch):
+        batch = points[start : start + args.batch]
+        model.update(batch)
+        n_noise = int(np.count_nonzero(model.labels_ < 0))
+        print(
+            f"ingested {start + batch.shape[0]:>8d} / {points.shape[0]}: "
+            f"window={model.n_points}, clusters={model.centers_.shape[0]}, "
+            f"noise={n_noise}, rebuilds={model.stats_['rebuilds']}"
+        )
+    print(_label_summary(model.labels_))
+    if args.output:
+        written = _write_labels(model.labels_, args.output)
+        print(f"labels written to {written}")
+    if args.save_model:
+        written = save_model(model.to_estimator(), args.save_model)
+        print(f"model snapshot written to {written}")
+    if args.json:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(model.stats_, indent=2, sort_keys=True))
+        print(f"statistics written to {path}")
     return 0
 
 
 def _run_generate(args: argparse.Namespace) -> int:
     workload = load_workload(args.dataset, sampling_rate=args.sampling_rate, seed=args.seed)
-    path = save_points(workload.points, args.output)
+    try:
+        path = save_points(workload.points, args.output)
+    except ValueError as exc:  # unknown extension: report per CLI convention
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(
         f"wrote {workload.n_points} x {workload.dim} points to {path} "
         f"(suggested d_cut: {workload.d_cut:g}, clusters: {workload.n_clusters})"
@@ -159,6 +358,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "cluster":
         return _run_cluster(args)
+    if args.command == "predict":
+        return _run_predict(args)
+    if args.command == "stream":
+        return _run_stream(args)
     if args.command == "generate":
         return _run_generate(args)
     return _run_info()

@@ -172,6 +172,12 @@ class ApproxDPC(DensityPeaksBase):
         self._grid = UniformGrid(points, cell_side)
         self._fallback_memory = 0
 
+    def get_params(self):
+        params = super().get_params()
+        params["leaf_size"] = self.leaf_size
+        params["n_partitions"] = self.n_partitions
+        return params
+
     def _index_memory_bytes(self) -> int:
         total = 0
         if self._tree is not None:

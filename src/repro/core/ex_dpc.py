@@ -79,6 +79,11 @@ class ExDPC(DensityPeaksBase):
     def _build_index(self, points: np.ndarray) -> None:
         self._tree = KDTree(points, leaf_size=self.leaf_size, counter=self._counter)
 
+    def get_params(self):
+        params = super().get_params()
+        params["leaf_size"] = self.leaf_size
+        return params
+
     def _index_memory_bytes(self) -> int:
         return self._tree.memory_bytes() if self._tree is not None else 0
 

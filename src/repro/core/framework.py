@@ -25,9 +25,20 @@ from typing import Any
 
 import numpy as np
 
-from repro.core.assignment import assign_clusters
-from repro.core.result import DPCResult
-from repro.parallel.backends import ChunkTask, resolve_backend
+from repro.core.assignment import NOISE_LABEL, assign_clusters, propagate_labels
+from repro.core.predict import (
+    nearest_denser_bruteforce,
+    nearest_denser_targets,
+    predict_density_bruteforce,
+)
+from repro.core.result import DPCResult, canonical_rho_raw
+from repro.parallel.backends import (
+    ChunkTask,
+    kernel_predict_attach,
+    kernel_predict_density,
+    pack_tree_arrays,
+    resolve_backend,
+)
 from repro.parallel.executor import ParallelExecutor, resolve_n_jobs
 from repro.parallel.shm import SharedArrayBundle
 from repro.parallel.simulate import SimulatedMulticore
@@ -169,6 +180,11 @@ class DensityPeaksBase(abc.ABC):
         The result is also stored on the estimator as ``self.result_``.
         """
         points = check_points(points, min_points=2, name="points")
+        # Invalidate fitted state up front: _build_index replaces the index in
+        # place, so a refit that fails mid-way must leave the estimator
+        # *unfitted* (predict refuses) rather than a silent mix of the old
+        # result and the new index.
+        self.result_ = None
         rng = ensure_rng(self.seed)
         profile = SimulatedMulticore()
         self._profile = profile
@@ -225,15 +241,15 @@ class DensityPeaksBase(abc.ABC):
         finally:
             self._release_parallel_resources()
 
+        self._fit_points_ = points  # only on success, matching result_
         dependent = np.asarray(dependent, dtype=np.intp).copy()
+        dependent_raw = dependent.copy()
         dependent[centers] = -1  # a center's dependent point is itself (§2.1)
 
         result = DPCResult(
             labels_=labels,
             rho_=rho,
-            rho_raw_=rho_raw.astype(np.int64)
-            if np.allclose(rho_raw, np.round(rho_raw))
-            else rho_raw,
+            rho_raw_=canonical_rho_raw(rho_raw),
             delta_=np.asarray(delta, dtype=np.float64),
             dependent_=dependent,
             centers_=np.asarray(centers, dtype=np.intp),
@@ -246,6 +262,7 @@ class DensityPeaksBase(abc.ABC):
             parallel_profile_=profile,
             params_=self.get_params(),
             algorithm_=self.algorithm_name,
+            dependent_raw_=dependent_raw,
         )
         self.result_ = result
         return result
@@ -253,6 +270,200 @@ class DensityPeaksBase(abc.ABC):
     def fit_predict(self, points) -> np.ndarray:
         """Cluster ``points`` and return only the label array."""
         return self.fit(points).labels_
+
+    # ------------------------------------------------------ online prediction
+
+    def check_is_fitted(self) -> DPCResult:
+        """Return the fitted result, raising ``RuntimeError`` if unfitted."""
+        if self.result_ is None or getattr(self, "_fit_points_", None) is None:
+            raise RuntimeError(
+                f"this {type(self).__name__} instance is not fitted yet; "
+                "call fit() (or load a snapshot with repro.io.load_model) first"
+            )
+        return self.result_
+
+    def predict(self, points) -> np.ndarray:
+        """Assign out-of-sample ``points`` to the fitted clusters.
+
+        Each query point ``q`` follows the same rule ``fit`` applies to every
+        non-center point (Definition 6, one step beyond the training set):
+
+        1. ``q``'s local density is the number of *fitted* points strictly
+           within ``d_cut`` (for a point of the training set this reproduces
+           its fitted density exactly);
+        2. ``q`` attaches to its dependency target -- the nearest fitted point
+           with higher (tie-broken) density -- and inherits that point's
+           cluster label, labels forwarding through fitted noise points just
+           as they do during ``fit``'s propagation;
+        3. mirroring ``fit``'s noise rule (Definition 4), queries whose
+           density falls below ``rho_min`` are labelled ``-1``.
+
+        A query denser than every fitted point (a brand-new density peak)
+        attaches to its plain nearest neighbour -- serving cannot mint new
+        clusters; refit (or stream with :class:`repro.stream.StreamingDPC`)
+        to materialise new structure.
+
+        Consequently ``predict`` on the training matrix returns ``fit``'s own
+        labels: every training point resolves to itself at distance zero
+        because its tie-broken density exceeds its integer density.
+
+        The density and attachment passes are issued as chunked batch queries
+        through the estimator's executor, so ``n_jobs``/``backend`` behave as
+        in :meth:`fit` (the process backend ships the fitted kd-tree and
+        densities to workers through shared memory; index-free estimators
+        fall back to threads).
+        """
+        result = self.check_is_fitted()
+        dim = self._fit_points_.shape[1]
+        queries = np.asarray(points, dtype=np.float64)
+        if queries.ndim == 1 and queries.shape[0] == dim:
+            queries = queries.reshape(1, -1)  # a bare (d,) vector is one query
+        queries = check_points(queries, min_points=1, name="points")
+        if queries.shape[1] != dim:
+            raise ValueError(
+                f"query points have dimension {queries.shape[1]}, "
+                f"but the model was fitted on dimension {dim}"
+            )
+        if getattr(self, "_counter", None) is None:
+            self._counter = WorkCounter()
+        # One executor per call: concurrent predicts (the serving scenario)
+        # each own their pool and, on the process backend, their shared-memory
+        # bundle; close() tears both down.
+        executor = ParallelExecutor(self.n_jobs, backend=self.backend)
+        try:
+            rho_q = self._predict_density(queries, executor)
+            targets = self._predict_attach(queries, rho_q, executor)
+        finally:
+            executor.close()
+
+        attach = self._attachment_labels()
+        labels = np.where(targets >= 0, attach[np.clip(targets, 0, None)], NOISE_LABEL)
+        if self.rho_min is not None:
+            labels = np.where(rho_q < self.rho_min, NOISE_LABEL, labels)
+        return labels.astype(np.int64)
+
+    def _attachment_labels(self) -> np.ndarray:
+        """Per-training-point labels used for attachment (cached per result).
+
+        Label propagation *without* the final noise masking: a fitted noise
+        point forwards its chain root's label (exactly as inside ``fit``), so
+        a query attaching to a border point still lands in the right cluster;
+        the query's own ``rho_min`` test decides its noise status.
+        """
+        result = self.check_is_fitted()
+        cached = getattr(self, "_attach_labels_cache", None)
+        if cached is not None and cached[0] is result:
+            return cached[1]
+        dependent = (
+            result.dependent_raw_
+            if result.dependent_raw_ is not None
+            else result.dependent_
+        )
+        labels = propagate_labels(
+            dependent, result.centers_, np.zeros(result.n_points, dtype=bool)
+        )
+        self._attach_labels_cache = (result, labels)
+        return labels
+
+    def _predict_tree(self):
+        """The fitted kd-tree used by the predict hot path (``None``: brute force)."""
+        return getattr(self, "_tree", None)
+
+    def _predict_shared_arrays(self) -> dict[str, np.ndarray] | None:
+        """Arrays published to worker processes for the predict phases."""
+        tree = self._predict_tree()
+        if tree is None:
+            return None
+        arrays = pack_tree_arrays(tree)
+        arrays["rho"] = np.asarray(self.result_.rho_, dtype=np.float64)
+        return arrays
+
+    def _predict_process_task(self, executor, kernel, payload_fn) -> ChunkTask | None:
+        """Process-backend descriptor for one predict phase (cf. ``_process_task``).
+
+        The backing segment is created on first use and stored on the
+        per-call ``executor`` (created and torn down inside :meth:`predict`),
+        so concurrent predict calls never share or clobber each other's
+        bundle.
+        """
+        if executor.backend != "process":
+            return None
+        if executor._predict_bundle is None:
+            arrays = self._predict_shared_arrays()
+            if arrays is None:
+                return None
+            executor._predict_bundle = SharedArrayBundle.create(arrays)
+        return ChunkTask(
+            kernel=kernel,
+            spec=executor._predict_bundle.spec,
+            payload_fn=payload_fn,
+            counter=self._counter,
+        )
+
+    def _predict_density(self, queries: np.ndarray, executor) -> np.ndarray:
+        """Raw (integer-scale) local density of each query over the fitted set."""
+        tree = self._predict_tree()
+        d_cut = self.d_cut
+        n_q = queries.shape[0]
+        if tree is not None:
+            task = self._predict_process_task(
+                executor,
+                kernel_predict_density,
+                lambda chunk: {"queries": queries[chunk], "d_cut": d_cut},
+            )
+
+            def count_chunk(chunk: np.ndarray) -> np.ndarray:
+                return tree.range_count_batch(queries[chunk], d_cut, strict=True)
+
+            counts = executor.map_index_chunks(count_chunk, n_q, task=task)
+        else:
+            train = self._fit_points_
+            counter = self._counter
+
+            def count_chunk(chunk: np.ndarray) -> np.ndarray:
+                return predict_density_bruteforce(
+                    train, queries[chunk], d_cut, counter=counter
+                )
+
+            counts = executor.map_index_chunks(count_chunk, n_q)
+        if not counts:
+            return np.zeros(0, dtype=np.float64)
+        return np.concatenate(counts).astype(np.float64)
+
+    def _predict_attach(
+        self, queries: np.ndarray, rho_q: np.ndarray, executor
+    ) -> np.ndarray:
+        """Dependency target (nearest denser fitted point) of each query."""
+        result = self.result_
+        rho_train = np.asarray(result.rho_, dtype=np.float64)
+        tree = self._predict_tree()
+        n_q = queries.shape[0]
+        if tree is not None:
+            task = self._predict_process_task(
+                executor,
+                kernel_predict_attach,
+                lambda chunk: {"queries": queries[chunk], "rho_q": rho_q[chunk]},
+            )
+
+            def attach_chunk(chunk: np.ndarray) -> np.ndarray:
+                return nearest_denser_targets(
+                    tree, rho_train, queries[chunk], rho_q[chunk]
+                )
+
+            chunks = executor.map_index_chunks(attach_chunk, n_q, task=task)
+        else:
+            train = self._fit_points_
+            counter = self._counter
+
+            def attach_chunk(chunk: np.ndarray) -> np.ndarray:
+                return nearest_denser_bruteforce(
+                    train, rho_train, queries[chunk], rho_q[chunk], counter=counter
+                )
+
+            chunks = executor.map_index_chunks(attach_chunk, n_q)
+        if not chunks:
+            return np.empty(0, dtype=np.intp)
+        return np.concatenate(chunks).astype(np.intp)
 
     def get_params(self) -> dict[str, Any]:
         """Return the estimator parameters as a plain dictionary."""

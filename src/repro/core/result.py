@@ -9,7 +9,21 @@ import numpy as np
 
 from repro.parallel.simulate import SimulatedMulticore
 
-__all__ = ["DPCResult"]
+__all__ = ["DPCResult", "canonical_rho_raw"]
+
+
+def canonical_rho_raw(rho_raw: np.ndarray) -> np.ndarray:
+    """Normalise raw densities to the dtype convention of ``rho_raw_``.
+
+    Definition 1 densities are integer counts and are stored as ``int64``;
+    estimators whose raw densities are genuinely fractional keep ``float64``.
+    Shared by ``fit``, snapshot restore and the streaming layer so the three
+    paths cannot drift.
+    """
+    rho_raw = np.asarray(rho_raw)
+    if np.allclose(rho_raw, np.round(rho_raw)):
+        return rho_raw.astype(np.int64)
+    return np.asarray(rho_raw, dtype=np.float64)
 
 
 @dataclass
@@ -62,6 +76,11 @@ class DPCResult:
         The estimator parameters used for the run.
     algorithm_:
         Name of the algorithm that produced the result.
+    dependent_raw_:
+        Like ``dependent_`` but *without* the center masking: a center's entry
+        holds its actual nearest denser point (or ``-1`` for the globally
+        densest point).  The streaming layer needs the unmasked forest to
+        repair dependencies incrementally when a center is demoted later.
     """
 
     labels_: np.ndarray
@@ -79,6 +98,7 @@ class DPCResult:
     parallel_profile_: SimulatedMulticore = field(default_factory=SimulatedMulticore)
     params_: dict[str, Any] = field(default_factory=dict)
     algorithm_: str = ""
+    dependent_raw_: np.ndarray | None = None
 
     @property
     def n_points(self) -> int:

@@ -117,6 +117,13 @@ class SApproxDPC(DensityPeaksBase):
         self._grid = SampledGrid(points, cell_side)
         self._fallback_memory = 0
 
+    def get_params(self):
+        params = super().get_params()
+        params["epsilon"] = self.epsilon
+        params["leaf_size"] = self.leaf_size
+        params["fallback_factor"] = self.fallback_factor
+        return params
+
     def _index_memory_bytes(self) -> int:
         total = 0
         if self._tree is not None:
@@ -200,6 +207,54 @@ class SApproxDPC(DensityPeaksBase):
 
         self._record_phase("local_density", "greedy", costs)
         return rho
+
+    # ----------------------------------------------------------------- predict
+
+    def _predict_density(self, queries: np.ndarray, executor) -> np.ndarray:
+        """Out-of-sample density with the §5 cell-inheritance rule.
+
+        A query falling into a non-empty fitted cell inherits that cell's
+        density -- exactly what ``fit`` assigns to the cell's own members, so
+        predicting a training point reproduces its fitted density.  Queries in
+        brand-new cells behave like freshly picked representatives: one batch
+        range count over the fitted set.
+
+        The cell map is derived from the stored points and raw densities (all
+        members of a cell share its density), not from the fitted grid object,
+        so restored snapshots (which persist no grid) predict identically.
+        """
+        result = self.check_is_fitted()
+        cell_side = self.epsilon * self.d_cut / np.sqrt(self._fit_points_.shape[1])
+
+        cached = getattr(self, "_predict_cells_cache", None)
+        if cached is not None and cached[0] is result:
+            density_of = cached[1]
+        else:
+            train_lattice = np.floor(self._fit_points_ / cell_side).astype(np.int64)
+            rho_raw = np.asarray(result.rho_raw_, dtype=np.float64)
+            density_of: dict[tuple[int, ...], float] = {}
+            for key, value in zip(map(tuple, train_lattice.tolist()), rho_raw.tolist()):
+                density_of.setdefault(key, value)
+            self._predict_cells_cache = (result, density_of)
+
+        rho_q = np.full(queries.shape[0], -1.0, dtype=np.float64)
+        query_lattice = np.floor(queries / cell_side).astype(np.int64)
+        for position, key in enumerate(map(tuple, query_lattice.tolist())):
+            hit = density_of.get(key)
+            if hit is not None:
+                rho_q[position] = hit
+
+        unknown = np.flatnonzero(rho_q < 0.0)
+        if unknown.size:
+            tree = self._predict_tree()
+            subset = queries[unknown]
+
+            def count_chunk(chunk: np.ndarray) -> np.ndarray:
+                return tree.range_count_batch(subset[chunk], self.d_cut, strict=True)
+
+            counts = executor.map_index_chunks(count_chunk, unknown.size)
+            rho_q[unknown] = np.concatenate(counts).astype(np.float64)
+        return rho_q
 
     # ------------------------------------------------------------ dependencies
 

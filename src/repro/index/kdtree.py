@@ -946,13 +946,38 @@ class IncrementalKDTree:
     The tree cycles the split axis with depth (the classic Bentley insertion
     scheme).  Insertion order in Ex-DPC is essentially random with respect to
     the coordinates, so the expected depth stays ``O(log n)``.
+
+    Two storage modes are supported:
+
+    * **static** (``points`` given): the classic Ex-DPC mode -- the full point
+      matrix exists up front and :meth:`insert` adds rows by index;
+    * **dynamic** (``points=None, dim=d``): the tree owns a growable matrix
+      and :meth:`append` adds brand-new points one at a time.  This is the
+      *hot buffer* of the streaming layer (:mod:`repro.stream`): freshly
+      ingested points are appended here between the amortized rebuilds of the
+      static :class:`KDTree`.
     """
 
-    def __init__(self, points, dim: int | None = None, counter: WorkCounter | None = None):
-        self._points = check_points(points, name="points")
-        self._dim = self._points.shape[1] if dim is None else int(dim)
-        if self._dim != self._points.shape[1]:
-            raise ValueError("dim does not match the point matrix width")
+    def __init__(
+        self,
+        points=None,
+        dim: int | None = None,
+        counter: WorkCounter | None = None,
+    ):
+        if points is None:
+            if dim is None:
+                raise ValueError("dim is required when no point matrix is given")
+            self._dim = check_positive_int(dim, "dim")
+            self._store = np.empty((0, self._dim), dtype=np.float64)
+            self._n_rows = 0
+            self._dynamic = True
+        else:
+            self._store = check_points(points, name="points")
+            self._dim = self._store.shape[1] if dim is None else int(dim)
+            if self._dim != self._store.shape[1]:
+                raise ValueError("dim does not match the point matrix width")
+            self._n_rows = self._store.shape[0]
+            self._dynamic = False
         self._root: Optional[_IncNode] = None
         self._size = 0
         #: Work counter accumulating distance evaluations of nearest-neighbour
@@ -964,12 +989,48 @@ class IncrementalKDTree:
         """Number of points currently inserted."""
         return self._size
 
+    @property
+    def points(self) -> np.ndarray:
+        """The rows addressable by :meth:`insert` (a read-only style view)."""
+        return self._store[: self._n_rows]
+
+    def append(self, point) -> int:
+        """Add a brand-new point (dynamic mode) and return its index.
+
+        Only available on trees created without a point matrix
+        (``IncrementalKDTree(dim=d)``); the backing storage grows
+        geometrically, so a long run of appends is amortized ``O(1)`` per
+        point on top of the ``O(depth)`` tree insertion.
+        """
+        if not self._dynamic:
+            raise RuntimeError(
+                "append() requires a dynamic tree; construct with "
+                "IncrementalKDTree(dim=...) instead of a point matrix"
+            )
+        point = np.asarray(point, dtype=np.float64).reshape(-1)
+        if point.shape[0] != self._dim:
+            raise ValueError(
+                f"point has dimension {point.shape[0]}, expected {self._dim}"
+            )
+        if not np.isfinite(point).all():
+            raise ValueError("point contains NaN or infinite coordinates")
+        if self._n_rows == self._store.shape[0]:
+            capacity = max(8, 2 * self._store.shape[0])
+            store = np.empty((capacity, self._dim), dtype=np.float64)
+            store[: self._n_rows] = self._store[: self._n_rows]
+            self._store = store
+        index = self._n_rows
+        self._store[index] = point
+        self._n_rows += 1
+        self.insert(index)
+        return index
+
     def insert(self, index: int) -> None:
         """Insert the point ``self.points[index]`` into the tree."""
         index = int(index)
-        if not 0 <= index < self._points.shape[0]:
+        if not 0 <= index < self._n_rows:
             raise IndexError(f"point index {index} out of range")
-        point = self._points[index]
+        point = self._store[index]
         if self._root is None:
             self._root = _IncNode(index=index, axis=0)
             self._size = 1
@@ -977,7 +1038,7 @@ class IncrementalKDTree:
         node = self._root
         while True:
             axis = node.axis
-            if point[axis] < self._points[node.index, axis]:
+            if point[axis] < self._store[node.index, axis]:
                 if node.left is None:
                     node.left = _IncNode(index=index, axis=(axis + 1) % self._dim)
                     break
@@ -1004,7 +1065,7 @@ class IncrementalKDTree:
 
         best_idx = -1
         best_sq = np.inf
-        points = self._points
+        points = self._store
         counter = self.counter
         stack: list[tuple[_IncNode, float]] = [(self._root, 0.0)]
         while stack:
@@ -1026,3 +1087,46 @@ class IncrementalKDTree:
             if near is not None:
                 stack.append((near, 0.0))
         return best_idx, float(np.sqrt(best_sq))
+
+    def range_search(self, query, radius: float, strict: bool = True) -> np.ndarray:
+        """Return the indices of inserted points within ``radius`` of ``query``.
+
+        ``strict=True`` (the default, matching Definition 1 of the paper)
+        reports points with ``dist < radius``; otherwise ``dist <= radius``.
+        Results are sorted in ascending index order.  An empty tree returns an
+        empty array.
+        """
+        radius = check_positive(radius, "radius")
+        if self._root is None:
+            return np.empty(0, dtype=np.intp)
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        if query.shape[0] != self._dim:
+            raise ValueError(
+                f"query has dimension {query.shape[0]}, expected {self._dim}"
+            )
+        radius_sq = radius * radius
+
+        hits: list[int] = []
+        points = self._store
+        counter = self.counter
+        stack: list[_IncNode] = [self._root]
+        while stack:
+            node = stack.pop()
+            counter.add("distance_calcs", 1)
+            coords = points[node.index]
+            diff_vec = coords - query
+            d_sq = float(np.dot(diff_vec, diff_vec))
+            if (d_sq < radius_sq) if strict else (d_sq <= radius_sq):
+                hits.append(node.index)
+            axis = node.axis
+            diff = query[axis] - coords[axis]
+            near, far = (node.left, node.right) if diff < 0.0 else (node.right, node.left)
+            if near is not None:
+                stack.append(near)
+            if far is not None and diff * diff <= radius_sq:
+                stack.append(far)
+        return np.asarray(sorted(hits), dtype=np.intp)
+
+    def range_count(self, query, radius: float, strict: bool = True) -> int:
+        """Return the number of inserted points within ``radius`` of ``query``."""
+        return int(self.range_search(query, radius, strict=strict).size)

@@ -4,10 +4,16 @@ Small, dependency-free helpers so that the library can be used from the
 command line and from batch pipelines:
 
 * :func:`load_points` / :func:`save_points` -- read and write point matrices
-  as CSV (with or without header) or ``.npy``.
+  as CSV (with or without header), ``.npy`` or ``.npz`` (every format
+  round-trips through both functions; unknown extensions raise a clear
+  error on save instead of silently writing text).
 * :func:`save_result` / :func:`load_result_labels` -- persist a clustering
   outcome (labels, densities, dependent distances, centers and the run
   metadata) as a CSV plus a small JSON sidecar.
+* :func:`save_model` / :func:`load_model` (re-exported from
+  :mod:`repro.stream.snapshot`) -- serialize a *fitted* estimator to a
+  single ``.npz`` snapshot and restore it (optionally memory-mapped) on a
+  serving replica.
 
 These helpers back :mod:`repro.cli`.
 """
@@ -20,21 +26,49 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.result import DPCResult
+from repro.stream.snapshot import MODEL_FORMAT_VERSION, load_model, save_model
 from repro.utils.validation import check_points
 
-__all__ = ["load_points", "save_points", "save_result", "load_result_labels"]
+__all__ = [
+    "load_points",
+    "save_points",
+    "save_result",
+    "load_result_labels",
+    "save_model",
+    "load_model",
+    "MODEL_FORMAT_VERSION",
+]
+
+#: Suffixes written as delimited text (an empty suffix keeps the historical
+#: "bare path means text" behaviour).
+_TEXT_SUFFIXES = frozenset({".csv", ".txt", ".tsv", ""})
 
 
 def load_points(path: str | Path, delimiter: str = ",") -> np.ndarray:
-    """Load a point matrix from ``.npy`` or delimited text.
+    """Load a point matrix from ``.npy``, ``.npz`` or delimited text.
 
-    Text files may start with a non-numeric header line, which is skipped.
+    ``.npz`` archives must hold the matrix under the key ``"points"`` (what
+    :func:`save_points` writes) or contain exactly one array.  Text files may
+    start with a non-numeric header line, which is skipped.
     """
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(f"dataset file not found: {path}")
-    if path.suffix == ".npy":
+    suffix = path.suffix.lower()
+    if suffix == ".npy":
         points = np.load(path)
+        return check_points(points, name=str(path))
+    if suffix == ".npz":
+        with np.load(path, allow_pickle=False) as archive:
+            if "points" in archive.files:
+                points = archive["points"]
+            elif len(archive.files) == 1:
+                points = archive[archive.files[0]]
+            else:
+                raise ValueError(
+                    f"{path} holds arrays {sorted(archive.files)}; expected a "
+                    "'points' array (as written by save_points)"
+                )
         return check_points(points, name=str(path))
 
     with path.open("r", encoding="utf-8") as handle:
@@ -44,17 +78,37 @@ def load_points(path: str | Path, delimiter: str = ",") -> np.ndarray:
         [float(token) for token in first_line.strip().split(delimiter) if token != ""]
     except ValueError:
         skip = 1
-    points = np.loadtxt(path, delimiter=delimiter, skiprows=skip, ndmin=2)
+    try:
+        points = np.loadtxt(path, delimiter=delimiter, skiprows=skip, ndmin=2)
+    except ValueError as exc:
+        raise ValueError(
+            f"could not parse {path} as {delimiter!r}-delimited text "
+            f"(supported formats: .npy, .npz, delimited text): {exc}"
+        ) from exc
     return check_points(points, name=str(path))
 
 
 def save_points(points, path: str | Path, delimiter: str = ",") -> Path:
-    """Write a point matrix as ``.npy`` or delimited text (chosen by suffix)."""
+    """Write a point matrix as ``.npy``, ``.npz`` or delimited text.
+
+    The format is chosen by the path suffix; an unknown suffix raises a
+    ``ValueError`` (historically anything non-``.npy`` was silently written
+    as text, which made ``save_points(p, "x.npz")`` produce a file
+    :func:`load_points` could not read back).
+    """
     points = check_points(points, name="points")
     path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix not in _TEXT_SUFFIXES and suffix not in (".npy", ".npz"):
+        raise ValueError(
+            f"unsupported dataset extension {path.suffix!r} for {path}; "
+            "use .npy, .npz, or a delimited-text extension (.csv/.txt/.tsv)"
+        )
     path.parent.mkdir(parents=True, exist_ok=True)
-    if path.suffix == ".npy":
+    if suffix == ".npy":
         np.save(path, points)
+    elif suffix == ".npz":
+        np.savez(path, points=points)
     else:
         header = delimiter.join(f"x{dim}" for dim in range(points.shape[1]))
         np.savetxt(path, points, delimiter=delimiter, header=header, comments="")

@@ -22,7 +22,9 @@ holds a handle.  Views into an attached bundle must not outlive the bundle.
 
 from __future__ import annotations
 
+import contextlib
 import secrets
+import sys
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Mapping
@@ -30,6 +32,36 @@ from typing import Mapping
 import numpy as np
 
 __all__ = ["ArraySpec", "BundleSpec", "SharedArrayBundle"]
+
+
+@contextlib.contextmanager
+def _untracked_attach():
+    """Suppress resource-tracker registration while attaching a segment.
+
+    CPython < 3.13 registers *attached* segments with the resource tracker as
+    if the attaching process owned them.  Undoing that with an unregister
+    after the fact (the previous approach) races when several workers attach
+    the same segment concurrently: the tracker's cache is a set, so the
+    interleaving REGISTER/UNREGISTER pairs collapse and the tracker process
+    logs spurious ``KeyError`` tracebacks.  Suppressing the registration
+    *message itself* (workers execute tasks on a single thread, so the patch
+    window is race-free in-process) means workers never talk to the tracker
+    at all: the owner's create-time registration stays intact until its own
+    ``unlink``.
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def register(name, rtype):  # pragma: no cover - trivial shim
+        if rtype != "shared_memory":
+            original(name, rtype)
+
+    resource_tracker.register = register
+    try:
+        yield
+    finally:
+        resource_tracker.register = original
 
 #: Byte alignment of every array inside the segment; 64 matches the cache
 #: line (and any SIMD alignment numpy kernels could want).
@@ -122,19 +154,22 @@ class SharedArrayBundle:
 
     @classmethod
     def attach(cls, spec: BundleSpec) -> "SharedArrayBundle":
-        """Attach to an existing segment and return zero-copy views."""
-        shm = shared_memory.SharedMemory(name=spec.segment_name, create=False)
-        # CPython < 3.13 registers *attached* segments with the resource
-        # tracker as if this process owned them, which triggers spurious
-        # "leaked shared_memory" warnings (and an unlink race) when a worker
-        # exits while the owner still holds the segment.  Only the creating
-        # process is responsible for unlinking, so undo the registration.
-        try:  # pragma: no cover - depends on interpreter version/platform
-            from multiprocessing import resource_tracker
+        """Attach to an existing segment and return zero-copy views.
 
-            resource_tracker.unregister(shm._name, "shared_memory")
-        except Exception:
-            pass
+        Only the creating process is responsible for the segment's lifetime,
+        so the attach never registers with the resource tracker: natively on
+        CPython >= 3.13 (``track=False``), via :func:`_untracked_attach` on
+        older interpreters.
+        """
+        if sys.version_info >= (3, 13):  # pragma: no cover - version dependent
+            shm = shared_memory.SharedMemory(
+                name=spec.segment_name, create=False, track=False
+            )
+        else:
+            with _untracked_attach():
+                shm = shared_memory.SharedMemory(
+                    name=spec.segment_name, create=False
+                )
         return cls(shm, spec, owner=False)
 
     # ---------------------------------------------------------------- access
@@ -165,19 +200,14 @@ class SharedArrayBundle:
         self._shm.close()
 
     def unlink(self) -> None:
-        """Destroy the segment (owner side, after :meth:`close`; idempotent)."""
+        """Destroy the segment (owner side, after :meth:`close`; idempotent).
+
+        Workers never register with the tracker (see :meth:`attach`), so the
+        owner's create-time registration is still in place here and the
+        unregister inside ``SharedMemory.unlink`` finds it.
+        """
         if not self._owner:
             return
-        # Under the fork start method workers share the owner's resource
-        # tracker, so a worker's attach-time unregister (see attach()) also
-        # dropped the owner's entry; re-register first so the unregister
-        # performed inside unlink() finds it instead of logging a KeyError.
-        try:  # pragma: no cover - interpreter-version dependent
-            from multiprocessing import resource_tracker
-
-            resource_tracker.register(self._shm._name, "shared_memory")
-        except Exception:
-            pass
         try:
             self._shm.unlink()
         except FileNotFoundError:  # pragma: no cover - double unlink

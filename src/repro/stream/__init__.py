@@ -1,0 +1,24 @@
+"""Streaming DPC: incremental ingestion, online predict, model snapshots.
+
+The paper's algorithms are batch clusterers; this package adds the serving
+layer on top of them (see ``docs/streaming.md``):
+
+* :class:`~repro.stream.streaming.StreamingDPC` maintains an exact Ex-DPC
+  clustering over a sliding or landmark window under point insertions and
+  evictions, using localized density/dependency repair plus an amortized
+  index rebuild;
+* :mod:`repro.stream.snapshot` serializes any fitted estimator into a single
+  ``.npz`` file that serving replicas restore (optionally memory-mapped) and
+  answer ``predict`` queries from.
+"""
+
+from repro.stream.snapshot import MODEL_FORMAT_VERSION, load_model, save_model
+from repro.stream.streaming import StreamingDPC, StreamingEquivalenceError
+
+__all__ = [
+    "StreamingDPC",
+    "StreamingEquivalenceError",
+    "save_model",
+    "load_model",
+    "MODEL_FORMAT_VERSION",
+]

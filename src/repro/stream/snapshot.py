@@ -1,0 +1,283 @@
+"""Model snapshots: ship a fitted estimator to serving replicas as one file.
+
+A snapshot is a single uncompressed ``.npz`` archive holding everything
+:meth:`~repro.core.framework.DensityPeaksBase.predict` needs:
+
+* the fitted point matrix,
+* the per-point result arrays (labels, tie-broken and raw densities,
+  dependent distances, the dependency forest with and without center
+  masking, centers, noise and exactness masks),
+* the flattened kd-tree (:class:`~repro.index.kdtree.KDTreeArrays`, stored
+  under ``tree.*`` keys) when the estimator owns one, and
+* a JSON metadata record (``meta``): format version, algorithm name and the
+  constructor parameters used to rebuild the estimator.
+
+Because ``np.savez`` stores members uncompressed, :func:`load_model` can
+optionally **memory-map** every array straight out of the archive
+(``mmap=True``): replicas serving a large fitted model share its pages
+through the OS page cache instead of each materialising a private copy.
+
+The format is versioned (:data:`MODEL_FORMAT_VERSION`); loaders reject
+snapshots from a different version with a clear error instead of
+misinterpreting them.
+"""
+
+from __future__ import annotations
+
+import inspect
+import io
+import json
+import struct
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines.cfsfdp_a import CFSFDPA
+from repro.baselines.scan import ScanDPC
+from repro.core.approx_dpc import ApproxDPC
+from repro.core.ex_dpc import ExDPC
+from repro.core.result import DPCResult, canonical_rho_raw
+from repro.core.s_approx_dpc import SApproxDPC
+from repro.index.kdtree import KDTree, KDTreeArrays
+from repro.utils.counters import WorkCounter
+
+__all__ = ["MODEL_FORMAT_VERSION", "SNAPSHOT_ALGORITHMS", "save_model", "load_model"]
+
+#: Snapshot format version; bump on any incompatible layout change.
+MODEL_FORMAT_VERSION = 1
+
+_TREE_PREFIX = "tree."
+
+#: Algorithm name (as recorded in ``result.algorithm_``) -> estimator class.
+_ESTIMATOR_CLASSES = {
+    "Ex-DPC": ExDPC,
+    "Approx-DPC": ApproxDPC,
+    "S-Approx-DPC": SApproxDPC,
+    "Scan": ScanDPC,
+    "CFSFDP-A": CFSFDPA,
+}
+
+#: Paper algorithm names that round-trip through save_model / load_model.
+SNAPSHOT_ALGORITHMS = frozenset(_ESTIMATOR_CLASSES)
+
+
+def _jsonable(value):
+    """Convert numpy scalars inside a params dict to plain Python types."""
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    return value
+
+
+def save_model(model, path) -> Path:
+    """Serialize a fitted estimator to ``path`` (a ``.npz`` snapshot).
+
+    ``model`` must be fitted (``fit()`` or a restored snapshot).  Returns the
+    written path.  See :func:`load_model` for the inverse.
+    """
+    result = model.check_is_fitted()
+    algorithm = result.algorithm_ or model.algorithm_name
+    if algorithm not in _ESTIMATOR_CLASSES:
+        # Refuse to write snapshots load_model cannot read back; discovering
+        # that at serving time would make the snapshot a one-way trip.
+        raise ValueError(
+            f"cannot snapshot algorithm {algorithm!r}; snapshots support "
+            f"{sorted(_ESTIMATOR_CLASSES)}"
+        )
+    path = Path(path)
+    if path.suffix != ".npz":
+        raise ValueError(
+            f"model snapshots are .npz archives; got {path.suffix!r} "
+            f"(pass a path ending in .npz)"
+        )
+
+    arrays: dict[str, np.ndarray] = {
+        "points": np.asarray(model._fit_points_, dtype=np.float64),
+        "labels": np.asarray(result.labels_, dtype=np.int64),
+        "rho": np.asarray(result.rho_, dtype=np.float64),
+        "rho_raw": np.asarray(result.rho_raw_, dtype=np.float64),
+        "delta": np.asarray(result.delta_, dtype=np.float64),
+        "dependent": np.asarray(result.dependent_, dtype=np.int64),
+        "centers": np.asarray(result.centers_, dtype=np.int64),
+        "noise_mask": np.asarray(result.noise_mask_, dtype=bool),
+        "exact_mask": np.asarray(result.exact_dependency_mask_, dtype=bool),
+    }
+    if result.dependent_raw_ is not None:
+        arrays["dependent_raw"] = np.asarray(result.dependent_raw_, dtype=np.int64)
+
+    tree = model._predict_tree()
+    if tree is not None:
+        for name, array in tree.arrays.to_mapping(prefix=_TREE_PREFIX).items():
+            arrays[name] = array
+        arrays[_TREE_PREFIX + "leaf_size"] = np.asarray([tree.leaf_size], dtype=np.int64)
+
+    from repro import __version__  # deferred: repro/__init__ imports this module
+
+    meta = {
+        "format_version": MODEL_FORMAT_VERSION,
+        "library_version": __version__,
+        "algorithm": algorithm,
+        "params": _jsonable(model.get_params()),
+        "n_points": int(arrays["points"].shape[0]),
+        "dim": int(arrays["points"].shape[1]),
+        "has_tree": tree is not None,
+    }
+    arrays["meta"] = np.asarray(json.dumps(meta, sort_keys=True))
+
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # np.savez stores members uncompressed (ZIP_STORED), which is what makes
+    # the optional mmap loading possible.
+    np.savez(path, **arrays)
+    return path
+
+
+def load_model(path, *, mmap: bool = False):
+    """Restore a fitted estimator from a snapshot written by :func:`save_model`.
+
+    Parameters
+    ----------
+    path:
+        The ``.npz`` snapshot.
+    mmap:
+        When true, memory-map the arrays directly out of the (uncompressed)
+        archive instead of reading them into private memory.  The restored
+        model then reads fitted data lazily through the OS page cache --
+        replicas on the same host share one physical copy.
+
+    Returns
+    -------
+    DensityPeaksBase
+        A fitted estimator of the snapshotted class; ``predict`` works
+        immediately, no refit needed.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"model snapshot not found: {path}")
+    if mmap:
+        data = _load_npz_memmap(path)
+    else:
+        with np.load(path, allow_pickle=False) as archive:
+            data = {name: archive[name] for name in archive.files}
+
+    if "meta" not in data:
+        raise ValueError(f"{path} is not a model snapshot (no 'meta' record)")
+    meta = json.loads(str(data["meta"][()]))
+    version = meta.get("format_version")
+    if version != MODEL_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported model snapshot format version {version!r} "
+            f"(this library reads version {MODEL_FORMAT_VERSION}); "
+            "re-export the snapshot with a matching library version"
+        )
+    algorithm = meta.get("algorithm")
+    cls = _ESTIMATOR_CLASSES.get(algorithm)
+    if cls is None:
+        raise ValueError(
+            f"cannot restore algorithm {algorithm!r}; snapshot restore "
+            f"supports {sorted(_ESTIMATOR_CLASSES)}"
+        )
+
+    params = dict(meta.get("params", {}))
+    accepted = set(inspect.signature(cls.__init__).parameters)
+    kwargs = {
+        key: value
+        for key, value in params.items()
+        if key in accepted and key != "d_cut"
+    }
+    model = cls(params["d_cut"], **kwargs)
+    model._counter = WorkCounter()
+
+    points = np.asarray(data["points"], dtype=np.float64)
+    model._fit_points_ = points
+
+    rho_raw = np.asarray(data["rho_raw"], dtype=np.float64)
+    dependent_raw = (
+        np.asarray(data["dependent_raw"], dtype=np.intp)
+        if "dependent_raw" in data
+        else None
+    )
+    model.result_ = DPCResult(
+        labels_=np.asarray(data["labels"], dtype=np.int64),
+        rho_=np.asarray(data["rho"], dtype=np.float64),
+        rho_raw_=canonical_rho_raw(rho_raw),
+        delta_=np.asarray(data["delta"], dtype=np.float64),
+        dependent_=np.asarray(data["dependent"], dtype=np.intp),
+        centers_=np.asarray(data["centers"], dtype=np.intp),
+        noise_mask_=np.asarray(data["noise_mask"], dtype=bool),
+        n_clusters_=int(np.asarray(data["centers"]).shape[0]),
+        exact_dependency_mask_=np.asarray(data["exact_mask"], dtype=bool),
+        params_=params,
+        algorithm_=algorithm,
+        dependent_raw_=dependent_raw,
+    )
+
+    if meta.get("has_tree") and (_TREE_PREFIX + "split_dim") in data:
+        tree_arrays = KDTreeArrays.from_mapping(data, prefix=_TREE_PREFIX)
+        leaf_size = int(np.asarray(data[_TREE_PREFIX + "leaf_size"])[0])
+        model._tree = KDTree.from_arrays(
+            points, tree_arrays, leaf_size=leaf_size, counter=model._counter
+        )
+    return model
+
+
+def _load_npz_memmap(path: Path) -> dict[str, np.ndarray]:
+    """Memory-map every member of an *uncompressed* ``.npz`` archive.
+
+    ``np.load(..., mmap_mode=...)`` silently ignores the mmap request for
+    ``.npz`` files, so this walks the zip directory itself: for each stored
+    member it locates the raw ``.npy`` payload (local file header + name +
+    extra field), parses the npy header for dtype/shape/order, and maps the
+    data region of the archive file directly.  Tiny or object-/string-typed
+    members (the JSON ``meta`` record) are read normally.
+    """
+    out: dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive:
+        infos = archive.infolist()
+        with open(path, "rb") as handle:
+            for info in infos:
+                if info.compress_type != zipfile.ZIP_STORED:
+                    raise ValueError(
+                        f"{path} is compressed; mmap loading requires an "
+                        "uncompressed archive (written by np.savez / save_model)"
+                    )
+                name = info.filename
+                if name.endswith(".npy"):
+                    name = name[: -len(".npy")]
+                handle.seek(info.header_offset)
+                local_header = handle.read(30)
+                if local_header[:4] != b"PK\x03\x04":
+                    raise ValueError(f"corrupt zip member header for {info.filename}")
+                name_len, extra_len = struct.unpack("<HH", local_header[26:30])
+                data_start = info.header_offset + 30 + name_len + extra_len
+                handle.seek(data_start)
+                version = np.lib.format.read_magic(handle)
+                if version == (1, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+                elif version == (2, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+                else:  # pragma: no cover - npy 3.0 needs utf8 names we never write
+                    raise ValueError(
+                        f"unsupported npy format version {version} in {info.filename}"
+                    )
+                if dtype.hasobject or dtype.kind in "US" or shape == ():
+                    # Strings / scalars: not worth mapping, read the member.
+                    with archive.open(info) as member:
+                        out[name] = np.lib.format.read_array(
+                            io.BytesIO(member.read()), allow_pickle=False
+                        )
+                    continue
+                out[name] = np.memmap(
+                    path,
+                    dtype=dtype,
+                    mode="r",
+                    offset=handle.tell(),
+                    shape=shape,
+                    order="F" if fortran else "C",
+                )
+    return out

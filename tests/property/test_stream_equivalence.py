@@ -1,0 +1,182 @@
+"""Property tests: StreamingDPC refit-equivalence and predict consistency.
+
+The acceptance property of the streaming subsystem: under *any* sequence of
+insert / evict / sliding-update operations, the incrementally maintained
+state is bit-for-bit identical (raw densities; labels for data in general
+position) to a cold ``ExDPC().fit`` of the current window.
+``refit_equivalence=True`` performs that comparison inside the estimator
+after every operation and raises on divergence, so these tests drive random
+operation sequences through the mode and additionally cross-check the final
+state explicitly.
+
+Point data is drawn from seeded uniform generators (general position almost
+surely) rather than raw hypothesis floats: exact coordinate collisions can
+legitimately make distance ties resolve differently between the incremental
+and cold code paths, which is outside the documented guarantee.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ExDPC
+from repro.stream import StreamingDPC
+
+D_CUT = 15.0
+DELTA_MIN = 25.0
+
+
+def _points(rng, count):
+    return rng.uniform(0.0, 100.0, size=(count, 2))
+
+
+def _cold_labels(window, rho_min, n_clusters=None, delta_min=DELTA_MIN):
+    model = ExDPC(
+        d_cut=D_CUT,
+        rho_min=rho_min,
+        delta_min=delta_min,
+        n_clusters=n_clusters,
+        seed=0,
+    )
+    return model.fit(window).labels_
+
+
+# One operation is (kind, size): insert/evict/update a few points at a time.
+_OPERATIONS = st.lists(
+    st.tuples(st.sampled_from(["insert", "evict", "update"]), st.integers(1, 4)),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestRefitEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        data_seed=st.integers(0, 2**16),
+        initial=st.integers(12, 40),
+        operations=_OPERATIONS,
+        rho_min=st.sampled_from([None, 2]),
+    )
+    def test_landmark_insert_evict_sequences(
+        self, data_seed, initial, operations, rho_min
+    ):
+        rng = np.random.default_rng(data_seed)
+        stream = StreamingDPC(
+            d_cut=D_CUT,
+            rho_min=rho_min,
+            delta_min=DELTA_MIN,
+            seed=0,
+            refit_equivalence=True,  # raises on any divergence, every step
+            min_rebuild=10_000,  # keep the repair path under test
+        )
+        stream.fit(_points(rng, initial))
+        for kind, size in operations:
+            if kind == "evict":
+                size = min(size, stream.n_points - 2)
+                if size <= 0:
+                    continue
+                stream.evict_oldest(size)
+            else:  # landmark mode: update == insert
+                stream.insert(_points(rng, size))
+        np.testing.assert_array_equal(
+            stream.labels_, _cold_labels(stream.window_, rho_min)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        data_seed=st.integers(0, 2**16),
+        window=st.integers(16, 36),
+        batches=st.lists(st.integers(1, 5), min_size=1, max_size=6),
+    )
+    def test_sliding_window_update_sequences(self, data_seed, window, batches):
+        rng = np.random.default_rng(data_seed)
+        stream = StreamingDPC(
+            d_cut=D_CUT,
+            rho_min=2,
+            delta_min=DELTA_MIN,
+            window_size=window,
+            seed=0,
+            refit_equivalence=True,
+            min_rebuild=10_000,
+        )
+        stream.fit(_points(rng, window))
+        for size in batches:
+            stream.update(_points(rng, size))
+        assert stream.n_points == window
+        np.testing.assert_array_equal(
+            stream.labels_, _cold_labels(stream.window_, 2)
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(data_seed=st.integers(0, 2**16), updates=st.integers(4, 12))
+    def test_equivalence_across_rebuilds(self, data_seed, updates):
+        rng = np.random.default_rng(data_seed)
+        stream = StreamingDPC(
+            d_cut=D_CUT,
+            rho_min=2,
+            delta_min=DELTA_MIN,
+            window_size=24,
+            seed=0,
+            refit_equivalence=True,
+            min_rebuild=4,  # force frequent amortized rebuilds
+            rebuild_threshold=0.1,
+        )
+        stream.fit(_points(rng, 24))
+        for _ in range(updates):
+            stream.update(_points(rng, 1))
+        assert stream.stats_["rebuilds"] >= 2
+
+
+class TestPredictProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        data_seed=st.integers(0, 2**16),
+        count=st.integers(20, 70),
+        rho_min=st.sampled_from([None, 1, 3]),
+    )
+    def test_predict_on_training_matrix_reproduces_fit_labels(
+        self, data_seed, count, rho_min
+    ):
+        from repro.baselines import CFSFDPA
+        from repro.core import ApproxDPC, SApproxDPC
+
+        rng = np.random.default_rng(data_seed)
+        points = _points(rng, count)
+        for builder in (
+            lambda: ExDPC(d_cut=D_CUT, rho_min=rho_min, delta_min=DELTA_MIN, seed=0),
+            lambda: ApproxDPC(
+                d_cut=D_CUT, rho_min=rho_min, delta_min=DELTA_MIN, seed=0
+            ),
+            lambda: SApproxDPC(
+                d_cut=D_CUT, epsilon=0.5, rho_min=rho_min, delta_min=DELTA_MIN, seed=0
+            ),
+            lambda: CFSFDPA(
+                d_cut=D_CUT, rho_min=rho_min, delta_min=DELTA_MIN, seed=0
+            ),
+        ):
+            model = builder()
+            result = model.fit(points)
+            np.testing.assert_array_equal(
+                model.predict(points),
+                result.labels_,
+                err_msg=model.algorithm_name,
+            )
+
+
+class TestStreamPredictAgreement:
+    @settings(max_examples=10, deadline=None)
+    @given(data_seed=st.integers(0, 2**16))
+    def test_stream_predict_equals_cold_model_predict(self, data_seed):
+        rng = np.random.default_rng(data_seed)
+        stream = StreamingDPC(
+            d_cut=D_CUT, rho_min=2, delta_min=DELTA_MIN, window_size=30, seed=0
+        )
+        stream.fit(_points(rng, 30))
+        stream.update(_points(rng, 6))
+        queries = _points(rng, 25)
+        cold = ExDPC(d_cut=D_CUT, rho_min=2, delta_min=DELTA_MIN, seed=0)
+        cold.fit(stream.window_)
+        np.testing.assert_array_equal(
+            stream.predict(queries), cold.predict(queries)
+        )

@@ -23,6 +23,34 @@ class TestPointsIO:
         loaded = load_points(path)
         np.testing.assert_allclose(loaded, points)
 
+    def test_npz_round_trip(self, tmp_path):
+        points = np.random.default_rng(4).uniform(size=(17, 4))
+        path = save_points(points, tmp_path / "points.npz")
+        loaded = load_points(path)
+        np.testing.assert_allclose(loaded, points)
+
+    def test_npz_single_unnamed_array(self, tmp_path):
+        points = np.random.default_rng(5).uniform(size=(9, 2))
+        path = tmp_path / "foreign.npz"
+        np.savez(path, matrix=points)  # not the "points" key
+        np.testing.assert_allclose(load_points(path), points)
+
+    def test_npz_ambiguous_archive_rejected(self, tmp_path):
+        path = tmp_path / "multi.npz"
+        np.savez(path, a=np.zeros((3, 2)), b=np.ones((3, 2)))
+        with pytest.raises(ValueError, match="'points'"):
+            load_points(path)
+
+    def test_save_unknown_extension_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unsupported dataset extension"):
+            save_points(np.zeros((4, 2)), tmp_path / "points.parquet")
+
+    def test_load_unparseable_text_has_clear_error(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("h1,h2\nnot,numbers\n")
+        with pytest.raises(ValueError, match="delimited text"):
+            load_points(path)
+
     def test_headerless_csv(self, tmp_path):
         path = tmp_path / "raw.csv"
         np.savetxt(path, np.arange(12, dtype=float).reshape(6, 2), delimiter=",")
@@ -114,3 +142,110 @@ class TestCLI:
         with pytest.raises(SystemExit) as excinfo:
             main(["--version"])
         assert excinfo.value.code == 0
+
+    def test_cluster_save_model_then_predict(self, tmp_path, capsys):
+        data_path = tmp_path / "syn.npz"
+        assert main(
+            ["generate", "syn", "--sampling-rate", "0.05", "--output", str(data_path)]
+        ) == 0
+        model_path = tmp_path / "model.npz"
+        assert main(
+            [
+                "cluster",
+                str(data_path),
+                "--algorithm",
+                "ex-dpc",
+                "--d-cut",
+                "3000",
+                "--n-clusters",
+                "5",
+                "--save-model",
+                str(model_path),
+            ]
+        ) == 0
+        assert model_path.exists()
+        capsys.readouterr()
+
+        labels_path = tmp_path / "pred.csv"
+        code = main(
+            [
+                "predict",
+                str(model_path),
+                str(data_path),
+                "--mmap",
+                "--output",
+                str(labels_path),
+            ]
+        )
+        assert code == 0
+        assert "Ex-DPC" in capsys.readouterr().out
+        labels = np.loadtxt(labels_path, skiprows=1)
+        from repro.io import load_points as _lp
+
+        assert labels.shape[0] == _lp(data_path).shape[0]
+
+    def test_stream_subcommand(self, tmp_path, capsys):
+        rng = np.random.default_rng(11)
+        data_path = save_points(
+            rng.uniform(0.0, 100.0, size=(120, 2)), tmp_path / "stream.csv"
+        )
+        stats_path = tmp_path / "stats.json"
+        labels_path = tmp_path / "labels.csv"
+        code = main(
+            [
+                "stream",
+                str(data_path),
+                "--d-cut",
+                "15",
+                "--delta-min",
+                "25",
+                "--rho-min",
+                "2",
+                "--window",
+                "80",
+                "--batch",
+                "20",
+                "--output",
+                str(labels_path),
+                "--json",
+                str(stats_path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "warmup fit" in output
+        stats = json.loads(stats_path.read_text())
+        assert stats["inserts"] == 40  # 120 points, 80 warmup
+        labels = np.loadtxt(labels_path, skiprows=1)
+        assert labels.shape[0] == 80
+
+    def test_cluster_save_model_rejects_unsnapshotable_algorithm_early(
+        self, tmp_path, capsys
+    ):
+        data_path = save_points(
+            np.random.default_rng(3).uniform(size=(30, 2)), tmp_path / "points.csv"
+        )
+        code = main(
+            [
+                "cluster",
+                str(data_path),
+                "--algorithm",
+                "lsh-ddp",
+                "--d-cut",
+                "0.5",
+                "--n-clusters",
+                "2",
+                "--save-model",
+                str(tmp_path / "m.npz"),
+            ]
+        )
+        assert code == 2
+        assert "--save-model" in capsys.readouterr().err
+
+    def test_stream_requires_center_mode(self, tmp_path, capsys):
+        data_path = save_points(
+            np.random.default_rng(2).uniform(size=(30, 2)), tmp_path / "points.csv"
+        )
+        code = main(["stream", str(data_path), "--d-cut", "0.5"])
+        assert code == 2
+        assert "delta-min" in capsys.readouterr().err

@@ -233,3 +233,56 @@ class TestIncrementalKDTree:
             tree.insert(i)
         tree.nearest_neighbor(points[30])
         assert counter.get("distance_calcs") > 0.0
+
+    def test_range_search_matches_bruteforce(self):
+        rng = np.random.default_rng(17)
+        points = rng.uniform(0.0, 20.0, size=(120, 2))
+        tree = IncrementalKDTree(points)
+        for i in range(80):
+            tree.insert(i)
+        for query in points[80:90]:
+            for strict in (True, False):
+                d = point_to_points(query, points[:80])
+                expected = np.flatnonzero(d < 3.0 if strict else d <= 3.0)
+                hits = tree.range_search(query, 3.0, strict=strict)
+                np.testing.assert_array_equal(hits, expected)
+                assert tree.range_count(query, 3.0, strict=strict) == expected.size
+
+    def test_range_search_empty_tree(self):
+        tree = IncrementalKDTree(np.zeros((3, 2)))
+        assert tree.range_search([0.0, 0.0], 1.0).size == 0
+        with pytest.raises(ValueError):
+            tree.range_search([0.0, 0.0], -1.0)
+
+
+class TestDynamicIncrementalKDTree:
+    def test_requires_dim(self):
+        with pytest.raises(ValueError, match="dim"):
+            IncrementalKDTree()
+
+    def test_append_only_in_dynamic_mode(self):
+        tree = IncrementalKDTree(np.zeros((3, 2)))
+        with pytest.raises(RuntimeError, match="dynamic"):
+            tree.append([0.0, 0.0])
+
+    def test_append_grows_and_queries_match_bruteforce(self):
+        rng = np.random.default_rng(18)
+        points = rng.uniform(0.0, 10.0, size=(100, 3))
+        tree = IncrementalKDTree(dim=3)
+        for i, row in enumerate(points):
+            assert tree.append(row) == i
+        assert tree.size == 100
+        np.testing.assert_array_equal(tree.points, points)
+        for query in rng.uniform(0.0, 10.0, size=(10, 3)):
+            d = point_to_points(query, points)
+            idx, dist = tree.nearest_neighbor(query)
+            assert dist == pytest.approx(d.min())
+            hits = tree.range_search(query, 2.0)
+            np.testing.assert_array_equal(hits, np.flatnonzero(d < 2.0))
+
+    def test_append_validates_input(self):
+        tree = IncrementalKDTree(dim=2)
+        with pytest.raises(ValueError):
+            tree.append([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            tree.append([np.nan, 0.0])

@@ -1,0 +1,141 @@
+"""Unit tests for the online ``predict`` API of the fitted estimators."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CFSFDPA
+from repro.core import ApproxDPC, ExDPC, SApproxDPC
+
+ESTIMATORS = [
+    ("Ex-DPC", lambda **kw: ExDPC(**kw)),
+    ("Approx-DPC", lambda **kw: ApproxDPC(**kw)),
+    ("S-Approx-DPC", lambda **kw: SApproxDPC(epsilon=0.5, **kw)),
+    ("CFSFDP-A", lambda **kw: CFSFDPA(**kw)),
+]
+
+
+@pytest.fixture(scope="module")
+def blob_setup(request):
+    from repro.data import generate_blobs
+
+    centers = np.array(
+        [[20_000.0, 20_000.0], [80_000.0, 20_000.0], [50_000.0, 80_000.0]]
+    )
+    points, _ = generate_blobs(400, centers, spread=3_000.0, seed=3)
+    return points, centers
+
+
+class TestPredictBasics:
+    def test_unfitted_raises(self):
+        model = ExDPC(d_cut=1.0, n_clusters=2)
+        with pytest.raises(RuntimeError, match="not fitted"):
+            model.predict(np.zeros((3, 2)))
+
+    def test_dimension_mismatch_raises(self, blob_setup):
+        points, _ = blob_setup
+        model = ExDPC(d_cut=2_000.0, n_clusters=3)
+        model.fit(points)
+        with pytest.raises(ValueError, match="dimension"):
+            model.predict(np.zeros((3, 5)))
+
+    @pytest.mark.parametrize("name,builder", ESTIMATORS)
+    def test_training_points_reproduce_fit_labels(self, name, builder, blob_setup):
+        points, _ = blob_setup
+        model = builder(d_cut=2_000.0, rho_min=2, n_clusters=3, seed=0)
+        result = model.fit(points)
+        np.testing.assert_array_equal(model.predict(points), result.labels_)
+
+    @pytest.mark.parametrize("name,builder", ESTIMATORS)
+    def test_out_of_sample_near_blob_gets_blob_label(self, name, builder, blob_setup):
+        points, centers = blob_setup
+        model = builder(d_cut=2_000.0, rho_min=2, n_clusters=3, seed=0)
+        result = model.fit(points)
+        # A query right at each generator center must land in the cluster of
+        # the training point nearest to that center.
+        predicted = model.predict(centers)
+        for row, label in enumerate(predicted):
+            nearest = int(
+                np.argmin(((points - centers[row]) ** 2).sum(axis=1))
+            )
+            assert label == result.labels_[nearest]
+
+    @pytest.mark.parametrize("name,builder", ESTIMATORS)
+    def test_far_low_density_query_is_noise(self, name, builder, blob_setup):
+        points, _ = blob_setup
+        model = builder(d_cut=2_000.0, rho_min=2, n_clusters=3, seed=0)
+        model.fit(points)
+        far = np.array([[1e7, 1e7]])
+        np.testing.assert_array_equal(model.predict(far), [-1])
+
+    def test_without_rho_min_far_query_attaches(self, blob_setup):
+        points, _ = blob_setup
+        model = ExDPC(d_cut=2_000.0, n_clusters=3, seed=0)
+        model.fit(points)
+        far = np.array([[1e7, 1e7]])
+        assert model.predict(far)[0] >= 0
+
+    def test_single_point_and_empty_shapes(self, blob_setup):
+        points, _ = blob_setup
+        model = ExDPC(d_cut=2_000.0, n_clusters=3, seed=0)
+        model.fit(points)
+        one = model.predict(points[0])
+        assert one.shape == (1,)
+        assert one[0] == model.result_.labels_[0]
+
+    def test_failed_refit_leaves_model_unfitted(self, blob_setup):
+        points, _ = blob_setup
+        model = ExDPC(d_cut=2_000.0, n_clusters=3, seed=0)
+        model.fit(points)
+        # A refit that fails during center selection must not leave a model
+        # that mixes the old result with the new index.
+        with pytest.raises(ValueError):
+            model.fit(np.array([[0.0, 0.0], [1.0, 1.0]]))  # 3 centers from 2 points
+        with pytest.raises(RuntimeError, match="not fitted"):
+            model.predict(points[:2])
+
+    def test_new_density_peak_attaches_to_nearest(self):
+        # Two 5-point clumps; a query midway sees all 10 points, which beats
+        # every fitted density, so it must fall back to nearest-neighbour
+        # attachment instead of noise.
+        rng = np.random.default_rng(0)
+        left = rng.normal(0.0, 0.3, size=(5, 2))
+        right = rng.normal(0.0, 0.3, size=(5, 2)) + [6.0, 0.0]
+        points = np.vstack([left, right])
+        model = ExDPC(d_cut=5.0, n_clusters=2, seed=0)
+        result = model.fit(points)
+        query = np.array([[3.0, 0.0]])
+        rho_q = int((((points - query) ** 2).sum(axis=1) < 25.0).sum())
+        assert rho_q > int(np.asarray(result.rho_raw_).max())
+        assert model.predict(query)[0] in (0, 1)
+
+
+class TestPredictBackends:
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_backends_match_serial(self, backend, blob_setup):
+        points, _ = blob_setup
+        rng = np.random.default_rng(5)
+        queries = rng.uniform(0, 100_000, size=(100, 2))
+        reference = ExDPC(d_cut=2_000.0, rho_min=2, n_clusters=3, backend="serial")
+        reference.fit(points)
+        expected = reference.predict(queries)
+        model = ExDPC(
+            d_cut=2_000.0, rho_min=2, n_clusters=3, backend=backend, n_jobs=2
+        )
+        model.fit(points)
+        np.testing.assert_array_equal(model.predict(queries), expected)
+
+    def test_process_backend_matches_serial(self, blob_setup):
+        points, _ = blob_setup
+        rng = np.random.default_rng(6)
+        queries = rng.uniform(0, 100_000, size=(60, 2))
+        reference = ExDPC(d_cut=2_000.0, rho_min=2, n_clusters=3, backend="serial")
+        reference.fit(points)
+        expected = reference.predict(queries)
+        model = ExDPC(
+            d_cut=2_000.0, rho_min=2, n_clusters=3, backend="process", n_jobs=2
+        )
+        model.fit(points)
+        # Repeated calls: each predict owns (and must clean up) its own pool
+        # and shared-memory bundle.
+        for _ in range(3):
+            np.testing.assert_array_equal(model.predict(queries), expected)

@@ -1,0 +1,161 @@
+"""Unit tests for model snapshots (save_model / load_model / mmap loading)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines import CFSFDPA
+from repro.core import ApproxDPC, ExDPC, SApproxDPC
+from repro.io import MODEL_FORMAT_VERSION, load_model, save_model
+from repro.stream.snapshot import _load_npz_memmap
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return np.random.default_rng(7).uniform(0, 100_000, size=(150, 2))
+
+
+def _fit(builder, points):
+    model = builder(d_cut=2_000.0, rho_min=2, n_clusters=3, seed=0)
+    model.fit(points)
+    return model
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda **kw: ExDPC(**kw),
+            lambda **kw: ApproxDPC(**kw),
+            lambda **kw: SApproxDPC(epsilon=0.5, **kw),
+            lambda **kw: CFSFDPA(**kw),
+        ],
+        ids=["ex-dpc", "approx-dpc", "s-approx-dpc", "cfsfdp-a"],
+    )
+    @pytest.mark.parametrize("mmap", [False, True], ids=["load", "mmap"])
+    def test_restored_predict_matches(
+        self, builder, mmap, tmp_path, small_blobs, queries
+    ):
+        points, _ = small_blobs
+        model = _fit(builder, points)
+        path = save_model(model, tmp_path / "model.npz")
+        restored = load_model(path, mmap=mmap)
+        # Golden round trip: load(save(m)).predict == m.predict, on both the
+        # training matrix and fresh queries.
+        np.testing.assert_array_equal(
+            restored.predict(points), model.result_.labels_
+        )
+        np.testing.assert_array_equal(
+            restored.predict(queries), model.predict(queries)
+        )
+
+    def test_result_arrays_survive(self, tmp_path, small_blobs):
+        points, _ = small_blobs
+        model = _fit(lambda **kw: ExDPC(**kw), points)
+        restored = load_model(save_model(model, tmp_path / "m.npz"))
+        original = model.result_
+        np.testing.assert_array_equal(restored.result_.labels_, original.labels_)
+        np.testing.assert_array_equal(restored.result_.rho_raw_, original.rho_raw_)
+        np.testing.assert_array_equal(restored.result_.centers_, original.centers_)
+        np.testing.assert_array_equal(
+            restored.result_.dependent_raw_, original.dependent_raw_
+        )
+        np.testing.assert_allclose(restored.result_.delta_, original.delta_)
+        assert restored.d_cut == model.d_cut
+        assert restored.rho_min == model.rho_min
+        assert restored.n_clusters == model.n_clusters
+
+    def test_sapprox_epsilon_survives(self, tmp_path, small_blobs):
+        points, _ = small_blobs
+        model = _fit(lambda **kw: SApproxDPC(epsilon=0.7, **kw), points)
+        restored = load_model(save_model(model, tmp_path / "m.npz"))
+        assert isinstance(restored, SApproxDPC)
+        assert restored.epsilon == 0.7
+
+    def test_index_free_model_has_no_tree(self, tmp_path, small_blobs):
+        points, _ = small_blobs
+        model = _fit(lambda **kw: CFSFDPA(**kw), points)
+        restored = load_model(save_model(model, tmp_path / "m.npz"))
+        assert restored._predict_tree() is None
+
+
+class TestErrors:
+    def test_unfitted_model_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            save_model(ExDPC(d_cut=1.0, n_clusters=2), tmp_path / "m.npz")
+
+    def test_unrestorable_algorithm_rejected_at_save_time(
+        self, tmp_path, small_blobs
+    ):
+        from repro.baselines import RTreeScanDPC
+
+        points, _ = small_blobs
+        model = RTreeScanDPC(d_cut=2_000.0, rho_min=2, n_clusters=3, seed=0)
+        model.fit(points)
+        # Refusing at save time beats discovering an unloadable snapshot on
+        # the serving replica.
+        with pytest.raises(ValueError, match="cannot snapshot"):
+            save_model(model, tmp_path / "m.npz")
+
+    def test_wrong_extension_rejected(self, tmp_path, small_blobs):
+        points, _ = small_blobs
+        model = _fit(lambda **kw: ExDPC(**kw), points)
+        with pytest.raises(ValueError, match=r"\.npz"):
+            save_model(model, tmp_path / "model.pkl")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_model(tmp_path / "absent.npz")
+
+    def test_not_a_snapshot(self, tmp_path):
+        path = tmp_path / "points.npz"
+        np.savez(path, points=np.zeros((4, 2)))
+        with pytest.raises(ValueError, match="meta"):
+            load_model(path)
+
+    def test_format_version_mismatch(self, tmp_path, small_blobs):
+        points, _ = small_blobs
+        model = _fit(lambda **kw: ExDPC(**kw), points)
+        path = save_model(model, tmp_path / "m.npz")
+        with np.load(path, allow_pickle=False) as archive:
+            data = {name: archive[name] for name in archive.files}
+        meta = json.loads(str(data["meta"][()]))
+        meta["format_version"] = MODEL_FORMAT_VERSION + 1
+        data["meta"] = np.asarray(json.dumps(meta))
+        np.savez(path, **data)
+        with pytest.raises(ValueError, match="format version"):
+            load_model(path)
+
+    def test_compressed_archive_rejected_for_mmap(self, tmp_path, small_blobs):
+        points, _ = small_blobs
+        model = _fit(lambda **kw: ExDPC(**kw), points)
+        path = save_model(model, tmp_path / "m.npz")
+        with np.load(path, allow_pickle=False) as archive:
+            data = {name: archive[name] for name in archive.files}
+        compressed = tmp_path / "compressed.npz"
+        np.savez_compressed(compressed, **data)
+        with pytest.raises(ValueError, match="uncompressed"):
+            load_model(compressed, mmap=True)
+
+
+class TestMemmapLoader:
+    def test_mapped_arrays_equal_loaded_arrays(self, tmp_path, small_blobs):
+        points, _ = small_blobs
+        model = _fit(lambda **kw: ExDPC(**kw), points)
+        path = save_model(model, tmp_path / "m.npz")
+        mapped = _load_npz_memmap(path)
+        with np.load(path, allow_pickle=False) as archive:
+            for name in archive.files:
+                np.testing.assert_array_equal(
+                    np.asarray(mapped[name]), archive[name], err_msg=name
+                )
+
+    def test_mapped_arrays_are_readonly_views(self, tmp_path, small_blobs):
+        points, _ = small_blobs
+        model = _fit(lambda **kw: ExDPC(**kw), points)
+        path = save_model(model, tmp_path / "m.npz")
+        mapped = _load_npz_memmap(path)
+        assert isinstance(mapped["points"], np.memmap)
+        with pytest.raises((ValueError, RuntimeError)):
+            mapped["points"][0, 0] = 1.0
