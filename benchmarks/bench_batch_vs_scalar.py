@@ -1,20 +1,28 @@
-"""Microbenchmark: vectorized batch query engine vs scalar per-point queries.
+"""Microbenchmark: scalar vs batch vs dual-tree query engines.
 
 The batch kd-tree API (``range_count_batch`` / ``range_search_batch`` /
-``knn_batch``; see docs/performance.md) exists to remove the per-query Python
-interpreter overhead that dominates the seed implementation's density and
-dependency phases.  This bench times both engines on the paper's primitive
-operations over the same tree and reports the speedup; the acceptance
-criterion for the batch engine is a >= 5x speedup on the density computation
-(``range_count`` over every point) at ``n = 20_000``, ``d = 2``.
+``knn_batch``) removes the per-query Python overhead of the scalar engine;
+the dual-tree API (``range_count_dual`` / ``range_search_dual_vs``; see
+docs/performance.md) goes further on the density *self-join* -- every point
+is both query and datum -- by traversing the tree against itself once and
+crediting whole node pairs without distance computations.  This bench times
+all engines on the paper's primitive operations over the same tree and
+reports the speedups.  Acceptance thresholds: batch >= 5x scalar on the
+density computation at ``n = 20_000, d = 2``, and dual >= 2x batch on the
+density phase at ``n = 50_000, d = 2``.
 
-Both engines are verified to return identical results before any timing is
-reported, so the speedup is never bought with a wrong answer.
+Every engine is verified to return identical results before any timing is
+reported, so no speedup is bought with a wrong answer.
+
+The density results are also written to the repo-root perf-trajectory file
+``BENCH_density.json`` (schema: engine -> {n, d, dpc_variant, seconds,
+speedup_vs_scalar}) so future PRs can track regressions; CI uploads the
+reduced-n version as an artifact.
 
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_batch_vs_scalar.py
-    PYTHONPATH=src python benchmarks/bench_batch_vs_scalar.py --json out.json
+    PYTHONPATH=src python benchmarks/bench_batch_vs_scalar.py --n 50000 --json out.json
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ import argparse
 import json
 import math
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -32,6 +41,9 @@ from repro.index.kdtree import KDTree
 DEFAULT_N = 20_000
 DEFAULT_DIM = 2
 DEFAULT_TARGET_DENSITY = 40.0
+
+#: Default output path of the perf-trajectory file (repo root).
+BENCH_TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_density.json"
 
 
 def density_radius(n: int, dim: int, extent: float, target: float) -> float:
@@ -48,7 +60,7 @@ def run_microbench(
     seed: int = 0,
     k: int = 8,
 ) -> dict:
-    """Time scalar vs batch queries on one tree; returns the result payload."""
+    """Time the engines on one tree; returns the result payload."""
     extent = 1000.0
     rng = np.random.default_rng(seed)
     points = rng.uniform(0.0, extent, size=(n, dim))
@@ -57,7 +69,7 @@ def run_microbench(
 
     rows: list[dict] = []
 
-    def record(operation: str, scalar_fn, batch_fn, check_fn) -> None:
+    def record(operation: str, scalar_fn, batch_fn, check_fn, dual_fn=None) -> None:
         start = time.perf_counter()
         scalar_result = scalar_fn()
         scalar_s = time.perf_counter() - start
@@ -65,31 +77,46 @@ def run_microbench(
         batch_result = batch_fn()
         batch_s = time.perf_counter() - start
         check_fn(scalar_result, batch_result)
-        rows.append(
-            {
-                "operation": operation,
-                "scalar_s": scalar_s,
-                "batch_s": batch_s,
-                "speedup": scalar_s / batch_s if batch_s > 0 else float("inf"),
-            }
-        )
+        row = {
+            "operation": operation,
+            "scalar_s": scalar_s,
+            "batch_s": batch_s,
+            "speedup": scalar_s / batch_s if batch_s > 0 else float("inf"),
+        }
+        if dual_fn is not None:
+            start = time.perf_counter()
+            dual_result = dual_fn()
+            dual_s = time.perf_counter() - start
+            check_fn(scalar_result, dual_result)
+            row["dual_s"] = dual_s
+            row["dual_speedup"] = scalar_s / dual_s if dual_s > 0 else float("inf")
+            row["dual_vs_batch"] = batch_s / dual_s if dual_s > 0 else float("inf")
+        rows.append(row)
 
-    # Density computation (Definition 1): one range count per point.
+    # Density computation (Definition 1): one range count per point.  The
+    # dual engine answers the whole self-join with one simultaneous
+    # traversal; materialise the layout first so the timing isolates the
+    # query (fit does the same once per tree).
+    tree.points_ordered
     record(
         "density range_count (all n points)",
         lambda: np.asarray([tree.range_count(p, d_cut) for p in points]),
         lambda: tree.range_count_batch(points, d_cut),
         lambda s, b: np.testing.assert_array_equal(np.asarray(s), b),
+        dual_fn=lambda: tree.range_count_dual(d_cut),
     )
 
     # Range search (the Approx-DPC / S-Approx-DPC primitive); fewer queries
     # because materialising every result set is the point of the comparison.
+    # The dual variant joins a tree over the query subset against the data.
     n_search = min(n, 5_000)
+    search_tree = KDTree(points[:n_search], leaf_size=leaf_size)
     record(
         f"range_search ({n_search} queries)",
         lambda: [np.sort(tree.range_search(p, d_cut)) for p in points[:n_search]],
         lambda: tree.range_search_batch(points[:n_search], d_cut),
         lambda s, b: [np.testing.assert_array_equal(x, y) for x, y in zip(s, b)],
+        dual_fn=lambda: tree.range_search_dual_vs(search_tree, d_cut),
     )
 
     # k-nearest neighbours (the dependency fallback primitive).
@@ -114,6 +141,33 @@ def run_microbench(
     }
 
 
+def density_trajectory(payload: dict) -> dict:
+    """Perf-trajectory record of the density phase, one entry per engine.
+
+    Schema: ``engine -> {n, d, dpc_variant, seconds, speedup_vs_scalar}``.
+    The density self-join is the Ex-DPC hot path (Approx-/S-Approx-DPC share
+    the same primitive through their joint/picked searches).
+    """
+    density = payload["rows"][0]
+    base = {"n": payload["n"], "d": payload["dim"], "dpc_variant": "Ex-DPC"}
+    scalar_s = density["scalar_s"]
+    trajectory = {
+        "scalar": {**base, "seconds": scalar_s, "speedup_vs_scalar": 1.0},
+        "batch": {
+            **base,
+            "seconds": density["batch_s"],
+            "speedup_vs_scalar": density["speedup"],
+        },
+    }
+    if "dual_s" in density:
+        trajectory["dual"] = {
+            **base,
+            "seconds": density["dual_s"],
+            "speedup_vs_scalar": density["dual_speedup"],
+        }
+    return trajectory
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--n", type=int, default=DEFAULT_N)
@@ -121,26 +175,52 @@ def main() -> None:
     parser.add_argument("--leaf-size", type=int, default=32)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--json", type=str, default=None, help="write results to this path")
+    parser.add_argument(
+        "--bench-json",
+        type=str,
+        default=str(BENCH_TRAJECTORY_PATH),
+        help="write the density perf-trajectory file here "
+        "(default: repo-root BENCH_density.json; pass '' to skip)",
+    )
     args = parser.parse_args()
 
     payload = run_microbench(
         n=args.n, dim=args.dim, leaf_size=args.leaf_size, seed=args.seed
     )
     print_table(
-        f"Batch vs scalar query engine (n={payload['n']}, d={payload['dim']}, "
+        f"Query engines (n={payload['n']}, d={payload['dim']}, "
         f"leaf={payload['leaf_size']}, d_cut={payload['d_cut']:.2f})",
         payload["rows"],
     )
-    density_speedup = payload["rows"][0]["speedup"]
-    verdict = "PASS" if density_speedup >= 5.0 else "FAIL"
+    density = payload["rows"][0]
+    batch_speedup = density["speedup"]
+    batch_verdict = "PASS" if batch_speedup >= 5.0 else "FAIL"
     print(
-        f"\nDensity-computation speedup: {density_speedup:.1f}x "
-        f"(acceptance threshold 5x: {verdict})"
+        f"\nDensity batch-vs-scalar speedup: {batch_speedup:.1f}x "
+        f"(acceptance threshold 5x: {batch_verdict})"
     )
+    dual_vs_batch = density.get("dual_vs_batch")
+    if dual_vs_batch is not None:
+        if args.n >= 50_000:
+            dual_verdict = "PASS" if dual_vs_batch >= 2.0 else "FAIL"
+            print(
+                f"Density dual-vs-batch speedup:   {dual_vs_batch:.1f}x "
+                f"(acceptance threshold 2x at n={args.n}: {dual_verdict})"
+            )
+        else:
+            print(
+                f"Density dual-vs-batch speedup:   {dual_vs_batch:.1f}x "
+                f"(n={args.n}; the 2x acceptance threshold applies at n=50000)"
+            )
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2)
         print(f"JSON written to {args.json}")
+    if args.bench_json:
+        with open(args.bench_json, "w") as handle:
+            json.dump(density_trajectory(payload), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"Perf trajectory written to {args.bench_json}")
 
 
 if __name__ == "__main__":

@@ -161,9 +161,10 @@ def main() -> None:
     parser = argparse.ArgumentParser(description="Figure 9: time vs threads")
     parser.add_argument(
         "--engine",
-        choices=["scalar", "batch", "both"],
+        choices=["scalar", "batch", "dual", "both", "all"],
         default="both",
-        help="query engine for Ex-DPC / Approx-DPC / S-Approx-DPC",
+        help="query engine for Ex-DPC / Approx-DPC / S-Approx-DPC "
+        "('both' = scalar+batch, 'all' adds the dual-tree engine)",
     )
     parser.add_argument(
         "--backend",
@@ -194,7 +195,7 @@ def main() -> None:
     args = parser.parse_args()
 
     if args.backend is not None:
-        engine = "batch" if args.engine == "both" else args.engine
+        engine = "batch" if args.engine in ("both", "all") else args.engine
         if args.backend == "process" and engine == "scalar":
             parser.error(
                 "--backend process requires the batch engine: the scalar "
@@ -237,7 +238,12 @@ def main() -> None:
             print(f"JSON written to {args.json}")
         return
 
-    engines = ["scalar", "batch"] if args.engine == "both" else [args.engine]
+    if args.engine == "both":
+        engines = ["scalar", "batch"]
+    elif args.engine == "all":
+        engines = ["scalar", "batch", "dual"]
+    else:
+        engines = [args.engine]
 
     # The baselines ignore the engine switch, so fit them once per dataset
     # and sweep only the engine-aware algorithms once per engine.

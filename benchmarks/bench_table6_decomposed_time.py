@@ -111,9 +111,10 @@ def main() -> None:
     parser = argparse.ArgumentParser(description="Table 6: decomposed time")
     parser.add_argument(
         "--engine",
-        choices=["scalar", "batch", "both"],
+        choices=["scalar", "batch", "dual", "both", "all"],
         default="both",
-        help="query engine for Ex-DPC / Approx-DPC / S-Approx-DPC",
+        help="query engine for Ex-DPC / Approx-DPC / S-Approx-DPC "
+        "('both' = scalar+batch, 'all' adds the dual-tree engine)",
     )
     parser.add_argument(
         "--backend",
@@ -130,7 +131,12 @@ def main() -> None:
     )
     parser.add_argument("--json", type=str, default=None, help="dump rows to this path")
     args = parser.parse_args()
-    engines = ("scalar", "batch") if args.engine == "both" else (args.engine,)
+    if args.engine == "both":
+        engines = ("scalar", "batch")
+    elif args.engine == "all":
+        engines = ("scalar", "batch", "dual")
+    else:
+        engines = (args.engine,)
 
     rows = _table(
         real_workload_names(),

@@ -31,7 +31,7 @@ from typing import Sequence
 import numpy as np
 
 from repro import __version__
-from repro.bench.runners import ALGORITHM_BUILDERS
+from repro.bench.runners import ALGORITHM_BUILDERS, ENGINE_AWARE_ALGORITHMS
 from repro.bench.workloads import load_workload
 from repro.io import load_model, load_points, save_model, save_points, save_result
 
@@ -92,6 +92,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend (default: REPRO_DEFAULT_BACKEND or 'thread'; "
         "see docs/parallel.md)",
     )
+    cluster.add_argument(
+        "--engine",
+        choices=["scalar", "batch", "dual"],
+        default=None,
+        help="query engine of the density/dependency hot paths for "
+        "ex-dpc/approx-dpc/s-approx-dpc (default: REPRO_DEFAULT_ENGINE or "
+        "'batch'; baselines ignore the flag; see docs/performance.md)",
+    )
     cluster.add_argument("--seed", type=int, default=0, help="random seed")
     cluster.add_argument(
         "--output", default=None, help="write labels CSV (+ JSON sidecar) here"
@@ -148,6 +156,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stream.add_argument(
         "--batch", type=int, default=200, help="points ingested per update batch"
+    )
+    stream.add_argument(
+        "--engine",
+        choices=["scalar", "batch", "dual"],
+        default=None,
+        help="query engine of the wrapped Ex-DPC (rebuilds and predict)",
     )
     stream.add_argument("--seed", type=int, default=0, help="random seed")
     stream.add_argument(
@@ -217,6 +231,15 @@ def _run_cluster(args: argparse.Namespace) -> int:
     }
     if name == "S-Approx-DPC":
         kwargs["epsilon"] = args.epsilon
+    if args.engine is not None:
+        if name in ENGINE_AWARE_ALGORITHMS:
+            kwargs["engine"] = args.engine
+        else:
+            print(
+                f"note: {args.algorithm} has no query-engine switch; "
+                f"--engine {args.engine} ignored",
+                file=sys.stderr,
+            )
     model = ALGORITHM_BUILDERS[name](args.d_cut, **kwargs)
     result = model.fit(points)
 
@@ -293,6 +316,7 @@ def _run_stream(args: argparse.Namespace) -> int:
         n_clusters=args.n_clusters,
         seed=args.seed,
         refit_equivalence=args.refit_equivalence,
+        engine=args.engine,
     )
     warmup = min(points.shape[0], args.window)
     model.fit(points[:warmup])

@@ -45,8 +45,9 @@ from repro.core.exact_dependency import (
 )
 from repro.core.framework import DensityPeaksBase
 from repro.index.grid import UniformGrid, distinct_lattice_keys
-from repro.index.kdtree import KDTree
+from repro.index.kdtree import KDTree, check_storage_dtype
 from repro.parallel.backends import kernel_joint_density, pack_tree_arrays
+from repro.utils.counters import WorkCounter
 from repro.utils.distance import point_to_points_sq
 
 __all__ = ["ApproxDPC", "CellDensitySummary", "cell_density_summary"]
@@ -128,6 +129,8 @@ class ApproxDPC(DensityPeaksBase):
     n_partitions:
         Number of density partitions ``s`` used by the exact dependency
         fallback.  ``None`` (default) applies Equation (2) of the paper.
+    dtype:
+        Point-storage dtype of the kd-tree (``"float64"`` or ``"float32"``).
     """
 
     algorithm_name = "Approx-DPC"
@@ -145,7 +148,8 @@ class ApproxDPC(DensityPeaksBase):
         record_costs: bool = True,
         leaf_size: int = 32,
         n_partitions: int | None = None,
-        engine: str = "batch",
+        engine: str | None = None,
+        dtype: str = "float64",
     ):
         super().__init__(
             d_cut,
@@ -160,6 +164,7 @@ class ApproxDPC(DensityPeaksBase):
         )
         self.leaf_size = leaf_size
         self.n_partitions = n_partitions
+        self.dtype = check_storage_dtype(dtype).name
         self._tree: KDTree | None = None
         self._grid: UniformGrid | None = None
         self._fallback_memory = 0
@@ -167,7 +172,9 @@ class ApproxDPC(DensityPeaksBase):
     # ------------------------------------------------------------------ index
 
     def _build_index(self, points: np.ndarray) -> None:
-        self._tree = KDTree(points, leaf_size=self.leaf_size, counter=self._counter)
+        self._tree = KDTree(
+            points, leaf_size=self.leaf_size, counter=self._counter, dtype=self.dtype
+        )
         cell_side = self.d_cut / np.sqrt(points.shape[1])
         self._grid = UniformGrid(points, cell_side)
         self._fallback_memory = 0
@@ -176,6 +183,7 @@ class ApproxDPC(DensityPeaksBase):
         params = super().get_params()
         params["leaf_size"] = self.leaf_size
         params["n_partitions"] = self.n_partitions
+        params["dtype"] = self.dtype
         return params
 
     def _index_memory_bytes(self) -> int:
@@ -214,7 +222,41 @@ class ApproxDPC(DensityPeaksBase):
             self._counter.add("distance_calcs", summary.n_distance_calcs)
             return summary
 
-        if self.engine == "batch":
+        if self.engine == "dual":
+            # Dual-tree joint range search (§4.2 over node pairs): one
+            # simultaneous traversal of a small tree over the cell centers
+            # (with per-center radii) against the point tree answers every
+            # cell's joint search at once, producing the exact candidate
+            # sets the batch engine materialises.  The join runs driver-side
+            # -- it is cheap and backend-invariant -- and the per-cell
+            # density scans are parallelised over cell chunks as usual
+            # (threads under the process backend; the scan is identical
+            # arithmetic on identical inputs on every backend).
+            centers = np.stack([cell.center for cell in cells])
+            radii = np.asarray(
+                [d_cut + cell.max_center_dist for cell in cells], dtype=np.float64
+            )
+            centers_tree = KDTree(
+                centers,
+                leaf_size=self.leaf_size,
+                counter=WorkCounter(),
+                dtype=tree.dtype_name,
+            )
+            candidate_lists = tree.range_search_dual_vs(
+                centers_tree, radii, strict=False
+            )
+
+            def scan_cell_chunk(chunk: np.ndarray) -> list[CellDensitySummary]:
+                return [
+                    summarize(int(position), candidate_lists[int(position)])
+                    for position in chunk
+                ]
+
+            chunk_summaries = self._executor.map_index_chunks(
+                scan_cell_chunk, len(cells)
+            )
+            summaries = [summary for chunk in chunk_summaries for summary in chunk]
+        elif self.engine == "batch":
             centers = np.stack([cell.center for cell in cells])
             radii = np.asarray(
                 [d_cut + cell.max_center_dist for cell in cells], dtype=np.float64

@@ -25,8 +25,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.framework import DensityPeaksBase
-from repro.index.kdtree import IncrementalKDTree, KDTree
-from repro.parallel.backends import kernel_range_count, pack_tree_arrays
+from repro.index.kdtree import (
+    DUAL_FRONTIER_TARGET,
+    IncrementalKDTree,
+    KDTree,
+    check_storage_dtype,
+)
+from repro.parallel.backends import (
+    kernel_dual_self_count,
+    kernel_range_count,
+    pack_tree_arrays,
+)
 
 __all__ = ["ExDPC"]
 
@@ -42,6 +51,10 @@ class ExDPC(DensityPeaksBase):
         See :class:`repro.core.framework.DensityPeaksBase`.
     leaf_size:
         Leaf bucket size of the kd-tree.
+    dtype:
+        Point-storage dtype of the kd-tree (``"float64"`` or ``"float32"``;
+        see :class:`repro.index.kdtree.KDTree`).  Densities are computed in
+        the storage precision; the dependency phase always runs in float64.
     """
 
     algorithm_name = "Ex-DPC"
@@ -58,7 +71,8 @@ class ExDPC(DensityPeaksBase):
         seed: int | None = 0,
         record_costs: bool = True,
         leaf_size: int = 32,
-        engine: str = "batch",
+        engine: str | None = None,
+        dtype: str = "float64",
     ):
         super().__init__(
             d_cut,
@@ -72,16 +86,20 @@ class ExDPC(DensityPeaksBase):
             engine=engine,
         )
         self.leaf_size = leaf_size
+        self.dtype = check_storage_dtype(dtype).name
         self._tree: KDTree | None = None
 
     # ------------------------------------------------------------------ index
 
     def _build_index(self, points: np.ndarray) -> None:
-        self._tree = KDTree(points, leaf_size=self.leaf_size, counter=self._counter)
+        self._tree = KDTree(
+            points, leaf_size=self.leaf_size, counter=self._counter, dtype=self.dtype
+        )
 
     def get_params(self):
         params = super().get_params()
         params["leaf_size"] = self.leaf_size
+        params["dtype"] = self.dtype
         return params
 
     def _index_memory_bytes(self) -> int:
@@ -96,7 +114,33 @@ class ExDPC(DensityPeaksBase):
         tree = self._tree
         n = points.shape[0]
 
-        if self.engine == "batch":
+        if self.engine == "dual":
+            # Dual-tree self-join: expand the (root, root) pair into a fixed
+            # frontier of independent node-pair work units, then traverse
+            # each unit's subjoin.  The frontier is the canonical chunking
+            # for every backend -- under the process backend the pair slices
+            # ship as picklable tasks against the shared-memory tree -- so
+            # counts *and* work counters match the serial run bit for bit.
+            pairs, base = tree.dual_self_frontier(
+                self.d_cut, strict=True, target_pairs=DUAL_FRONTIER_TARGET
+            )
+            task = self._process_task(
+                kernel_dual_self_count,
+                payload_fn=lambda chunk: {"d_cut": self.d_cut, "pairs": pairs[chunk]},
+            )
+
+            def count_pair_chunk(chunk: np.ndarray) -> np.ndarray:
+                return tree.range_count_dual_pairs(
+                    pairs[chunk], self.d_cut, strict=True
+                )
+
+            contributions = self._executor.map_index_chunks(
+                count_pair_chunk, len(pairs), task=task
+            )
+            rho = base.astype(np.float64)
+            for contribution in contributions:
+                rho += contribution
+        elif self.engine == "batch":
             # Chunked batch queries: each worker answers a contiguous block of
             # points with one vectorised tree traversal.  Under the process
             # backend the same computation runs as a picklable chunk task

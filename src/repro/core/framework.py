@@ -20,6 +20,7 @@ and the final assignment step.
 from __future__ import annotations
 
 import abc
+import os
 import time
 from typing import Any
 
@@ -50,7 +51,29 @@ from repro.utils.validation import (
     check_positive,
 )
 
-__all__ = ["DensityPeaksBase"]
+__all__ = ["DensityPeaksBase", "ENGINES", "DEFAULT_ENGINE_ENV", "resolve_engine"]
+
+#: Query-execution engines of the density/dependency hot paths.
+ENGINES = ("scalar", "batch", "dual")
+
+#: Environment variable naming the engine used when an estimator is built
+#: with ``engine=None``; CI exercises the dual engine by exporting it.
+DEFAULT_ENGINE_ENV = "REPRO_DEFAULT_ENGINE"
+
+
+def resolve_engine(engine: str | None) -> str:
+    """Normalise an ``engine`` parameter.
+
+    ``None`` reads :data:`DEFAULT_ENGINE_ENV` (default ``"batch"``); any
+    explicit value must be one of :data:`ENGINES`.
+    """
+    if engine is None:
+        engine = os.environ.get(DEFAULT_ENGINE_ENV) or "batch"
+    if engine not in ENGINES:
+        raise ValueError(
+            f"engine must be one of {ENGINES}, got {engine!r}"
+        )
+    return engine
 
 
 class DensityPeaksBase(abc.ABC):
@@ -91,12 +114,19 @@ class DensityPeaksBase(abc.ABC):
         via ``result.parallel_profile_``.
     engine:
         Query-execution engine for the density and dependency hot paths.
-        ``"batch"`` (the default) issues chunked, vectorised batch queries
-        through :meth:`repro.parallel.executor.ParallelExecutor.map_index_chunks`;
-        ``"scalar"`` runs the original one-query-per-point code, which is
-        slower but exercises the per-query work-counter instrumentation.
-        Both engines produce identical results (property-tested); baselines
-        that have no batch kernels simply ignore the flag.
+        ``"batch"`` issues chunked, vectorised batch queries through
+        :meth:`repro.parallel.executor.ParallelExecutor.map_index_chunks`;
+        ``"dual"`` additionally runs the density phase as a dual-tree
+        self-join (:meth:`repro.index.kdtree.KDTree.range_count_dual` and
+        friends), which amortises pruning across whole query subtrees and is
+        the fastest option on low-dimensional data (see
+        ``docs/performance.md``); ``"scalar"`` runs the original
+        one-query-per-point code, which is slower but exercises the
+        per-query work-counter instrumentation.  ``None`` (the default)
+        reads the ``REPRO_DEFAULT_ENGINE`` environment variable and falls
+        back to ``"batch"``.  All engines produce bit-for-bit identical
+        densities and labels (property-tested); baselines that have no
+        batch/dual kernels simply ignore the flag.
     """
 
     #: Human-readable algorithm name; subclasses override.
@@ -113,15 +143,11 @@ class DensityPeaksBase(abc.ABC):
         backend: str | None = None,
         seed: int | None = 0,
         record_costs: bool = True,
-        engine: str = "batch",
+        engine: str | None = None,
     ):
         self.d_cut = check_positive(d_cut, "d_cut")
         self.backend = resolve_backend(backend)
-        if engine not in ("scalar", "batch"):
-            raise ValueError(
-                f"engine must be 'scalar' or 'batch', got {engine!r}"
-            )
-        self.engine = engine
+        self.engine = resolve_engine(engine)
         self.rho_min = None if rho_min is None else check_non_negative(rho_min, "rho_min")
         if delta_min is not None and n_clusters is not None:
             raise ValueError("delta_min and n_clusters are mutually exclusive")
@@ -400,11 +426,33 @@ class DensityPeaksBase(abc.ABC):
             counter=self._counter,
         )
 
+    def _dual_density_vs_tree(self, tree, queries: np.ndarray) -> np.ndarray:
+        """Dual-tree join of out-of-sample ``queries`` against the fitted tree.
+
+        Builds a throwaway kd-tree over the queries (same storage dtype) and
+        runs one simultaneous traversal instead of per-chunk batch counts;
+        the result is bit-for-bit identical to the batch path.  Driver-side
+        on every backend, so results and work counters are
+        backend-independent.
+        """
+        from repro.index.kdtree import KDTree
+        from repro.utils.counters import WorkCounter
+
+        query_tree = KDTree(
+            queries,
+            leaf_size=tree.leaf_size,
+            counter=WorkCounter(),
+            dtype=tree.dtype_name,
+        )
+        return tree.range_count_dual_vs(query_tree, self.d_cut, strict=True)
+
     def _predict_density(self, queries: np.ndarray, executor) -> np.ndarray:
         """Raw (integer-scale) local density of each query over the fitted set."""
         tree = self._predict_tree()
         d_cut = self.d_cut
         n_q = queries.shape[0]
+        if tree is not None and self.engine == "dual" and n_q:
+            return self._dual_density_vs_tree(tree, queries).astype(np.float64)
         if tree is not None:
             task = self._predict_process_task(
                 executor,

@@ -42,9 +42,10 @@ from repro.core.exact_dependency import (
 )
 from repro.core.framework import DensityPeaksBase
 from repro.index.grid import distinct_lattice_keys
-from repro.index.kdtree import KDTree
+from repro.index.kdtree import KDTree, check_storage_dtype
 from repro.index.sample_grid import SampledGrid
 from repro.parallel.backends import kernel_picked_density, pack_tree_arrays
+from repro.utils.counters import WorkCounter
 from repro.utils.distance import point_to_points_sq
 from repro.utils.validation import check_positive
 
@@ -89,7 +90,8 @@ class SApproxDPC(DensityPeaksBase):
         record_costs: bool = True,
         leaf_size: int = 32,
         fallback_factor: float = 4.0,
-        engine: str = "batch",
+        engine: str | None = None,
+        dtype: str = "float64",
     ):
         super().__init__(
             d_cut,
@@ -105,6 +107,7 @@ class SApproxDPC(DensityPeaksBase):
         self.epsilon = check_positive(epsilon, "epsilon")
         self.leaf_size = leaf_size
         self.fallback_factor = check_positive(fallback_factor, "fallback_factor")
+        self.dtype = check_storage_dtype(dtype).name
         self._tree: KDTree | None = None
         self._grid: SampledGrid | None = None
         self._fallback_memory = 0
@@ -112,7 +115,9 @@ class SApproxDPC(DensityPeaksBase):
     # ------------------------------------------------------------------ index
 
     def _build_index(self, points: np.ndarray) -> None:
-        self._tree = KDTree(points, leaf_size=self.leaf_size, counter=self._counter)
+        self._tree = KDTree(
+            points, leaf_size=self.leaf_size, counter=self._counter, dtype=self.dtype
+        )
         cell_side = self.epsilon * self.d_cut / np.sqrt(points.shape[1])
         self._grid = SampledGrid(points, cell_side)
         self._fallback_memory = 0
@@ -122,6 +127,7 @@ class SApproxDPC(DensityPeaksBase):
         params["epsilon"] = self.epsilon
         params["leaf_size"] = self.leaf_size
         params["fallback_factor"] = self.fallback_factor
+        params["dtype"] = self.dtype
         return params
 
     def _index_memory_bytes(self) -> int:
@@ -157,7 +163,36 @@ class SApproxDPC(DensityPeaksBase):
             keys = distinct_lattice_keys(lattice, neighbors, exclude=cell.key)
             return float(neighbors.size), keys
 
-        if self.engine == "batch":
+        if self.engine == "dual":
+            # Dual-tree picked-point range search: one simultaneous
+            # traversal of a small tree over the picked representatives
+            # against the point tree answers every cell's range search at
+            # once (inclusion-credited subtrees materialise their hits
+            # straight from the permutation, no distance computations); the
+            # per-cell summaries then run over the identical neighbour sets
+            # the batch engine produces.
+            picked_arr = np.asarray([cell.picked for cell in cells], dtype=np.intp)
+            picked_tree = KDTree(
+                points[picked_arr],
+                leaf_size=self.leaf_size,
+                counter=WorkCounter(),
+                dtype=tree.dtype_name,
+            )
+            neighbor_lists = tree.range_search_dual_vs(
+                picked_tree, d_cut, strict=True
+            )
+
+            def summarize_chunk(chunk: np.ndarray) -> list[tuple[float, list]]:
+                return [
+                    summarize(int(position), neighbor_lists[int(position)])
+                    for position in chunk
+                ]
+
+            chunk_results = self._executor.map_index_chunks(
+                summarize_chunk, len(cells)
+            )
+            summaries = [summary for chunk in chunk_results for summary in chunk]
+        elif self.engine == "batch":
             picked_arr = np.asarray([cell.picked for cell in cells], dtype=np.intp)
 
             task = self._process_task(
@@ -248,6 +283,11 @@ class SApproxDPC(DensityPeaksBase):
         if unknown.size:
             tree = self._predict_tree()
             subset = queries[unknown]
+            if self.engine == "dual":
+                rho_q[unknown] = self._dual_density_vs_tree(tree, subset).astype(
+                    np.float64
+                )
+                return rho_q
 
             def count_chunk(chunk: np.ndarray) -> np.ndarray:
                 return tree.range_count_batch(subset[chunk], self.d_cut, strict=True)

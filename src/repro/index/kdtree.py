@@ -43,10 +43,44 @@ deliberate, documented normalisations keep results order-independent:
 ``range_search_batch`` returns each query's hit indices in ascending order
 (the scalar method reports traversal order), and the nearest-neighbour
 queries break exact distance ties by the smallest point index.
+
+Dual-tree queries
+-----------------
+When *every* point is both a query and a datum -- the density phase of every
+DPC variant is an ``n``-point range-count self-join -- even the batch engine
+pays one pruned frontier traversal per query chunk.  The dual-tree methods
+traverse two trees *simultaneously* over node **pairs** instead:
+
+* ``range_count_dual(radius)`` -- the symmetric self-join behind
+  ``engine="dual"`` density computation;
+* ``range_count_dual_vs(queries_tree, radius)`` -- join the points of another
+  tree against this one (``predict`` / streaming ingest);
+* ``range_search_dual_vs(queries_tree, radius)`` -- the joint/picked range
+  searches of Approx-DPC and S-Approx-DPC, with per-query radii.
+
+Each tree node carries its bounding box (``KDTreeArrays.bbox_min`` /
+``bbox_max``).  A node pair whose boxes are farther apart than the radius is
+*excluded* -- the whole ``|A| x |B|`` block of pairs is skipped with zero
+distance computations; a pair whose boxes fit entirely within the radius is
+*included* -- the block is credited in O(1) (counts) or materialised from the
+permutation slices without distances (searches).  Only ambiguous pairs
+descend, bottoming out in blocked NumPy kernels over **contiguous** slices of
+the leaf-ordered point copy (:attr:`KDTree.points_ordered`), so the hot
+kernels never gather through the permutation.
+
+The dual methods return bit-for-bit the same counts/index sets as the batch
+methods: the blocked kernels use the identical ``diff``-then-``einsum``
+arithmetic, and the inclusion/exclusion tests are floating-point safe
+(monotonicity of IEEE subtraction/multiplication/addition guarantees every
+computed pair distance lies within the computed node-pair bounds, for
+``float64`` and ``float32`` storage alike).  Work counters differ by design:
+the whole point of the dual traversal is that credited blocks perform no
+distance calculations.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, fields
 from typing import Mapping, Optional
 
@@ -56,19 +90,125 @@ from repro.utils.counters import WorkCounter
 from repro.utils.distance import point_to_points_sq
 from repro.utils.validation import check_points, check_positive, check_positive_int
 
-__all__ = ["KDTree", "KDTreeArrays", "IncrementalKDTree"]
+__all__ = [
+    "KDTree",
+    "KDTreeArrays",
+    "IncrementalKDTree",
+    "STORAGE_DTYPES",
+    "check_storage_dtype",
+    "DUAL_FRONTIER_TARGET",
+]
 
 _NO_CHILD = -1
+
+#: Supported point-storage dtypes.  ``float32`` halves the memory footprint
+#: and cache traffic of the point matrix, split values and bounding boxes;
+#: every engine (scalar / batch / dual) then computes distances in float32,
+#: so results stay self-consistent across engines (property-tested) even
+#: though individual counts may differ from a float64 run near the radius
+#: boundary.
+STORAGE_DTYPES = ("float64", "float32")
+
+#: Number of node pairs :meth:`KDTree.dual_self_frontier` expands the
+#: self-join root pair into.  The frontier is the canonical work-unit
+#: decomposition shared by every execution backend: serial runs process the
+#: same pairs a process-backend worker pool does, which keeps results *and*
+#: work counters bit-for-bit identical across backends and worker counts.
+DUAL_FRONTIER_TARGET = 64
+
+#: Node pairs with both sides at or below this many points stop descending
+#: and run one blocked distance kernel over their contiguous point slices.
+#: Larger blocks trade a few redundant pair distances for fewer node-pair
+#: visits; at or below the leaf size the kernels bottom out on leaf buckets.
+_DUAL_BLOCK = 32
+
+#: Maximum number of ``diff`` elements one mega-batched kernel evaluates at
+#: once; bounds the size of the padded temporaries so they stay cache-sized.
+_DUAL_BATCH_BUDGET = 1_000_000
+
+
+def check_storage_dtype(dtype) -> np.dtype:
+    """Normalise a point-storage ``dtype`` parameter to a numpy dtype.
+
+    Accepts anything ``np.dtype`` does (``"float32"``, ``np.float64``,
+    ``"f4"``, ``"double"``, ...) as long as it names one of
+    :data:`STORAGE_DTYPES`.
+    """
+    try:
+        name = np.dtype(dtype).name
+    except TypeError:
+        name = str(dtype)
+    if name not in STORAGE_DTYPES:
+        raise ValueError(
+            f"dtype must be one of {STORAGE_DTYPES}, got {dtype!r}"
+        )
+    return np.dtype(name)
+
+
+def _group_boundaries(sorted_keys: np.ndarray):
+    """Yield ``(lo, hi)`` slices of equal-key runs in a sorted key array."""
+    if sorted_keys.size == 0:
+        return
+    breaks = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
+    lo = 0
+    for hi in breaks:
+        yield int(lo), int(hi)
+        lo = hi
+    yield int(lo), int(sorted_keys.size)
+
+
+def _block_pair_distances_sq(q_block: np.ndarray, d_block: np.ndarray) -> np.ndarray:
+    """Squared distances between ``(g, q, d)`` and ``(g, j, d)`` point blocks.
+
+    Bit-identical to ``einsum("gqjd,gqjd->gqj")`` over the broadcast
+    difference: for ``d <= 2`` the per-dimension accumulation produces the
+    same sequence of IEEE operations (verified by the property suite) while
+    avoiding the 4-D temporary, which roughly halves the memory traffic of
+    the hot self-join kernel.
+    """
+    dim = q_block.shape[-1]
+    if dim <= 2:
+        d_sq = q_block[:, :, None, 0] - d_block[:, None, :, 0]
+        np.square(d_sq, out=d_sq)
+        if dim == 2:
+            diff1 = q_block[:, :, None, 1] - d_block[:, None, :, 1]
+            np.square(diff1, out=diff1)
+            d_sq += diff1
+        return d_sq
+    diff = q_block[:, :, None, :] - d_block[:, None, :, :]
+    return np.einsum("gqjd,gqjd->gqj", diff, diff)
+
+
+def _ragged_copy_indices(
+    dest_base: np.ndarray, src_base: np.ndarray, lengths: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flat destination/source indices for copying many variable-length runs.
+
+    Run ``i`` copies ``lengths[i]`` consecutive elements from
+    ``src_base[i]...`` to ``dest_base[i]...``; the returned index arrays
+    drive one fancy gather/scatter instead of a Python loop over runs.
+    """
+    total = int(lengths.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty
+    ends = np.cumsum(lengths)
+    within = np.arange(total, dtype=np.intp) - np.repeat(ends - lengths, lengths)
+    return (
+        np.repeat(dest_base, lengths) + within,
+        np.repeat(src_base, lengths) + within,
+    )
 
 
 @dataclass(frozen=True)
 class KDTreeArrays:
     """Structure-of-arrays representation of a bulk-loaded kd-tree.
 
-    The whole tree is seven contiguous numpy arrays: per-node split
+    The whole tree is nine contiguous numpy arrays: per-node split
     dimensions and values, child links, the ``[start, stop)`` bounds of each
-    node's slice of the permutation array, and the permutation of point
-    indices itself.  Node ``0`` is the root; children are stored in preorder
+    node's slice of the permutation array, the permutation of point
+    indices itself, and the per-node bounding boxes the dual-tree engine
+    prunes with.  Node ``0`` is the root; children are stored in preorder
     (a node is allocated before its left subtree, which precedes its right
     subtree).  Leaves have ``left == right == -1`` and ``split_dim == -1``.
 
@@ -85,6 +225,8 @@ class KDTreeArrays:
     start: np.ndarray  #: node bounds: first position in ``indices``
     stop: np.ndarray  #: node bounds: one past the last position in ``indices``
     indices: np.ndarray  #: permutation of point indices, leaf buckets contiguous
+    bbox_min: np.ndarray  #: per-node coordinate-wise minimum, shape ``(nodes, d)``
+    bbox_max: np.ndarray  #: per-node coordinate-wise maximum, shape ``(nodes, d)``
 
     @property
     def node_count(self) -> int:
@@ -93,7 +235,7 @@ class KDTreeArrays:
 
     @property
     def nbytes(self) -> int:
-        """Total byte size of the seven arrays."""
+        """Total byte size of the nine arrays."""
         return int(sum(getattr(self, f.name).nbytes for f in fields(self)))
 
     def to_mapping(self, prefix: str = "") -> dict[str, np.ndarray]:
@@ -129,6 +271,11 @@ class KDTreeArrays:
             lo, hi = int(self.start[node]), int(self.stop[node])
             if not 0 <= lo < hi <= n:
                 raise ValueError(f"node {node} has invalid bounds [{lo}, {hi})")
+            node_coords = points[self.indices[lo:hi]]
+            if not np.array_equal(
+                self.bbox_min[node], node_coords.min(axis=0)
+            ) or not np.array_equal(self.bbox_max[node], node_coords.max(axis=0)):
+                raise ValueError(f"node {node} has an incorrect bounding box")
             if int(self.left[node]) == _NO_CHILD:
                 if int(self.right[node]) != _NO_CHILD:
                     raise ValueError(f"leaf {node} has a right child")
@@ -178,7 +325,7 @@ def _build_tree_arrays(points: np.ndarray, leaf_size: int) -> KDTreeArrays:
     n = points.shape[0]
     capacity = max(1, 2 * n)
     split_dim = np.full(capacity, -1, dtype=np.intp)
-    split_val = np.zeros(capacity, dtype=np.float64)
+    split_val = np.zeros(capacity, dtype=points.dtype)
     left = np.full(capacity, _NO_CHILD, dtype=np.intp)
     right = np.full(capacity, _NO_CHILD, dtype=np.intp)
     start = np.zeros(capacity, dtype=np.intp)
@@ -222,6 +369,25 @@ def _build_tree_arrays(points: np.ndarray, leaf_size: int) -> KDTreeArrays:
         return node
 
     build(0, n)
+
+    # Bounding boxes, bottom-up: leaves take the coordinate-wise extrema of
+    # their (now final) bucket slice; internal nodes merge their children.
+    # Preorder allocation guarantees children have larger ids than their
+    # parent, so one reverse sweep suffices.
+    dim = points.shape[1]
+    bbox_min = np.empty((n_nodes, dim), dtype=points.dtype)
+    bbox_max = np.empty((n_nodes, dim), dtype=points.dtype)
+    for node in range(n_nodes - 1, -1, -1):
+        child_left = left[node]
+        if child_left == _NO_CHILD:
+            coords = points[indices[start[node] : stop[node]]]
+            bbox_min[node] = coords.min(axis=0)
+            bbox_max[node] = coords.max(axis=0)
+        else:
+            child_right = right[node]
+            np.minimum(bbox_min[child_left], bbox_min[child_right], out=bbox_min[node])
+            np.maximum(bbox_max[child_left], bbox_max[child_right], out=bbox_max[node])
+
     return KDTreeArrays(
         split_dim=split_dim[:n_nodes].copy(),
         split_val=split_val[:n_nodes].copy(),
@@ -230,6 +396,8 @@ def _build_tree_arrays(points: np.ndarray, leaf_size: int) -> KDTreeArrays:
         start=start[:n_nodes].copy(),
         stop=stop[:n_nodes].copy(),
         indices=indices,
+        bbox_min=bbox_min,
+        bbox_max=bbox_max,
     )
 
 
@@ -245,6 +413,12 @@ class KDTree:
         fewer Python-level node visits and more vectorised work per leaf; the
         default of 32 is a good compromise for the 2--8 dimensional data used
         throughout the paper.
+    dtype:
+        Point-storage dtype, ``"float64"`` (default) or ``"float32"``.  With
+        ``"float32"`` the point matrix, split values and bounding boxes take
+        half the memory and cache traffic, and every engine computes
+        distances in float32 (results remain bit-for-bit consistent between
+        the scalar, batch and dual engines at either precision).
 
     Notes
     -----
@@ -253,8 +427,17 @@ class KDTree:
     Geometry], which is the bound the paper's Lemma 1 builds on.
     """
 
-    def __init__(self, points, leaf_size: int = 32, counter: WorkCounter | None = None):
-        self._points = check_points(points, name="points")
+    def __init__(
+        self,
+        points,
+        leaf_size: int = 32,
+        counter: WorkCounter | None = None,
+        *,
+        dtype: str = "float64",
+    ):
+        self._source_points = check_points(points, name="points")
+        self._dtype = check_storage_dtype(dtype)
+        self._points = np.ascontiguousarray(self._source_points, dtype=self._dtype)
         self._leaf_size = check_positive_int(leaf_size, "leaf_size")
         self._n, self._dim = self._points.shape
         #: Work counter accumulating distance evaluations and node visits
@@ -273,7 +456,13 @@ class KDTree:
         self._start_arr = arrays.start
         self._stop_arr = arrays.stop
         self._indices = arrays.indices
+        self._bbox_min_arr = arrays.bbox_min
+        self._bbox_max_arr = arrays.bbox_max
         self._root = 0
+        # Leaf-contiguous point copy of the dual-tree engine; materialised
+        # once per tree, on first use (see points_ordered).
+        self._ordered_cache: np.ndarray | None = None
+        self._terminal_cache: np.ndarray | None = None
 
     @classmethod
     def from_arrays(
@@ -289,20 +478,25 @@ class KDTree:
 
         ``points`` and ``arrays`` are adopted as-is (typically zero-copy views
         over a shared-memory segment attached by a worker process); no data is
-        copied and no O(n log n) build runs.  Pass ``validate=True`` to check
-        the structural invariants of ``arrays`` first.
+        copied and no O(n log n) build runs.  The storage dtype is inferred
+        from ``arrays`` (its split values carry the build dtype); ``points``
+        of a different dtype are cast once, which reproduces the exact storage
+        a fresh build with that dtype would hold.  Pass ``validate=True`` to
+        check the structural invariants of ``arrays`` first.
         """
-        points = np.asarray(points, dtype=np.float64)
-        if points.ndim != 2:
+        source = np.asarray(points, dtype=np.float64)
+        if source.ndim != 2:
             raise ValueError("points must be a 2-D array")
         tree = cls.__new__(cls)
-        tree._points = points
+        tree._dtype = check_storage_dtype(arrays.split_val.dtype.name)
+        tree._source_points = source
+        tree._points = np.ascontiguousarray(source, dtype=tree._dtype)
         tree._leaf_size = check_positive_int(leaf_size, "leaf_size")
-        tree._n, tree._dim = points.shape
+        tree._n, tree._dim = tree._points.shape
         tree.counter = counter if counter is not None else WorkCounter()
         tree._arrays = arrays
         if validate:
-            arrays.validate(points, tree._leaf_size)
+            arrays.validate(tree._points, tree._leaf_size)
         tree._bind_arrays()
         return tree
 
@@ -315,8 +509,39 @@ class KDTree:
 
     @property
     def points(self) -> np.ndarray:
-        """The indexed point set (read-only view)."""
+        """The indexed point set in storage dtype (read-only view)."""
         return self._points
+
+    @property
+    def source_points(self) -> np.ndarray:
+        """The float64 point set the tree was built from.
+
+        Identical to :attr:`points` for ``dtype="float64"`` trees; for
+        ``float32`` trees this is the original full-precision matrix (the
+        process backend shares it so worker-side scan kernels operating on
+        raw coordinates stay bit-for-bit equal to the in-process ones).
+        """
+        return self._source_points
+
+    @property
+    def dtype_name(self) -> str:
+        """Name of the point-storage dtype (``"float64"`` or ``"float32"``)."""
+        return self._dtype.name
+
+    @property
+    def points_ordered(self) -> np.ndarray:
+        """The points permuted into leaf-traversal order (cache-aware layout).
+
+        ``points_ordered[k] == points[arrays.indices[k]]``, so every tree
+        node's bucket is one *contiguous* slice ``[start, stop)`` of this
+        array.  The dual-tree kernels read their blocks straight out of these
+        slices -- sequential cache lines, no permutation gather.  Materialised
+        once per tree on first use; results are inverse-permuted back to the
+        caller's point order at the API edge.
+        """
+        if self._ordered_cache is None:
+            self._ordered_cache = np.ascontiguousarray(self._points[self._indices])
+        return self._ordered_cache
 
     @property
     def size(self) -> int:
@@ -341,15 +566,29 @@ class KDTree:
     def memory_bytes(self) -> int:
         """Approximate memory footprint of the index structure in bytes.
 
-        Counts the flattened node arrays and the permutation array but not the
-        point matrix itself (which is shared with the caller).
+        Counts the flattened node arrays (including bounding boxes), the
+        permutation array, and -- once materialised by a dual-tree query --
+        the leaf-ordered point copy, but not the point matrix itself (which
+        is shared with the caller).
         """
-        return self._arrays.nbytes
+        total = self._arrays.nbytes
+        if self._ordered_cache is not None:
+            total += self._ordered_cache.nbytes
+        return total
 
     # ---------------------------------------------------------------- queries
 
     def _is_leaf(self, node: int) -> bool:
         return self._left_arr[node] == _NO_CHILD
+
+    def _check_query(self, query) -> np.ndarray:
+        """Validate one query point and cast it to the storage dtype."""
+        query = np.asarray(query, dtype=self._dtype).reshape(-1)
+        if query.shape[0] != self._dim:
+            raise ValueError(
+                f"query has dimension {query.shape[0]}, expected {self._dim}"
+            )
+        return query
 
     def range_search(self, query, radius: float, strict: bool = True) -> np.ndarray:
         """Return the indices of all points within ``radius`` of ``query``.
@@ -364,11 +603,7 @@ class KDTree:
             When true (the default, matching Definition 1 of the paper) report
             points with ``dist < radius``; otherwise ``dist <= radius``.
         """
-        query = np.asarray(query, dtype=np.float64).reshape(-1)
-        if query.shape[0] != self._dim:
-            raise ValueError(
-                f"query has dimension {query.shape[0]}, expected {self._dim}"
-            )
+        query = self._check_query(query)
         radius = check_positive(radius, "radius")
         radius_sq = radius * radius
 
@@ -407,11 +642,7 @@ class KDTree:
         Equivalent to ``len(range_search(...))`` but avoids materialising the
         index list; this is the primitive used for local-density computation.
         """
-        query = np.asarray(query, dtype=np.float64).reshape(-1)
-        if query.shape[0] != self._dim:
-            raise ValueError(
-                f"query has dimension {query.shape[0]}, expected {self._dim}"
-            )
+        query = self._check_query(query)
         radius = check_positive(radius, "radius")
         radius_sq = radius * radius
 
@@ -470,11 +701,7 @@ class KDTree:
             ``(index, distance)``; ``index`` is ``-1`` and ``distance`` is
             ``inf`` when no eligible point exists.
         """
-        query = np.asarray(query, dtype=np.float64).reshape(-1)
-        if query.shape[0] != self._dim:
-            raise ValueError(
-                f"query has dimension {query.shape[0]}, expected {self._dim}"
-            )
+        query = self._check_query(query)
         if mask is not None:
             mask = np.asarray(mask, dtype=bool)
             if mask.shape[0] != self._n:
@@ -581,8 +808,12 @@ class KDTree:
     # ---------------------------------------------------------- batch queries
 
     def _check_query_batch(self, queries) -> np.ndarray:
-        """Validate a ``(q, d)`` query batch (a bare ``(d,)`` vector is promoted)."""
-        queries = np.asarray(queries, dtype=np.float64)
+        """Validate a ``(q, d)`` query batch (a bare ``(d,)`` vector is promoted).
+
+        Queries are cast to the storage dtype so every engine computes each
+        pair distance with identical arithmetic.
+        """
+        queries = np.asarray(queries, dtype=self._dtype)
         if queries.ndim == 1 and queries.shape[0] == self._dim:
             queries = queries.reshape(1, -1)
         if queries.size == 0:
@@ -921,6 +1152,558 @@ class KDTree:
                 raise ValueError("mask must have one entry per indexed point")
         best_idx, best_sq = self._knn_batch_impl(queries, 1, exclude, mask)
         return best_idx[:, 0], np.sqrt(best_sq[:, 0])
+
+    # ----------------------------------------------------- dual-tree queries
+
+    def _check_dual_partner(self, other: "KDTree") -> None:
+        """Validate that ``other`` can be joined against this tree."""
+        if not isinstance(other, KDTree):
+            raise TypeError("dual-tree joins require another KDTree")
+        if other._dim != self._dim:
+            raise ValueError(
+                f"query tree has dimension {other._dim}, expected {self._dim}"
+            )
+        if other._dtype != self._dtype:
+            raise ValueError(
+                f"query tree stores {other.dtype_name} but this tree stores "
+                f"{self.dtype_name}; build both with the same dtype"
+            )
+
+    @property
+    def _terminal(self) -> np.ndarray:
+        """Per-node flag: the dual traversal stops descending here.
+
+        A node is terminal when it is a leaf or holds at most ``_DUAL_BLOCK``
+        points; a pair of terminal nodes runs one blocked kernel over its two
+        contiguous slices.
+        """
+        if self._terminal_cache is None:
+            self._terminal_cache = (self._left_arr == _NO_CHILD) | (
+                self._stop_arr - self._start_arr <= _DUAL_BLOCK
+            )
+        return self._terminal_cache
+
+    def _pair_bounds_sq(
+        self, other: "KDTree", a: np.ndarray, b: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised min/max squared box distance for node pairs ``(a, b)``.
+
+        ``a`` indexes this tree's nodes, ``b`` indexes ``other``'s.  The
+        bounds are floating-point safe against the blocked kernels: each
+        per-dimension gap/span is one IEEE subtraction, squared and summed
+        with the same ``einsum`` reduction the kernels use, so by
+        monotonicity every computed pair distance in the block lies inside
+        ``[min_sq, max_sq]`` -- in float64 and float32 storage alike.
+        """
+        a_min = self._bbox_min_arr[a]
+        a_max = self._bbox_max_arr[a]
+        b_min = other._bbox_min_arr[b]
+        b_max = other._bbox_max_arr[b]
+        gap = np.maximum(b_min - a_max, a_min - b_max)
+        np.maximum(gap, 0.0, out=gap)
+        span = np.maximum(b_max - a_min, a_max - b_min)
+        min_sq = np.einsum("md,md->m", gap, gap)
+        max_sq = np.einsum("md,md->m", span, span)
+        return min_sq, max_sq
+
+    def _self_kernel_blocks(
+        self,
+        kernel_a: np.ndarray,
+        kernel_b: np.ndarray,
+        radius_sq: float,
+        strict: bool,
+        counts: np.ndarray,
+    ) -> None:
+        """Blocked distance kernels of the self-join, grouped by query node.
+
+        All data blocks joined against the same query node are concatenated
+        (contiguous slices of :attr:`points_ordered`) and answered with one
+        ``diff``-then-``einsum`` evaluation; the column sums then credit each
+        off-diagonal partner in the symmetric direction.  Per-pair arithmetic
+        is unchanged by the grouping -- each pair's distances occupy their
+        own columns of the group matrix.
+        """
+        order = np.argsort(kernel_a, kind="stable")
+        ka = kernel_a[order]
+        kb = kernel_b[order]
+        ordered = self.points_ordered
+        start, stop = self._start_arr, self._stop_arr
+        dim = self._dim
+        n_pairs = ka.size
+
+        # Group structure (one group per distinct query node), fully
+        # vectorised: first-pair index, pair count, total partner width.
+        group_first = np.flatnonzero(np.r_[True, ka[1:] != ka[:-1]])
+        pair_counts = np.diff(np.r_[group_first, n_pairs])
+        q_nodes = ka[group_first]
+        pair_w = stop[kb] - start[kb]
+        g_width = np.add.reduceat(pair_w, group_first)
+        q_lo, q_hi = start[q_nodes], stop[q_nodes]
+        q_n = q_hi - q_lo
+
+        # Reorder the groups by total partner width (tight padding within a
+        # mega-batch) and lay their pairs out contiguously in that order.
+        g_order = np.argsort(g_width, kind="stable")
+        _, pair_src = _ragged_copy_indices(
+            np.r_[0, np.cumsum(pair_counts[g_order])[:-1]],
+            group_first[g_order],
+            pair_counts[g_order],
+        )
+        kb = kb[pair_src]
+        pair_w = pair_w[pair_src]
+        pair_counts = pair_counts[g_order]
+        q_nodes = q_nodes[g_order]
+        q_lo, q_hi, q_n = q_lo[g_order], q_hi[g_order], q_n[g_order]
+        g_width = g_width[g_order]
+        group_first = np.r_[0, np.cumsum(pair_counts)[:-1]]
+        n_groups = q_nodes.size
+        pair_group = np.repeat(np.arange(n_groups, dtype=np.intp), pair_counts)
+        # In-group exclusive width offset of every pair (its column base).
+        pair_off = (np.cumsum(pair_w) - pair_w) - np.repeat(
+            np.r_[0, np.cumsum(g_width)[:-1]], pair_counts
+        )
+
+        # Every product is an integer below 2**53, so this float sum is exact
+        # and independent of chunking -- serial and process backends report
+        # identical work counters.
+        self.counter.add(
+            "distance_calcs",
+            float(np.dot(q_n.astype(np.float64), g_width.astype(np.float64))),
+        )
+
+        # Mega-batch the groups: several groups are padded (queries and data
+        # alike) with +inf rows into one (groups, q, j, d) block and answered
+        # by a single 4-D einsum -- bit-identical per group to the 3-D kernel
+        # (verified by the property suite) -- while the padded pair distances
+        # come out inf/nan and never satisfy the radius test.  Fills and
+        # credits run as ragged gathers/scatters, no per-group Python.
+        budget = _DUAL_BATCH_BUDGET
+        pos = 0
+        while pos < n_groups:
+            q_pad = int(q_n[pos])
+            w_pad = int(g_width[pos])
+            end = pos + 1
+            while end < n_groups:
+                q_next = max(q_pad, int(q_n[end]))
+                w_next = max(w_pad, int(g_width[end]))
+                if (end - pos + 1) * q_next * w_next * dim > budget:
+                    break
+                q_pad, w_pad = q_next, w_next
+                end += 1
+            rows = end - pos
+            p0 = group_first[pos]
+            p1 = group_first[end] if end < n_groups else n_pairs
+
+            dest_q, src_q = _ragged_copy_indices(
+                np.arange(rows, dtype=np.intp) * q_pad, q_lo[pos:end], q_n[pos:end]
+            )
+            q_block = np.full((rows * q_pad, dim), np.inf, dtype=ordered.dtype)
+            q_block[dest_q] = ordered[src_q]
+
+            dest_base = (pair_group[p0:p1] - pos) * w_pad + pair_off[p0:p1]
+            dest_d, src_d = _ragged_copy_indices(
+                dest_base, start[kb[p0:p1]], pair_w[p0:p1]
+            )
+            d_block = np.full((rows * w_pad, dim), np.inf, dtype=ordered.dtype)
+            d_block[dest_d] = ordered[src_d]
+
+            with np.errstate(invalid="ignore", over="ignore"):
+                d_sq = _block_pair_distances_sq(
+                    q_block.reshape(rows, q_pad, dim),
+                    d_block.reshape(rows, w_pad, dim),
+                )
+                hits = d_sq < radius_sq if strict else d_sq <= radius_sq
+            row_hits = np.count_nonzero(hits, axis=2).reshape(rows * q_pad)
+            col_hits = np.count_nonzero(hits, axis=1).reshape(rows * w_pad)
+            # Row credits: query nodes are distinct, their position slices
+            # disjoint, so a fancy-index add is safe.
+            counts[src_q] += row_hits[dest_q]
+            # Column credits (the symmetric direction): a data node can
+            # partner several query nodes, so accumulate with add.at; the
+            # diagonal blocks are already covered by their row sums.
+            nondiag = kb[p0:p1] != np.repeat(q_nodes[pos:end], pair_counts[pos:end])
+            if nondiag.any():
+                cred_dest, cred_src = _ragged_copy_indices(
+                    dest_base[nondiag],
+                    start[kb[p0:p1][nondiag]],
+                    pair_w[p0:p1][nondiag],
+                )
+                np.add.at(counts, cred_src, col_hits[cred_dest])
+            pos = end
+
+    def _dual_self_pairs(
+        self, pairs, radius_sq: float, strict: bool, counts: np.ndarray
+    ) -> None:
+        """Symmetric self-join over node ``pairs``; counts in position space.
+
+        The traversal is breadth-first and fully vectorised per level: one
+        bounds evaluation classifies every live pair as excluded, included
+        (credited in O(1)), a blocked kernel, or descending.  Every unordered
+        node pair ``{a, b}`` is visited at most once; off-diagonal blocks
+        credit both directions from one distance matrix (``(a-b)^2`` equals
+        ``(b-a)^2`` bit for bit), diagonal blocks count the full in-block
+        matrix including the zero self-distance, matching the batch engine
+        (a point lies inside its own ball).
+        """
+        pair_arr = np.asarray(pairs, dtype=np.intp).reshape(-1, 2)
+        if pair_arr.size == 0:
+            return
+        start, stop = self._start_arr, self._stop_arr
+        left, right = self._left_arr, self._right_arr
+        terminal = self._terminal
+        a_nodes = pair_arr[:, 0]
+        b_nodes = pair_arr[:, 1]
+        kernel_a_parts: list[np.ndarray] = []
+        kernel_b_parts: list[np.ndarray] = []
+        while a_nodes.size:
+            min_sq, max_sq = self._pair_bounds_sq(self, a_nodes, b_nodes)
+            if strict:
+                excluded = min_sq >= radius_sq
+                included = max_sq < radius_sq
+            else:
+                excluded = min_sq > radius_sq
+                included = max_sq <= radius_sq
+            diagonal = a_nodes == b_nodes
+            size_a = stop[a_nodes] - start[a_nodes]
+            size_b = stop[b_nodes] - start[b_nodes]
+            for i in np.flatnonzero(included):
+                a, b = a_nodes[i], b_nodes[i]
+                counts[start[a] : stop[a]] += size_b[i]
+                if not diagonal[i]:
+                    counts[start[b] : stop[b]] += size_a[i]
+            live = ~(excluded | included)
+            # Terminal x terminal pairs are deferred and grouped by query
+            # node once the traversal finishes, so every terminal node runs
+            # one blocked kernel against all of its partners.
+            kernel = live & terminal[a_nodes] & terminal[b_nodes]
+            if kernel.any():
+                kernel_a_parts.append(a_nodes[kernel])
+                kernel_b_parts.append(b_nodes[kernel])
+            descend = live & ~kernel
+            if not descend.any():
+                break
+            # Diagonal pairs expand into both children plus the cross pair;
+            # off-diagonal pairs descend the larger (non-terminal) side.
+            diag = a_nodes[descend & diagonal]
+            off = descend & ~diagonal
+            off_a, off_b = a_nodes[off], b_nodes[off]
+            go_b = terminal[off_a] | (~terminal[off_b] & (size_b[off] > size_a[off]))
+            ba, bb = off_a[go_b], off_b[go_b]
+            aa, ab = off_a[~go_b], off_b[~go_b]
+            a_nodes = np.concatenate(
+                [left[diag], right[diag], left[diag], ba, ba, left[aa], right[aa]]
+            )
+            b_nodes = np.concatenate(
+                [left[diag], right[diag], right[diag], left[bb], right[bb], ab, ab]
+            )
+        if kernel_a_parts:
+            self._self_kernel_blocks(
+                np.concatenate(kernel_a_parts),
+                np.concatenate(kernel_b_parts),
+                radius_sq,
+                strict,
+                counts,
+            )
+
+    def _scatter_counts(self, counts_pos: np.ndarray) -> np.ndarray:
+        """Inverse-permute position-space counts back to caller point order."""
+        out = np.empty_like(counts_pos)
+        out[self._indices] = counts_pos
+        return out
+
+    def range_count_dual(self, radius, strict: bool = True) -> np.ndarray:
+        """Count, for every indexed point, the points within ``radius`` of it.
+
+        One simultaneous traversal of the tree against itself replaces the
+        ``n`` per-point traversals of ``range_count_batch(points, radius)``
+        and returns the identical counts (bit for bit; property-tested).
+        This is the ``engine="dual"`` density primitive.
+        """
+        radius = check_positive(radius, "radius")
+        radius_sq = radius * radius
+        counts = np.zeros(self._n, dtype=np.intp)
+        self._dual_self_pairs([(self._root, self._root)], radius_sq, strict, counts)
+        return self._scatter_counts(counts)
+
+    def dual_self_frontier(
+        self, radius, strict: bool = True, target_pairs: int = DUAL_FRONTIER_TARGET
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Expand the self-join into independent node-pair work units.
+
+        Returns ``(pairs, base_counts)``: an ``(m, 2)`` array of node pairs
+        whose traversals are mutually independent, plus the counts already
+        credited (in caller point order) by inclusion/exclusion decisions
+        taken during the expansion.  Summing ``base_counts`` with the
+        :meth:`range_count_dual_pairs` contributions of *all* pairs -- in any
+        grouping, on any backend -- reproduces :meth:`range_count_dual`
+        exactly, including the distance-calculation counters: the expansion
+        is deterministic and independent of the worker count.
+        """
+        radius = check_positive(radius, "radius")
+        radius_sq = radius * radius
+        target_pairs = check_positive_int(target_pairs, "target_pairs")
+        counts = np.zeros(self._n, dtype=np.intp)
+        start, stop = self._start_arr, self._stop_arr
+        left, right = self._left_arr, self._right_arr
+        terminal = self._terminal
+        seq = 0
+        root = self._root
+        size = int(stop[root] - start[root])
+        heap: list[tuple[int, int, int, int]] = [(-size * size, seq, root, root)]
+        done: list[tuple[int, int]] = []
+        pair_buf = np.empty(1, dtype=np.intp)
+        pair_buf_b = np.empty(1, dtype=np.intp)
+        while heap and len(heap) + len(done) < target_pairs:
+            _, _, a, b = heapq.heappop(heap)
+            sa, ea = start[a], stop[a]
+            sb, eb = start[b], stop[b]
+            na, nb = int(ea - sa), int(eb - sb)
+            pair_buf[0] = a
+            pair_buf_b[0] = b
+            min_arr, max_arr = self._pair_bounds_sq(self, pair_buf, pair_buf_b)
+            min_sq, max_sq = float(min_arr[0]), float(max_arr[0])
+            if a != b and ((min_sq >= radius_sq) if strict else (min_sq > radius_sq)):
+                continue
+            if (max_sq < radius_sq) if strict else (max_sq <= radius_sq):
+                if a == b:
+                    counts[sa:ea] += na
+                else:
+                    counts[sa:ea] += nb
+                    counts[sb:eb] += na
+                continue
+            term_a = bool(terminal[a])
+            term_b = bool(terminal[b])
+            if a == b:
+                if term_a:
+                    done.append((a, b))
+                    continue
+                la, ra = int(left[a]), int(right[a])
+                children = [(la, la), (ra, ra), (la, ra)]
+            elif term_a and term_b:
+                done.append((a, b))
+                continue
+            elif term_a or (not term_b and nb > na):
+                children = [(a, int(left[b])), (a, int(right[b]))]
+            else:
+                children = [(int(left[a]), b), (int(right[a]), b)]
+            for ca, cb in children:
+                wa = int(stop[ca] - start[ca])
+                wb = int(stop[cb] - start[cb])
+                seq += 1
+                heapq.heappush(heap, (-wa * wb, seq, ca, cb))
+        pairs = done + [(a, b) for _, _, a, b in heap]
+        pairs.sort()
+        pairs_arr = np.asarray(pairs, dtype=np.intp).reshape(-1, 2)
+        return pairs_arr, self._scatter_counts(counts)
+
+    def range_count_dual_pairs(
+        self, pairs, radius, strict: bool = True
+    ) -> np.ndarray:
+        """Self-join count contribution (caller point order) of some pairs.
+
+        ``pairs`` is a subset of the work units produced by
+        :meth:`dual_self_frontier`; this is the kernel the parallel backends
+        ship to workers.
+        """
+        radius = check_positive(radius, "radius")
+        counts = np.zeros(self._n, dtype=np.intp)
+        self._dual_self_pairs(pairs, radius * radius, strict, counts)
+        return self._scatter_counts(counts)
+
+    def range_count_dual_vs(self, queries_tree: "KDTree", radius, strict: bool = True) -> np.ndarray:
+        """Count this tree's points within ``radius`` of every query point.
+
+        ``queries_tree`` is a :class:`KDTree` over the query points (built
+        with the same dtype); the result -- one count per query, in the
+        query tree's original point order -- is bit-for-bit identical to
+        ``range_count_batch(queries_tree.points, radius)``.  This is the
+        join ``predict`` and the streaming layer use to score new points
+        against a fitted tree.
+        """
+        self._check_dual_partner(queries_tree)
+        radius = check_positive(radius, "radius")
+        radius_sq = radius * radius
+        qt = queries_tree
+        counts = np.zeros(qt._n, dtype=np.intp)
+
+        def on_included(a: int, b: int) -> None:
+            counts[qt._start_arr[a] : qt._stop_arr[a]] += (
+                self._stop_arr[b] - self._start_arr[b]
+            )
+
+        def on_kernel_group(a: int, partners: np.ndarray) -> None:
+            sa, ea = qt._start_arr[a], qt._stop_arr[a]
+            data = self._gather_blocks(partners)
+            diff = qt.points_ordered[sa:ea, None, :] - data[None, :, :]
+            d_sq = np.einsum("qjd,qjd->qj", diff, diff)
+            hits = d_sq < radius_sq if strict else d_sq <= radius_sq
+            counts[sa:ea] += hits.sum(axis=1)
+            self.counter.add("distance_calcs", float(ea - sa) * float(data.shape[0]))
+
+        self._dual_vs_traverse(
+            qt,
+            lambda _a, min_sq: (min_sq >= radius_sq) if strict else (min_sq > radius_sq),
+            lambda _a, max_sq: (max_sq < radius_sq) if strict else (max_sq <= radius_sq),
+            on_included,
+            on_kernel_group,
+        )
+        return qt._scatter_counts(counts)
+
+    def _gather_blocks(self, nodes: np.ndarray) -> np.ndarray:
+        """Concatenate the contiguous ordered-point slices of ``nodes``."""
+        start, stop = self._start_arr, self._stop_arr
+        ordered = self.points_ordered
+        if nodes.size == 1:
+            node = nodes[0]
+            return ordered[start[node] : stop[node]]
+        return np.concatenate([ordered[start[b] : stop[b]] for b in nodes])
+
+    def _dual_vs_traverse(
+        self, qt: "KDTree", is_excluded, is_included, on_included, on_kernel_group
+    ) -> None:
+        """Breadth-first vectorised pair traversal of ``qt`` against ``self``.
+
+        ``is_excluded(a_nodes, min_sq)`` / ``is_included(a_nodes, max_sq)``
+        receive the level's query node ids and vectorised node-pair bounds
+        (the ids matter for per-query radii); ``on_included(a, b)`` handles
+        one credited pair and ``on_kernel_group(a, partners)`` one query node
+        with every data node it reached, so implementations can answer the
+        whole group with a single blocked kernel.
+        """
+        if qt._n == 0 or self._n == 0:
+            return
+        q_start, q_stop = qt._start_arr, qt._stop_arr
+        q_left, q_right = qt._left_arr, qt._right_arr
+        d_start, d_stop = self._start_arr, self._stop_arr
+        d_left, d_right = self._left_arr, self._right_arr
+        q_terminal = qt._terminal
+        d_terminal = self._terminal
+        a_nodes = np.asarray([qt._root], dtype=np.intp)
+        b_nodes = np.asarray([self._root], dtype=np.intp)
+        kernel_a_parts: list[np.ndarray] = []
+        kernel_b_parts: list[np.ndarray] = []
+        while a_nodes.size:
+            min_sq, max_sq = qt._pair_bounds_sq(self, a_nodes, b_nodes)
+            excluded = is_excluded(a_nodes, min_sq)
+            included = is_included(a_nodes, max_sq)
+            for i in np.flatnonzero(included):
+                on_included(a_nodes[i], b_nodes[i])
+            live = ~(excluded | included)
+            kernel = live & q_terminal[a_nodes] & d_terminal[b_nodes]
+            if kernel.any():
+                kernel_a_parts.append(a_nodes[kernel])
+                kernel_b_parts.append(b_nodes[kernel])
+            descend = live & ~kernel
+            if not descend.any():
+                break
+            off_a, off_b = a_nodes[descend], b_nodes[descend]
+            size_a = q_stop[off_a] - q_start[off_a]
+            size_b = d_stop[off_b] - d_start[off_b]
+            go_b = q_terminal[off_a] | (~d_terminal[off_b] & (size_b > size_a))
+            ba, bb = off_a[go_b], off_b[go_b]
+            aa, ab = off_a[~go_b], off_b[~go_b]
+            a_nodes = np.concatenate([ba, ba, q_left[aa], q_right[aa]])
+            b_nodes = np.concatenate([d_left[bb], d_right[bb], ab, ab])
+        if kernel_a_parts:
+            ka = np.concatenate(kernel_a_parts)
+            kb = np.concatenate(kernel_b_parts)
+            order = np.argsort(ka, kind="stable")
+            ka, kb = ka[order], kb[order]
+            for lo, hi in _group_boundaries(ka):
+                on_kernel_group(ka[lo], kb[lo:hi])
+
+    def range_search_dual_vs(
+        self, queries_tree: "KDTree", radius, strict: bool = True
+    ) -> list[np.ndarray]:
+        """Dual-tree counterpart of :meth:`range_search_batch`.
+
+        Returns one ascending index array per query point (in the query
+        tree's original point order) holding exactly the same hit sets as
+        ``range_search_batch(queries_tree.points, radius)``.  ``radius`` may
+        be a scalar or one radius per query (aligned with the query tree's
+        original point order) -- the per-query form is what Approx-DPC's
+        joint range search uses.  Included node pairs materialise their hits
+        straight from the permutation slices without computing distances.
+        """
+        self._check_dual_partner(queries_tree)
+        qt = queries_tree
+        n_q = qt._n
+        radius_sq = qt._check_radius_sq_batch(radius, n_q)
+        # Per-position squared radii plus per-node min/max bounds on the
+        # query side (an included pair must fit the *smallest* radius in the
+        # query node, an excluded pair must miss the *largest*).
+        r_sq_pos = radius_sq[qt._indices]
+        node_count = qt.node_count
+        rmin = np.empty(node_count, dtype=np.float64)
+        rmax = np.empty(node_count, dtype=np.float64)
+        q_start, q_stop, q_left, q_right = (
+            qt._start_arr, qt._stop_arr, qt._left_arr, qt._right_arr,
+        )
+        for node in range(node_count - 1, -1, -1):
+            child = q_left[node]
+            if child == _NO_CHILD:
+                block = r_sq_pos[q_start[node] : q_stop[node]]
+                rmin[node] = block.min()
+                rmax[node] = block.max()
+            else:
+                other = q_right[node]
+                rmin[node] = min(rmin[child], rmin[other])
+                rmax[node] = max(rmax[child], rmax[other])
+
+        d_start, d_stop = self._start_arr, self._stop_arr
+        d_indices = self._indices
+        hit_q: list[np.ndarray] = []
+        hit_p: list[np.ndarray] = []
+
+        def on_included(a: int, b: int) -> None:
+            sa, ea = q_start[a], q_stop[a]
+            sb, eb = d_start[b], d_stop[b]
+            hit_q.append(np.repeat(np.arange(sa, ea, dtype=np.intp), eb - sb))
+            hit_p.append(np.tile(d_indices[sb:eb], ea - sa))
+
+        def on_kernel_group(a: int, partners: np.ndarray) -> None:
+            sa, ea = q_start[a], q_stop[a]
+            data = self._gather_blocks(partners)
+            data_idx = (
+                d_indices[d_start[partners[0]] : d_stop[partners[0]]]
+                if partners.size == 1
+                else np.concatenate(
+                    [d_indices[d_start[b] : d_stop[b]] for b in partners]
+                )
+            )
+            diff = qt.points_ordered[sa:ea, None, :] - data[None, :, :]
+            d_sq = np.einsum("qjd,qjd->qj", diff, diff)
+            bound = r_sq_pos[sa:ea, None]
+            hits = d_sq < bound if strict else d_sq <= bound
+            self.counter.add("distance_calcs", float(ea - sa) * float(data.shape[0]))
+            rows, cols = np.nonzero(hits)
+            if rows.size:
+                hit_q.append(sa + rows.astype(np.intp))
+                hit_p.append(data_idx[cols])
+
+        if strict:
+            is_excluded = lambda a_nodes, min_sq: min_sq >= rmax[a_nodes]
+            is_included = lambda a_nodes, max_sq: max_sq < rmin[a_nodes]
+        else:
+            is_excluded = lambda a_nodes, min_sq: min_sq > rmax[a_nodes]
+            is_included = lambda a_nodes, max_sq: max_sq <= rmin[a_nodes]
+        self._dual_vs_traverse(qt, is_excluded, is_included, on_included, on_kernel_group)
+
+        results: list[np.ndarray] = [np.empty(0, dtype=np.intp) for _ in range(n_q)]
+        if not hit_q:
+            return results
+        all_q = np.concatenate(hit_q)
+        all_p = np.concatenate(hit_p)
+        order = np.argsort(all_q, kind="stable")
+        all_q = all_q[order]
+        all_p = all_p[order]
+        boundaries = np.searchsorted(all_q, np.arange(n_q + 1))
+        q_indices = qt._indices
+        for position in range(n_q):
+            lo, hi = boundaries[position], boundaries[position + 1]
+            if hi > lo:
+                results[q_indices[position]] = np.sort(all_p[lo:hi])
+        return results
 
 
 class _IncNode:

@@ -48,6 +48,7 @@ __all__ = [
     "worker_context",
     "execute_chunk",
     "kernel_range_count",
+    "kernel_dual_self_count",
     "kernel_joint_density",
     "kernel_picked_density",
     "kernel_partitioned_dependency",
@@ -109,8 +110,15 @@ class ChunkTask:
 
 
 def pack_tree_arrays(tree) -> dict[str, np.ndarray]:
-    """Flatten a :class:`~repro.index.kdtree.KDTree` (plus its points) for a bundle."""
-    mapping = {"points": tree.points}
+    """Flatten a :class:`~repro.index.kdtree.KDTree` (plus its points) for a bundle.
+
+    ``points`` is always the float64 source matrix (identical to the tree's
+    storage for float64 trees): scan kernels operating on raw coordinates
+    must see the same values as the in-process code paths.  Workers rebuild
+    the tree's storage dtype from the shared split values
+    (:meth:`KDTree.from_arrays` casts once per worker for float32 trees).
+    """
+    mapping = {"points": tree.source_points}
     mapping.update(tree.arrays.to_mapping(prefix=_TREE_PREFIX))
     mapping[_TREE_PREFIX + "leaf_size"] = np.asarray([tree.leaf_size], dtype=np.intp)
     return mapping
@@ -188,6 +196,26 @@ def kernel_range_count(ctx, payload, chunk):
         tree,
         lambda: tree.range_count_batch(
             ctx.points[chunk], payload["d_cut"], strict=True
+        ),
+    )
+    return counts, delta
+
+
+def kernel_dual_self_count(ctx, payload, chunk):
+    """Ex-DPC dual-engine density: one slice of the self-join pair frontier.
+
+    The payload carries the (tiny) node-pair array of this chunk; the tree
+    and points come from shared memory.  Returns the full-length count
+    contribution of the chunk's pairs -- the parent sums the contributions
+    with the frontier's base credits, reproducing the serial self-join
+    bit for bit, work counters included (the frontier decomposition is
+    deterministic and independent of chunking).
+    """
+    tree = ctx.tree
+    counts, delta = _tree_delta(
+        tree,
+        lambda: tree.range_count_dual_pairs(
+            payload["pairs"], payload["d_cut"], strict=True
         ),
     )
     return counts, delta

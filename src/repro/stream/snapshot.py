@@ -45,7 +45,10 @@ from repro.utils.counters import WorkCounter
 __all__ = ["MODEL_FORMAT_VERSION", "SNAPSHOT_ALGORITHMS", "save_model", "load_model"]
 
 #: Snapshot format version; bump on any incompatible layout change.
-MODEL_FORMAT_VERSION = 1
+#: Version 2 added the per-node bounding boxes of the dual-tree engine
+#: (``tree.bbox_min`` / ``tree.bbox_max``) and float32 tree storage (the
+#: split values carry the storage dtype; points stay float64 on disk).
+MODEL_FORMAT_VERSION = 2
 
 _TREE_PREFIX = "tree."
 

@@ -95,6 +95,13 @@ class StreamingDPC:
         meant for tests and debugging, not production).
     repair_chunk:
         Dirty points processed per vectorised repair block.
+    engine:
+        Query engine of the wrapped Ex-DPC (``"scalar"``, ``"batch"`` or
+        ``"dual"``; ``None`` reads ``REPRO_DEFAULT_ENGINE``).  With
+        ``"dual"`` the amortized rebuilds run the density phase as a
+        dual-tree self-join and :meth:`predict` joins new points against the
+        window tree with one simultaneous traversal -- results are
+        bit-for-bit identical on every engine.
 
     Attributes
     ----------
@@ -120,7 +127,11 @@ class StreamingDPC:
         min_rebuild: int = 64,
         refit_equivalence: bool = False,
         repair_chunk: int = 256,
+        engine: str | None = None,
     ):
+        from repro.core.framework import resolve_engine
+
+        self.engine = resolve_engine(engine)
         self.d_cut = check_positive(d_cut, "d_cut")
         if window_size is not None:
             window_size = check_positive_int(window_size, "window_size")
@@ -171,6 +182,7 @@ class StreamingDPC:
             leaf_size=self.leaf_size,
             backend="serial",
             record_costs=False,
+            engine=self.engine,
         )
 
     def _check_fitted(self) -> None:

@@ -44,9 +44,20 @@ def euclidean(a: np.ndarray, b: np.ndarray) -> float:
 
 
 def point_to_points_sq(point: np.ndarray, points: np.ndarray) -> np.ndarray:
-    """Return squared Euclidean distances from ``point`` to every row of ``points``."""
-    point = np.asarray(point, dtype=np.float64)
-    points = np.asarray(points, dtype=np.float64)
+    """Return squared Euclidean distances from ``point`` to every row of ``points``.
+
+    Floating-point inputs keep their dtype (so float32 kd-tree storage is
+    compared with float32 arithmetic, matching the batch and dual engines
+    bit for bit); anything else is promoted to float64.
+    """
+    point = np.asarray(point)
+    points = np.asarray(points)
+    if point.dtype not in (np.float32, np.float64) or points.dtype not in (
+        np.float32,
+        np.float64,
+    ):
+        point = np.asarray(point, dtype=np.float64)
+        points = np.asarray(points, dtype=np.float64)
     if points.ndim == 1:
         points = points.reshape(1, -1)
     diff = points - point

@@ -90,7 +90,7 @@ def test_backends_bitwise_equal(cls, extra, points, d_cut):
 
 
 @pytest.mark.parametrize("cls,extra", ALGORITHMS)
-@pytest.mark.parametrize("engine", ["batch", "scalar"])
+@pytest.mark.parametrize("engine", ["batch", "scalar", "dual"])
 def test_backends_equal_on_syn(cls, extra, engine):
     """Moderate Syn dataset: every backend and engine agrees bit for bit."""
     points, _ = generate_syn(n_points=400, seed=7)

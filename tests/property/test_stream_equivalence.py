@@ -76,7 +76,19 @@ class TestRefitEquivalence:
                 size = min(size, stream.n_points - 2)
                 if size <= 0:
                     continue
-                stream.evict_oldest(size)
+                try:
+                    stream.evict_oldest(size)
+                except ValueError as error:
+                    # Eviction can legitimately leave no selectable center
+                    # (every candidate falls under rho_min); the equivalence
+                    # contract then is that a cold fit of the same window
+                    # refuses identically.
+                    if "no cluster centers selected" not in str(error):
+                        raise
+                    window = stream._points[: stream._n].copy()
+                    with pytest.raises(ValueError, match="no cluster centers"):
+                        _cold_labels(window, rho_min)
+                    return
             else:  # landmark mode: update == insert
                 stream.insert(_points(rng, size))
         np.testing.assert_array_equal(

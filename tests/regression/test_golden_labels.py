@@ -25,7 +25,7 @@ import pytest
 from repro.core import ApproxDPC, ExDPC, SApproxDPC
 from repro.data import generate_blobs, generate_syn
 
-ENGINES = ["batch", "scalar"]
+ENGINES = ["batch", "scalar", "dual"]
 
 #: Labels encoded one character per point; ``n`` marks noise (-1).
 GOLDEN_BLOBS = (
@@ -117,15 +117,16 @@ def test_syn_exercises_exact_fallback(syn_points, name):
     assert int(result.exact_dependency_mask_.sum()) > 0
 
 
+@pytest.mark.parametrize("other_engine", ["scalar", "dual"])
 @pytest.mark.parametrize("name", ["Ex-DPC", "Approx-DPC", "S-Approx-DPC"])
-def test_engines_agree_on_full_result(syn_points, name):
-    """Batch and scalar engines agree on every per-point output, not just labels."""
+def test_engines_agree_on_full_result(syn_points, name, other_engine):
+    """Every engine agrees on every per-point output, not just labels."""
     batch = syn_model(name, "batch").fit(syn_points)
-    scalar = syn_model(name, "scalar").fit(syn_points)
-    np.testing.assert_array_equal(batch.labels_, scalar.labels_)
-    np.testing.assert_array_equal(batch.rho_raw_, scalar.rho_raw_)
-    np.testing.assert_array_equal(batch.dependent_, scalar.dependent_)
-    np.testing.assert_array_equal(batch.delta_, scalar.delta_)
+    other = syn_model(name, other_engine).fit(syn_points)
+    np.testing.assert_array_equal(batch.labels_, other.labels_)
+    np.testing.assert_array_equal(batch.rho_raw_, other.rho_raw_)
+    np.testing.assert_array_equal(batch.dependent_, other.dependent_)
+    np.testing.assert_array_equal(batch.delta_, other.delta_)
     np.testing.assert_array_equal(
-        batch.exact_dependency_mask_, scalar.exact_dependency_mask_
+        batch.exact_dependency_mask_, other.exact_dependency_mask_
     )

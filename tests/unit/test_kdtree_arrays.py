@@ -70,6 +70,8 @@ class TestConstructionInvariants:
             start=arrays.start,
             stop=arrays.stop,
             indices=arrays.indices[::-1].copy(),
+            bbox_min=arrays.bbox_min,
+            bbox_max=arrays.bbox_max,
         )
         broken.indices[0] = broken.indices[1]  # no longer a permutation
         with pytest.raises(ValueError):
@@ -106,7 +108,10 @@ class TestFromArrays:
         tree = KDTree(_random_points(80, 3), leaf_size=8)
         mapping = tree.arrays.to_mapping(prefix="tree.")
         rebuilt = KDTreeArrays.from_mapping(mapping, prefix="tree.")
-        for name in ("split_dim", "split_val", "left", "right", "start", "stop", "indices"):
+        for name in (
+            "split_dim", "split_val", "left", "right", "start", "stop",
+            "indices", "bbox_min", "bbox_max",
+        ):
             np.testing.assert_array_equal(
                 getattr(rebuilt, name), getattr(tree.arrays, name)
             )
