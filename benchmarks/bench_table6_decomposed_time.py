@@ -11,9 +11,14 @@ reduced cardinalities, the bench reports *both* wall-clock seconds and the
 hardware-independent distance-computation counts; the counts reproduce the
 paper's ordering exactly (see EXPERIMENTS.md).
 
+Since the unified nearest-denser join layer, *both* decomposed phases are
+engine-split: every engine row reports its own density ("rho comp.") and
+dependency ("delta comp.") times and distance counts, so the Table 6
+decompositions stay comparable across engines.
+
 Run the full table with ``python benchmarks/bench_table6_decomposed_time.py``;
-pass ``--engine {scalar,batch,both}`` to select the query engine(s) of the
-proposed algorithms (see docs/performance.md), ``--backend
+pass ``--engine {scalar,batch,dual,both,all}`` to select the query engine(s)
+of the proposed algorithms (see docs/performance.md), ``--backend
 {serial,thread,process}`` with ``--n-jobs`` to measure the decomposed times
 on a real execution backend (see docs/parallel.md), and ``--json PATH`` to
 dump the rows for the perf trajectory.
@@ -152,11 +157,14 @@ def main() -> None:
         "Paper shape: Scan/CFSFDP-A pay quadratic work in both phases;"
         " Ex-DPC cuts both by orders of magnitude; Approx-DPC and S-Approx-DPC"
         " cut them further.  The distance-computation columns reproduce that"
-        " ordering exactly; the batch engine lowers the wall-clock columns of"
-        " the proposed algorithms while the range-query counts (the rho"
-        " column) stay identical.  Dependency counts can differ marginally"
-        " between engines because nearest-neighbour pruning depends on"
-        " traversal order (see docs/performance.md)."
+        " ordering exactly.  Both decomposed phases are engine-split: the"
+        " density columns compare the scalar/batch/dual range-count engines"
+        " and the delta columns compare the unified nearest-denser join's"
+        " strategies (incremental tree / partitioned search / dual join)."
+        "  Results are bit-identical across engines; the distance counts"
+        " differ per engine because each strategy visits different"
+        " candidates -- that difference IS the decomposition being compared"
+        " (see docs/performance.md)."
     )
     if args.json:
         with open(args.json, "w") as handle:

@@ -33,6 +33,7 @@ import numpy as np
 from repro import __version__
 from repro.bench.runners import ALGORITHM_BUILDERS, ENGINE_AWARE_ALGORITHMS
 from repro.bench.workloads import load_workload
+from repro.core.framework import ENGINE_CHOICES
 from repro.io import load_model, load_points, save_model, save_points, save_result
 
 __all__ = ["main", "build_parser"]
@@ -94,11 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster.add_argument(
         "--engine",
-        choices=["scalar", "batch", "dual"],
+        choices=list(ENGINE_CHOICES),
         default=None,
         help="query engine of the density/dependency hot paths for "
-        "ex-dpc/approx-dpc/s-approx-dpc (default: REPRO_DEFAULT_ENGINE or "
-        "'batch'; baselines ignore the flag; see docs/performance.md)",
+        "ex-dpc/approx-dpc/s-approx-dpc ('auto' picks dual/batch by "
+        "dimension; default: REPRO_DEFAULT_ENGINE or 'batch'; baselines "
+        "ignore the flag; see docs/performance.md)",
     )
     cluster.add_argument("--seed", type=int, default=0, help="random seed")
     cluster.add_argument(
@@ -159,9 +161,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stream.add_argument(
         "--engine",
-        choices=["scalar", "batch", "dual"],
+        choices=list(ENGINE_CHOICES),
         default=None,
-        help="query engine of the wrapped Ex-DPC (rebuilds and predict)",
+        help="query engine of the wrapped Ex-DPC (rebuilds, repair and predict)",
     )
     stream.add_argument("--seed", type=int, default=0, help="random seed")
     stream.add_argument(

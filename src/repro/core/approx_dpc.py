@@ -14,8 +14,10 @@ weaknesses:
   approximate dependent point (their distance is at most ``d_cut``).  A cell
   maximum looks for a neighbouring cell whose minimum density exceeds its own;
   only the points for which neither rule applies fall back to the exact
-  partition-based search of
-  :class:`repro.core.exact_dependency.PartitionedDependencySearcher`.
+  nearest-denser search of the unified join layer
+  (:func:`repro.core.dependency_join.nearest_denser_join`: the paper's
+  partition-based search for the scalar/batch engines, a dual-tree
+  nearest-denser join for ``engine="dual"``).
 
 Because the approximation only ever assigns dependent distances of exactly
 ``d_cut`` -- and computes the exact dependent distance whenever it exceeds
@@ -29,7 +31,7 @@ parallel profile reproduces.
 With the default ``engine="batch"``, the joint range searches and the exact
 dependency fallback are issued as chunked vectorised batch queries
 (:meth:`repro.index.kdtree.KDTree.range_search_batch`,
-:meth:`repro.core.exact_dependency.PartitionedDependencySearcher.query_batch`)
+:meth:`repro.core.dependency_join.PartitionedDependencySearcher.query_batch`)
 that produce results identical to the scalar per-cell code.
 """
 
@@ -39,10 +41,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.exact_dependency import (
-    PartitionedDependencySearcher,
-    resolve_undecided_dependencies,
-)
+from repro.core.dependency_join import nearest_denser_join
 from repro.core.framework import DensityPeaksBase
 from repro.index.grid import UniformGrid, distinct_lattice_keys
 from repro.index.kdtree import KDTree, check_storage_dtype
@@ -150,6 +149,7 @@ class ApproxDPC(DensityPeaksBase):
         n_partitions: int | None = None,
         engine: str | None = None,
         dtype: str = "float64",
+        dual_frontier: int | None = None,
     ):
         super().__init__(
             d_cut,
@@ -161,6 +161,7 @@ class ApproxDPC(DensityPeaksBase):
             seed=seed,
             record_costs=record_costs,
             engine=engine,
+            dual_frontier=dual_frontier,
         )
         self.leaf_size = leaf_size
         self.n_partitions = n_partitions
@@ -222,7 +223,7 @@ class ApproxDPC(DensityPeaksBase):
             self._counter.add("distance_calcs", summary.n_distance_calcs)
             return summary
 
-        if self.engine == "dual":
+        if self.engine_ == "dual":
             # Dual-tree joint range search (§4.2 over node pairs): one
             # simultaneous traversal of a small tree over the cell centers
             # (with per-center radii) against the point tree answers every
@@ -256,7 +257,7 @@ class ApproxDPC(DensityPeaksBase):
                 scan_cell_chunk, len(cells)
             )
             summaries = [summary for chunk in chunk_summaries for summary in chunk]
-        elif self.engine == "batch":
+        elif self.engine_ == "batch":
             centers = np.stack([cell.center for cell in cells])
             radii = np.asarray(
                 [d_cut + cell.max_center_dist for cell in cells], dtype=np.float64
@@ -372,25 +373,26 @@ class ApproxDPC(DensityPeaksBase):
         )
 
         # Exact fallback for the undecided cell maxima (§4.3, "Exact
-        # computation").
+        # computation"), routed through the unified nearest-denser join.
         if undecided:
-            searcher = PartitionedDependencySearcher(
+            undecided_arr = np.asarray(undecided, dtype=np.intp)
+            outcome = nearest_denser_join(
                 points,
                 rho,
-                n_partitions=self.n_partitions,
-                leaf_size=self.leaf_size,
+                engine=self.engine_,
+                executor=self._executor,
                 counter=self._counter,
-            )
-            self._fallback_memory = searcher.memory_bytes()
-            resolve_undecided_dependencies(
-                searcher, undecided, self._executor, self.engine,
-                dependent, delta, exact_mask,
+                query_indices=undecided_arr,
+                tree=self._tree,
+                leaf_size=self.leaf_size,
+                n_partitions=self.n_partitions,
+                frontier_target=self.dual_frontier,
                 process_task_builder=self._process_task,
             )
-
-            costs = np.asarray(
-                [searcher.query_cost(float(rho[index])) for index in undecided]
-            )
-            self._record_phase("dependency:exact", "greedy", costs)
+            dependent[undecided_arr] = outcome.dependent
+            delta[undecided_arr] = outcome.delta
+            exact_mask[undecided_arr] = True
+            self._fallback_memory = outcome.memory_bytes
+            self._record_phase("dependency:exact", "greedy", outcome.cost_estimates)
 
         return dependent, delta, exact_mask

@@ -4,29 +4,46 @@ Local densities are computed with one kd-tree range count per point
 (``O(n(n^{1-1/d} + rho_avg))`` under Assumption 1); with the default
 ``engine="batch"`` the counts are issued as chunked vectorised batch queries
 (:meth:`repro.index.kdtree.KDTree.range_count_batch`) that produce identical
-results.  Dependent points are
-computed exactly with the paper's incremental-tree idea: points are sorted in
-descending order of (tie-broken) local density and inserted one by one into an
-initially empty kd-tree; right before inserting point ``p_i`` the tree contains
-exactly the points denser than ``p_i``, so a nearest-neighbour query on the
-current tree returns ``p_i``'s dependent point.
+results.
+
+Dependent points are computed exactly; the strategy follows the engine:
+
+* ``engine="scalar"`` keeps the paper's incremental-tree idea: points are
+  sorted in descending order of (tie-broken) local density and inserted one
+  by one into an initially empty kd-tree; right before inserting point
+  ``p_i`` the tree contains exactly the points denser than ``p_i``, so a
+  nearest-neighbour query on the current tree returns ``p_i``'s dependent
+  point.  This phase is inherently sequential (§3) because the tree must be
+  grown in density order.
+* ``engine="batch"`` routes the whole point set through the unified
+  nearest-denser join layer's partition-based search
+  (:func:`repro.core.dependency_join.nearest_denser_join`, the §4.3
+  machinery over *all* points), which is both faster and embarrassingly
+  parallel -- every query is independent.
+* ``engine="dual"`` runs the dependency phase as a dual-tree nearest-denser
+  *self-join* (:meth:`repro.index.kdtree.KDTree.range_nn_dual`): one
+  simultaneous traversal with per-query best-distance bounds and per-node
+  density maxima replaces the ``n`` individual searches.
+
+All three strategies return bit-for-bit identical dependencies, deltas and
+labels (the shared lexicographic tie-break and arithmetic contract of
+:mod:`repro.core.dependency_join`; property-tested).
 
 Parallelization (§3, "Implementation for parallel processing"): the density
 phase is embarrassingly parallel and is scheduled dynamically (OpenMP
 ``schedule(dynamic)`` in the paper) because per-point costs are unknown in
-advance; the dependency phase is inherently sequential because the tree must
-be grown in density order.  Both facts are recorded in the run's parallel
-profile so the thread-scaling benchmarks reproduce Ex-DPC's plateau
-(Figure 9).
+advance.  The scalar dependency phase is recorded as one sequential block --
+reproducing Ex-DPC's thread-scaling plateau (Figure 9) -- while the
+batch/dual joins are recorded as dynamically scheduled parallel work.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.dependency_join import nearest_denser_join
 from repro.core.framework import DensityPeaksBase
 from repro.index.kdtree import (
-    DUAL_FRONTIER_TARGET,
     IncrementalKDTree,
     KDTree,
     check_storage_dtype,
@@ -73,6 +90,7 @@ class ExDPC(DensityPeaksBase):
         leaf_size: int = 32,
         engine: str | None = None,
         dtype: str = "float64",
+        dual_frontier: int | None = None,
     ):
         super().__init__(
             d_cut,
@@ -84,6 +102,7 @@ class ExDPC(DensityPeaksBase):
             seed=seed,
             record_costs=record_costs,
             engine=engine,
+            dual_frontier=dual_frontier,
         )
         self.leaf_size = leaf_size
         self.dtype = check_storage_dtype(dtype).name
@@ -114,7 +133,7 @@ class ExDPC(DensityPeaksBase):
         tree = self._tree
         n = points.shape[0]
 
-        if self.engine == "dual":
+        if self.engine_ == "dual":
             # Dual-tree self-join: expand the (root, root) pair into a fixed
             # frontier of independent node-pair work units, then traverse
             # each unit's subjoin.  The frontier is the canonical chunking
@@ -122,7 +141,7 @@ class ExDPC(DensityPeaksBase):
             # ship as picklable tasks against the shared-memory tree -- so
             # counts *and* work counters match the serial run bit for bit.
             pairs, base = tree.dual_self_frontier(
-                self.d_cut, strict=True, target_pairs=DUAL_FRONTIER_TARGET
+                self.d_cut, strict=True, target_pairs=self.dual_frontier
             )
             task = self._process_task(
                 kernel_dual_self_count,
@@ -140,7 +159,7 @@ class ExDPC(DensityPeaksBase):
             rho = base.astype(np.float64)
             for contribution in contributions:
                 rho += contribution
-        elif self.engine == "batch":
+        elif self.engine_ == "batch":
             # Chunked batch queries: each worker answers a contiguous block of
             # points with one vectorised tree traversal.  Under the process
             # backend the same computation runs as a picklable chunk task
@@ -173,10 +192,32 @@ class ExDPC(DensityPeaksBase):
         self, points: np.ndarray, rho: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         n = points.shape[0]
-        order = np.argsort(rho, kind="stable")[::-1]
+        exact_mask = np.ones(n, dtype=bool)
+        engine = self.engine_
+
+        if engine != "scalar":
+            # Unified nearest-denser join over the full point set: the batch
+            # engine classifies (query, partition) pairs over density
+            # slices, the dual engine runs one simultaneous tree-vs-itself
+            # traversal; both are embarrassingly parallel over queries (and
+            # bit-identical to the incremental scalar phase below).
+            outcome = nearest_denser_join(
+                points,
+                rho,
+                engine=engine,
+                executor=self._executor,
+                counter=self._counter,
+                tree=self._tree,
+                leaf_size=self.leaf_size,
+                frontier_target=self.dual_frontier,
+                process_task_builder=self._process_task,
+            )
+            self._record_phase("dependency", "dynamic", outcome.cost_estimates)
+            return outcome.dependent, outcome.delta, exact_mask
 
         dependent = np.full(n, -1, dtype=np.intp)
         delta = np.full(n, np.inf, dtype=np.float64)
+        order = np.argsort(rho, kind="stable")[::-1]
 
         # Incrementally grow a kd-tree in descending density order: the tree
         # always holds exactly the points denser than the current query.
@@ -194,6 +235,4 @@ class ExDPC(DensityPeaksBase):
         # non-parallelisable block so the simulated thread scaling shows the
         # plateau observed in Figure 9.
         self._record_phase("dependency", "sequential", [float(n)])
-
-        exact_mask = np.ones(n, dtype=bool)
         return dependent, delta, exact_mask

@@ -1,371 +1,18 @@
-"""Partition-based exact dependent-point search (§4.3, "Exact computation").
+"""Compatibility shim: the partition-based exact dependent-point search moved.
 
-Approx-DPC decides most dependent points approximately in ``O(1)`` time, but a
-small set ``P'`` of points -- cell maxima with no denser close cell -- still
-needs the *exact* nearest point with higher local density.  Ex-DPC's
-incremental tree cannot be used because it is sequential; instead the paper
-
-1. sorts the point set in ascending order of local density,
-2. splits it into ``s`` equally sized partitions ``P_1 .. P_s`` (so every point
-   of ``P_j`` is denser than every point of ``P_i`` for ``i < j``),
-3. builds a kd-tree per partition, and
-4. answers each query ``p`` by classifying every partition into one of three
-   cases:
-
-   * case (i): the whole partition is denser than ``p`` -- one nearest
-     neighbour search on its kd-tree;
-   * case (ii): the partition straddles ``rho_p`` (at most one such partition
-     exists) -- scan it linearly, keeping only denser points;
-   * case (iii): the whole partition is at most as dense as ``p`` -- skip it.
-
-The number of partitions follows Equation (2) of the paper,
-``n/s = O((s-1)(n/s)^{1-1/d})``, which balances the scan cost of case (ii)
-against the ``s-1`` nearest-neighbour searches; solving it gives
-``s ~ n^{1/(d+1)}``.
-
-Because every query is independent, the whole procedure is embarrassingly
-parallel; the per-query cost estimate of §4.5 (``cost_dep``) is returned so the
-caller can feed the greedy load balancer and the simulated multicore model.
-
-The same routine also serves as the fallback of S-Approx-DPC's second phase
-when the set of undecided picked points is too large for the quadratic
-temporary-cluster method.
+The §4.3 machinery (:class:`PartitionedDependencySearcher`,
+:func:`solve_partition_count`) now lives in the unified nearest-denser join
+layer, :mod:`repro.core.dependency_join`, which owns *every* dependency
+search (fit, predict and streaming repair) behind one
+``engine={"scalar", "batch", "dual"}`` dispatch.  Import from there; this
+module only re-exports the moved names for older callers.
 """
 
 from __future__ import annotations
 
-import secrets
-from dataclasses import dataclass
+from repro.core.dependency_join import (
+    PartitionedDependencySearcher,
+    solve_partition_count,
+)
 
-import numpy as np
-
-from repro.index.kdtree import KDTree
-from repro.parallel.backends import kernel_partitioned_dependency
-from repro.utils.counters import WorkCounter
-from repro.utils.distance import point_to_points_sq
-
-__all__ = [
-    "PartitionedDependencySearcher",
-    "resolve_undecided_dependencies",
-    "solve_partition_count",
-]
-
-
-def resolve_undecided_dependencies(
-    searcher: "PartitionedDependencySearcher",
-    undecided,
-    executor,
-    engine: str,
-    dependent: np.ndarray,
-    delta: np.ndarray,
-    exact_mask: np.ndarray,
-    *,
-    process_task_builder=None,
-) -> None:
-    """Resolve every undecided index with ``searcher`` and scatter the results.
-
-    Shared by the Approx-DPC fallback and S-Approx-DPC's partitioned second
-    phase: ``engine="batch"`` maps :meth:`PartitionedDependencySearcher.query_batch`
-    over contiguous chunks of the undecided set, ``engine="scalar"`` maps
-    :meth:`PartitionedDependencySearcher.query` one index per task.  Both
-    write the dependent index, distance and ``exact_mask=True`` for every
-    undecided point.
-
-    ``process_task_builder`` is the estimator's
-    :meth:`~repro.core.framework.DensityPeaksBase._process_task` hook.  Under
-    the process backend the searcher itself is not pickled: each worker
-    rebuilds it once per phase (cached by the ``token`` in the payload) from
-    the shared point matrix plus :meth:`PartitionedDependencySearcher.shared_query_params`,
-    which is deterministic and therefore bit-identical to the parent's.
-    """
-    if engine == "batch":
-        undecided_arr = np.asarray(undecided, dtype=np.intp)
-
-        task = None
-        if process_task_builder is not None:
-            payload = {
-                "token": secrets.token_hex(8),
-                "undecided": undecided_arr,
-                **searcher.shared_query_params(),
-            }
-            task = process_task_builder(kernel_partitioned_dependency, payload)
-
-        def resolve_chunk(chunk):
-            return searcher.query_batch(undecided_arr[chunk])
-
-        # On the process path the payload above is O(n) (rho plus the
-        # undecided set) and is re-pickled per submission, so one chunk per
-        # worker beats the default oversubscription; the thread path pickles
-        # nothing and keeps the finer default split for skew tolerance.
-        resolutions = executor.map_index_chunks(
-            resolve_chunk,
-            undecided_arr.size,
-            chunks_per_worker=1 if task is not None else 4,
-            task=task,
-        )
-        dependent[undecided_arr] = np.concatenate([r[0] for r in resolutions])
-        delta[undecided_arr] = np.concatenate([r[1] for r in resolutions])
-        exact_mask[undecided_arr] = True
-    else:
-        def resolve(index: int) -> tuple[int, int, float]:
-            neighbor, distance = searcher.query(index)
-            return index, neighbor, distance
-
-        for index, neighbor, distance in executor.map(resolve, list(undecided)):
-            dependent[index] = neighbor
-            delta[index] = distance
-            exact_mask[index] = True
-
-
-def solve_partition_count(n: int, dim: int) -> int:
-    """Return the partition count ``s`` implied by Equation (2) of the paper.
-
-    Equation (2) asks for ``n/s = Theta((s-1)(n/s)^{1-1/d})``, i.e.
-    ``(n/s)^{1/d} = Theta(s-1)``, whose solution grows like ``n^{1/(d+1)}``.
-    The result is clamped to ``[2, n]`` so small inputs stay valid.
-    """
-    if n <= 2:
-        return max(1, n)
-    s = int(round(n ** (1.0 / (dim + 1.0)))) + 1
-    return int(min(max(s, 2), n))
-
-
-@dataclass
-class _Partition:
-    """One density slice ``P_j`` with its kd-tree."""
-
-    member_indices: np.ndarray  # global indices, ascending density order
-    min_rho: float
-    max_rho: float
-    tree: KDTree
-
-
-class PartitionedDependencySearcher:
-    """Exact dependent-point queries over density-ordered partitions.
-
-    Parameters
-    ----------
-    points:
-        The full point matrix of shape ``(n, d)``.
-    rho:
-        Tie-broken local densities (all distinct).
-    candidate_indices:
-        Optional subset of points that are allowed to serve as dependent
-        points (S-Approx-DPC restricts candidates to the picked points).
-        ``None`` means every point is a candidate.
-    n_partitions:
-        Number of density slices ``s``; defaults to Equation (2).
-    leaf_size:
-        kd-tree leaf size for the per-partition trees.
-    """
-
-    def __init__(
-        self,
-        points: np.ndarray,
-        rho: np.ndarray,
-        *,
-        candidate_indices: np.ndarray | None = None,
-        n_partitions: int | None = None,
-        leaf_size: int = 32,
-        counter: WorkCounter | None = None,
-    ):
-        self._points = points
-        self._rho = rho
-        self._counter = counter if counter is not None else WorkCounter()
-        self._leaf_size = int(leaf_size)
-        if candidate_indices is None:
-            candidates = np.arange(points.shape[0], dtype=np.intp)
-            self._candidate_indices = None
-        else:
-            candidates = np.asarray(candidate_indices, dtype=np.intp)
-            self._candidate_indices = candidates
-        if candidates.size == 0:
-            raise ValueError("candidate set must not be empty")
-
-        order = candidates[np.argsort(rho[candidates], kind="stable")]
-        count = order.shape[0]
-        dim = points.shape[1]
-        s = (
-            solve_partition_count(count, dim)
-            if n_partitions is None
-            else max(1, min(int(n_partitions), count))
-        )
-        self._n_partitions = s
-
-        bounds = np.linspace(0, count, s + 1, dtype=int)
-        self._partitions: list[_Partition] = []
-        for j in range(s):
-            members = order[bounds[j] : bounds[j + 1]]
-            if members.size == 0:
-                continue
-            self._partitions.append(
-                _Partition(
-                    member_indices=members,
-                    min_rho=float(rho[members].min()),
-                    max_rho=float(rho[members].max()),
-                    tree=KDTree(points[members], leaf_size=leaf_size, counter=self._counter),
-                )
-            )
-
-    @property
-    def n_partitions(self) -> int:
-        """Number of density slices actually built."""
-        return len(self._partitions)
-
-    @property
-    def counter(self) -> WorkCounter:
-        """The work counter queries report into."""
-        return self._counter
-
-    def shared_query_params(self) -> dict:
-        """Small picklable parameters from which a worker can rebuild this searcher.
-
-        Construction is deterministic in ``(points, rho, candidate_indices,
-        n_partitions, leaf_size)``, so a worker holding the shared point
-        matrix reproduces identical partitions and kd-trees; the resolved
-        partition count is passed so Equation (2) is not re-derived.
-        """
-        return {
-            "rho": self._rho,
-            "candidates": self._candidate_indices,
-            "n_partitions": self._n_partitions,
-            "leaf_size": self._leaf_size,
-        }
-
-    def memory_bytes(self) -> int:
-        """Approximate footprint of the per-partition kd-trees."""
-        return int(
-            sum(
-                part.tree.memory_bytes() + part.member_indices.nbytes
-                for part in self._partitions
-            )
-        )
-
-    def query_cost(self, rho_value: float) -> float:
-        """The paper's ``cost_dep`` estimate (§4.5) for a query with this density.
-
-        ``n/s + (m-1)(n/s)^{1-1/d}`` when some partition straddles the density
-        (case (ii)), ``m (n/s)^{1-1/d}`` otherwise, where ``m`` is the number of
-        partitions that may contain the dependent point.
-        """
-        if not self._partitions:
-            return 0.0
-        dim = self._points.shape[1]
-        avg_size = float(
-            np.mean([part.member_indices.size for part in self._partitions])
-        )
-        nn_cost = avg_size ** (1.0 - 1.0 / dim)
-        m = 0
-        straddles = False
-        for part in self._partitions:
-            if part.min_rho > rho_value:
-                m += 1
-            elif part.max_rho > rho_value:
-                m += 1
-                straddles = True
-        if m == 0:
-            return nn_cost
-        if straddles:
-            return avg_size + (m - 1) * nn_cost
-        return m * nn_cost
-
-    def query(self, index: int) -> tuple[int, float]:
-        """Return ``(dependent_index, distance)`` for the point ``index``.
-
-        Returns ``(-1, inf)`` when no candidate has higher density (the
-        globally densest point).
-        """
-        query_point = self._points[index]
-        query_rho = float(self._rho[index])
-
-        best_idx = -1
-        best_sq = np.inf
-        for part in self._partitions:
-            if part.max_rho <= query_rho:
-                # case (iii): every point is at most as dense -- skip.
-                continue
-            if part.min_rho > query_rho:
-                # case (i): every point is denser -- nearest neighbour search.
-                local_idx, distance = part.tree.nearest_neighbor(query_point)
-                if local_idx >= 0:
-                    d_sq = distance * distance
-                    if d_sq < best_sq:
-                        best_sq = d_sq
-                        best_idx = int(part.member_indices[local_idx])
-            else:
-                # case (ii): the partition straddles the query density -- scan.
-                members = part.member_indices
-                denser = members[self._rho[members] > query_rho]
-                denser = denser[denser != index]
-                if denser.size == 0:
-                    continue
-                self._counter.add("distance_calcs", denser.size)
-                d_sq = point_to_points_sq(query_point, self._points[denser])
-                pos = int(np.argmin(d_sq))
-                if d_sq[pos] < best_sq:
-                    best_sq = float(d_sq[pos])
-                    best_idx = int(denser[pos])
-
-        if best_idx < 0:
-            return -1, np.inf
-        return best_idx, float(np.sqrt(best_sq))
-
-    def query_batch(self, indices) -> tuple[np.ndarray, np.ndarray]:
-        """Vectorised batch counterpart of :meth:`query`.
-
-        Classifies every (query, partition) pair into the paper's three cases
-        at once: case (i) pairs are answered with one batch nearest-neighbour
-        search per partition
-        (:meth:`repro.index.kdtree.KDTree.nearest_neighbor_batch`), case (ii)
-        pairs with a single vectorised scan of the straddling partition, and
-        case (iii) pairs are skipped.  Returns ``(dependent_indices,
-        distances)`` arrays identical to calling :meth:`query` per index
-        (``-1`` / ``inf`` for the globally densest candidate).
-        """
-        indices = np.asarray(indices, dtype=np.intp).reshape(-1)
-        n_queries = indices.size
-        best_idx = np.full(n_queries, -1, dtype=np.intp)
-        best_sq = np.full(n_queries, np.inf)
-        if n_queries == 0:
-            return best_idx, best_sq.copy()
-
-        query_points = self._points[indices]
-        query_rho = self._rho[indices]
-        for part in self._partitions:
-            active = part.max_rho > query_rho
-            if not active.any():
-                continue
-            denser_all = part.min_rho > query_rho
-            case_i = np.flatnonzero(active & denser_all)
-            case_ii = np.flatnonzero(active & ~denser_all)
-            if case_i.size:
-                local_idx, distance = part.tree.nearest_neighbor_batch(
-                    query_points[case_i]
-                )
-                d_sq = distance * distance
-                found = local_idx >= 0
-                better = found & (d_sq < best_sq[case_i])
-                targets = case_i[better]
-                best_sq[targets] = d_sq[better]
-                best_idx[targets] = part.member_indices[local_idx[better]]
-            if case_ii.size:
-                members = part.member_indices
-                eligible = (
-                    self._rho[members][None, :] > query_rho[case_ii, None]
-                ) & (members[None, :] != indices[case_ii, None])
-                counts = eligible.sum(axis=1)
-                self._counter.add("distance_calcs", float(counts.sum()))
-                diff = (
-                    query_points[case_ii][:, None, :]
-                    - self._points[members][None, :, :]
-                )
-                d_sq = np.einsum("qjd,qjd->qj", diff, diff)
-                d_sq = np.where(eligible, d_sq, np.inf)
-                pos = np.argmin(d_sq, axis=1)
-                vals = d_sq[np.arange(case_ii.size), pos]
-                better = vals < best_sq[case_ii]
-                targets = case_ii[better]
-                best_sq[targets] = vals[better]
-                best_idx[targets] = members[pos[better]]
-
-        return best_idx, np.sqrt(best_sq)
+__all__ = ["PartitionedDependencySearcher", "solve_partition_count"]

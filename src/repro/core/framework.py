@@ -27,11 +27,12 @@ from typing import Any
 import numpy as np
 
 from repro.core.assignment import NOISE_LABEL, assign_clusters, propagate_labels
+from repro.core.dependency_join import attach_targets
 from repro.core.predict import (
     nearest_denser_bruteforce,
-    nearest_denser_targets,
     predict_density_bruteforce,
 )
+from repro.index.kdtree import resolve_dual_frontier
 from repro.core.result import DPCResult, canonical_rho_raw
 from repro.parallel.backends import (
     ChunkTask,
@@ -51,10 +52,30 @@ from repro.utils.validation import (
     check_positive,
 )
 
-__all__ = ["DensityPeaksBase", "ENGINES", "DEFAULT_ENGINE_ENV", "resolve_engine"]
+__all__ = [
+    "DensityPeaksBase",
+    "ENGINES",
+    "ENGINE_CHOICES",
+    "AUTO_DUAL_MAX_DIM",
+    "DEFAULT_ENGINE_ENV",
+    "resolve_engine",
+    "effective_engine",
+]
 
 #: Query-execution engines of the density/dependency hot paths.
 ENGINES = ("scalar", "batch", "dual")
+
+#: Accepted values of the ``engine`` parameter: the concrete engines plus
+#: ``"auto"``, which resolves per fit from the data dimensionality (see
+#: :func:`effective_engine` and the engine x dimension table in
+#: ``docs/performance.md``).
+ENGINE_CHOICES = ENGINES + ("auto",)
+
+#: Largest dimensionality at which ``engine="auto"`` picks the dual-tree
+#: engine.  The dual self-join's d<=2 accumulation fast path is what delivers
+#: its advantage; from d=3 up the blocked kernels lose their edge over the
+#: batch engine on the paper's workloads (measured in docs/performance.md).
+AUTO_DUAL_MAX_DIM = 2
 
 #: Environment variable naming the engine used when an estimator is built
 #: with ``engine=None``; CI exercises the dual engine by exporting it.
@@ -65,15 +86,30 @@ def resolve_engine(engine: str | None) -> str:
     """Normalise an ``engine`` parameter.
 
     ``None`` reads :data:`DEFAULT_ENGINE_ENV` (default ``"batch"``); any
-    explicit value must be one of :data:`ENGINES`.
+    explicit value must be one of :data:`ENGINE_CHOICES`.  ``"auto"`` is
+    kept symbolic here and resolved against the data dimensionality at fit
+    time (:func:`effective_engine`).
     """
     if engine is None:
         engine = os.environ.get(DEFAULT_ENGINE_ENV) or "batch"
-    if engine not in ENGINES:
+    if engine not in ENGINE_CHOICES:
         raise ValueError(
-            f"engine must be one of {ENGINES}, got {engine!r}"
+            f"engine must be one of {ENGINE_CHOICES}, got {engine!r}"
         )
     return engine
+
+
+def effective_engine(engine: str, dim: int) -> str:
+    """Resolve an engine parameter against the data dimensionality.
+
+    Concrete engines pass through; ``"auto"`` picks the dual-tree engine up
+    to :data:`AUTO_DUAL_MAX_DIM` dimensions and the batch engine above it
+    (the measured crossover of the engine x dimension table in
+    ``docs/performance.md``).
+    """
+    if engine != "auto":
+        return engine
+    return "dual" if int(dim) <= AUTO_DUAL_MAX_DIM else "batch"
 
 
 class DensityPeaksBase(abc.ABC):
@@ -118,15 +154,27 @@ class DensityPeaksBase(abc.ABC):
         :meth:`repro.parallel.executor.ParallelExecutor.map_index_chunks`;
         ``"dual"`` additionally runs the density phase as a dual-tree
         self-join (:meth:`repro.index.kdtree.KDTree.range_count_dual` and
-        friends), which amortises pruning across whole query subtrees and is
-        the fastest option on low-dimensional data (see
-        ``docs/performance.md``); ``"scalar"`` runs the original
-        one-query-per-point code, which is slower but exercises the
-        per-query work-counter instrumentation.  ``None`` (the default)
-        reads the ``REPRO_DEFAULT_ENGINE`` environment variable and falls
-        back to ``"batch"``.  All engines produce bit-for-bit identical
-        densities and labels (property-tested); baselines that have no
-        batch/dual kernels simply ignore the flag.
+        friends) and the dependency phase as a dual-tree nearest-denser
+        join (:meth:`repro.index.kdtree.KDTree.nn_dual_vs`, dispatched
+        through :mod:`repro.core.dependency_join`), which amortises pruning
+        across whole query subtrees and is the fastest option on
+        low-dimensional data (see ``docs/performance.md``); ``"scalar"``
+        runs the original one-query-per-point code, which is slower but
+        exercises the per-query work-counter instrumentation; ``"auto"``
+        resolves per fit from the data dimensionality (dual up to
+        ``AUTO_DUAL_MAX_DIM`` dimensions, batch above).  ``None`` (the
+        default) reads the ``REPRO_DEFAULT_ENGINE`` environment variable
+        and falls back to ``"batch"``.  All engines produce bit-for-bit
+        identical densities, dependencies and labels (property-tested);
+        baselines that have no batch/dual kernels simply ignore the flag.
+    dual_frontier:
+        Number of independent work units the dual engine expands its
+        traversals into (the canonical chunking shared by every execution
+        backend, so results and work counters stay backend-invariant).
+        ``None`` reads the ``REPRO_DUAL_FRONTIER`` environment variable and
+        falls back to ``repro.index.kdtree.DUAL_FRONTIER_TARGET``; the
+        resolved value is recorded in ``get_params()`` and therefore in
+        model snapshots, so restored models stay counter-deterministic.
     """
 
     #: Human-readable algorithm name; subclasses override.
@@ -144,10 +192,12 @@ class DensityPeaksBase(abc.ABC):
         seed: int | None = 0,
         record_costs: bool = True,
         engine: str | None = None,
+        dual_frontier: int | None = None,
     ):
         self.d_cut = check_positive(d_cut, "d_cut")
         self.backend = resolve_backend(backend)
         self.engine = resolve_engine(engine)
+        self.dual_frontier = resolve_dual_frontier(dual_frontier)
         self.rho_min = None if rho_min is None else check_non_negative(rho_min, "rho_min")
         if delta_min is not None and n_clusters is not None:
             raise ValueError("delta_min and n_clusters are mutually exclusive")
@@ -211,6 +261,9 @@ class DensityPeaksBase(abc.ABC):
         # *unfitted* (predict refuses) rather than a silent mix of the old
         # result and the new index.
         self.result_ = None
+        # engine="auto" resolves against the data dimensionality; the
+        # subclass hot paths read the resolved engine through `engine_`.
+        self._fit_dim = int(points.shape[1])
         rng = ensure_rng(self.seed)
         profile = SimulatedMulticore()
         self._profile = profile
@@ -239,6 +292,17 @@ class DensityPeaksBase(abc.ABC):
 
             # Tie-break densities so dependent points are well-defined (§3).
             rho = random_tiebreak(rho_raw, rng)
+
+            # Attach the per-node density maxima the nearest-denser join
+            # prunes with; also persisted into model snapshots so restored
+            # models serve without recomputing them.  Only dual-engine fits
+            # ever read them (a later dual `predict` on a batch-fit model
+            # computes them lazily through the join's identity-keyed cache),
+            # so other engines skip the sweep and keep snapshots lean.
+            if self.engine_ == "dual":
+                tree = self._predict_tree()
+                if tree is not None and hasattr(tree, "attach_density_bounds"):
+                    tree.attach_density_bounds(rho)
 
             start = time.perf_counter()
             work_before = self._counter.get("distance_calcs")
@@ -296,6 +360,27 @@ class DensityPeaksBase(abc.ABC):
     def fit_predict(self, points) -> np.ndarray:
         """Cluster ``points`` and return only the label array."""
         return self.fit(points).labels_
+
+    @property
+    def engine_(self) -> str:
+        """The effective query engine of the current/last fit.
+
+        Identical to :attr:`engine` for concrete engines; ``"auto"``
+        resolves against the fitted data dimensionality (and therefore
+        requires a fit or a restored snapshot).
+        """
+        if self.engine != "auto":
+            return self.engine
+        dim = getattr(self, "_fit_dim", None)
+        if dim is None:
+            points = getattr(self, "_fit_points_", None)
+            if points is None:
+                raise RuntimeError(
+                    "engine='auto' resolves against the data dimensionality; "
+                    "fit the estimator (or load a snapshot) first"
+                )
+            dim = points.shape[1]
+        return effective_engine(self.engine, dim)
 
     # ------------------------------------------------------ online prediction
 
@@ -451,7 +536,7 @@ class DensityPeaksBase(abc.ABC):
         tree = self._predict_tree()
         d_cut = self.d_cut
         n_q = queries.shape[0]
-        if tree is not None and self.engine == "dual" and n_q:
+        if tree is not None and self.engine_ == "dual" and n_q:
             return self._dual_density_vs_tree(tree, queries).astype(np.float64)
         if tree is not None:
             task = self._predict_process_task(
@@ -481,7 +566,15 @@ class DensityPeaksBase(abc.ABC):
     def _predict_attach(
         self, queries: np.ndarray, rho_q: np.ndarray, executor
     ) -> np.ndarray:
-        """Dependency target (nearest denser fitted point) of each query."""
+        """Dependency target (nearest denser fitted point) of each query.
+
+        Routed through the unified nearest-denser join layer
+        (:func:`repro.core.dependency_join.attach_targets`): the batch and
+        scalar engines run the escalating-kNN search in executor chunks,
+        ``engine="dual"`` joins a throwaway tree over the queries against
+        the fitted tree in one simultaneous traversal.  Index-free
+        estimators fall back to the brute-force kernel.
+        """
         result = self.result_
         rho_train = np.asarray(result.rho_, dtype=np.float64)
         tree = self._predict_tree()
@@ -492,23 +585,25 @@ class DensityPeaksBase(abc.ABC):
                 kernel_predict_attach,
                 lambda chunk: {"queries": queries[chunk], "rho_q": rho_q[chunk]},
             )
+            return attach_targets(
+                tree,
+                rho_train,
+                queries,
+                rho_q,
+                engine=self.engine_,
+                executor=executor,
+                process_task=task,
+            )
 
-            def attach_chunk(chunk: np.ndarray) -> np.ndarray:
-                return nearest_denser_targets(
-                    tree, rho_train, queries[chunk], rho_q[chunk]
-                )
+        train = self._fit_points_
+        counter = self._counter
 
-            chunks = executor.map_index_chunks(attach_chunk, n_q, task=task)
-        else:
-            train = self._fit_points_
-            counter = self._counter
+        def attach_chunk(chunk: np.ndarray) -> np.ndarray:
+            return nearest_denser_bruteforce(
+                train, rho_train, queries[chunk], rho_q[chunk], counter=counter
+            )
 
-            def attach_chunk(chunk: np.ndarray) -> np.ndarray:
-                return nearest_denser_bruteforce(
-                    train, rho_train, queries[chunk], rho_q[chunk], counter=counter
-                )
-
-            chunks = executor.map_index_chunks(attach_chunk, n_q)
+        chunks = executor.map_index_chunks(attach_chunk, n_q)
         if not chunks:
             return np.empty(0, dtype=np.intp)
         return np.concatenate(chunks).astype(np.intp)
@@ -525,6 +620,7 @@ class DensityPeaksBase(abc.ABC):
             "backend": self.backend,
             "seed": self.seed,
             "engine": self.engine,
+            "dual_frontier": self.dual_frontier,
         }
 
     def __repr__(self) -> str:

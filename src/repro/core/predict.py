@@ -48,7 +48,8 @@ def nearest_denser_targets(
     *,
     k_initial: int = 8,
     attach_fallback: bool = True,
-) -> np.ndarray:
+    return_distance: bool = False,
+):
     """Per-query index of the nearest fitted point denser than the query.
 
     Parameters
@@ -68,6 +69,9 @@ def nearest_denser_targets(
     attach_fallback:
         When true (default), queries denser than every fitted point attach to
         their plain nearest neighbour instead of returning ``-1``.
+    return_distance:
+        When true, also return the distance to each target (``inf`` for
+        queries without one).
     """
     rho_train = np.asarray(rho_train, dtype=np.float64)
     queries = np.asarray(queries, dtype=np.float64)
@@ -75,13 +79,14 @@ def nearest_denser_targets(
     n_train = tree.size
     n_q = queries.shape[0]
     targets = np.full(n_q, -1, dtype=np.intp)
+    distances = np.full(n_q, np.inf, dtype=np.float64)
     if n_q == 0 or n_train == 0:
-        return targets
+        return (targets, distances) if return_distance else targets
 
     unresolved = np.arange(n_q, dtype=np.intp)
     k = min(max(1, int(k_initial)), n_train)
     while unresolved.size:
-        idx, _ = tree.knn_batch(queries[unresolved], k)
+        idx, dist = tree.knn_batch(queries[unresolved], k)
         valid = idx >= 0
         denser = valid & (
             rho_train[np.where(valid, idx, 0)] > rho_q[unresolved, None]
@@ -91,14 +96,18 @@ def nearest_denser_targets(
         if rows.size:
             first = np.argmax(denser[rows], axis=1)
             targets[unresolved[rows]] = idx[rows, first]
+            distances[unresolved[rows]] = dist[rows, first]
         unresolved = unresolved[~has]
         if k >= n_train:
             break
         k = min(n_train, k * 4)
 
     if attach_fallback and unresolved.size:
-        nn_idx, _ = tree.nearest_neighbor_batch(queries[unresolved])
+        nn_idx, nn_dist = tree.nearest_neighbor_batch(queries[unresolved])
         targets[unresolved] = nn_idx
+        distances[unresolved] = nn_dist
+    if return_distance:
+        return targets, distances
     return targets
 
 

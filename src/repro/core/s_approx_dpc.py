@@ -21,8 +21,9 @@ representative point per cell:
 
   When the number of undecided roots is too large for the quadratic
   root-to-root pass (the paper assumes ``|P'_pick|^2 <= O(n)``), the
-  implementation falls back to the same partition-based exact search used by
-  Approx-DPC, restricted to picked points.
+  implementation falls back to the same unified nearest-denser join used by
+  Approx-DPC (:func:`repro.core.dependency_join.nearest_denser_join`),
+  restricted to picked points as the candidate set.
 
 Larger ``epsilon`` means fewer cells, fewer range searches, and a coarser
 result (Table 5); ``epsilon -> 0`` degenerates towards Approx-DPC's grid.
@@ -36,10 +37,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.exact_dependency import (
-    PartitionedDependencySearcher,
-    resolve_undecided_dependencies,
-)
+from repro.core.dependency_join import nearest_denser_join
 from repro.core.framework import DensityPeaksBase
 from repro.index.grid import distinct_lattice_keys
 from repro.index.kdtree import KDTree, check_storage_dtype
@@ -92,6 +90,7 @@ class SApproxDPC(DensityPeaksBase):
         fallback_factor: float = 4.0,
         engine: str | None = None,
         dtype: str = "float64",
+        dual_frontier: int | None = None,
     ):
         super().__init__(
             d_cut,
@@ -103,6 +102,7 @@ class SApproxDPC(DensityPeaksBase):
             seed=seed,
             record_costs=record_costs,
             engine=engine,
+            dual_frontier=dual_frontier,
         )
         self.epsilon = check_positive(epsilon, "epsilon")
         self.leaf_size = leaf_size
@@ -163,7 +163,7 @@ class SApproxDPC(DensityPeaksBase):
             keys = distinct_lattice_keys(lattice, neighbors, exclude=cell.key)
             return float(neighbors.size), keys
 
-        if self.engine == "dual":
+        if self.engine_ == "dual":
             # Dual-tree picked-point range search: one simultaneous
             # traversal of a small tree over the picked representatives
             # against the point tree answers every cell's range search at
@@ -192,7 +192,7 @@ class SApproxDPC(DensityPeaksBase):
                 summarize_chunk, len(cells)
             )
             summaries = [summary for chunk in chunk_results for summary in chunk]
-        elif self.engine == "batch":
+        elif self.engine_ == "batch":
             picked_arr = np.asarray([cell.picked for cell in cells], dtype=np.intp)
 
             task = self._process_task(
@@ -283,7 +283,7 @@ class SApproxDPC(DensityPeaksBase):
         if unknown.size:
             tree = self._predict_tree()
             subset = queries[unknown]
-            if self.engine == "dual":
+            if self.engine_ == "dual":
                 rho_q[unknown] = self._dual_density_vs_tree(tree, subset).astype(
                     np.float64
                 )
@@ -381,24 +381,25 @@ class SApproxDPC(DensityPeaksBase):
         delta: np.ndarray,
         exact_mask: np.ndarray,
     ) -> None:
-        """Fallback: partition-based exact search restricted to picked points."""
-        searcher = PartitionedDependencySearcher(
+        """Fallback: exact nearest-denser join restricted to picked points."""
+        undecided_arr = np.asarray(undecided, dtype=np.intp)
+        outcome = nearest_denser_join(
             points,
             rho,
+            engine=self.engine_,
+            executor=self._executor,
+            counter=self._counter,
+            query_indices=undecided_arr,
             candidate_indices=picked_indices,
             leaf_size=self.leaf_size,
-            counter=self._counter,
-        )
-        self._fallback_memory = searcher.memory_bytes()
-        resolve_undecided_dependencies(
-            searcher, undecided, self._executor, self.engine,
-            dependent, delta, exact_mask,
+            frontier_target=self.dual_frontier,
             process_task_builder=self._process_task,
         )
-        costs = np.asarray(
-            [searcher.query_cost(float(rho[index])) for index in undecided]
-        )
-        self._record_phase("dependency:phase2", "greedy", costs)
+        dependent[undecided_arr] = outcome.dependent
+        delta[undecided_arr] = outcome.delta
+        exact_mask[undecided_arr] = True
+        self._fallback_memory = outcome.memory_bytes
+        self._record_phase("dependency:phase2", "greedy", outcome.cost_estimates)
 
     def _resolve_roots_temporary_clusters(
         self,

@@ -81,7 +81,8 @@ distance calculations.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, fields
+import os
+from dataclasses import dataclass, fields, replace
 from typing import Mapping, Optional
 
 import numpy as np
@@ -97,6 +98,8 @@ __all__ = [
     "STORAGE_DTYPES",
     "check_storage_dtype",
     "DUAL_FRONTIER_TARGET",
+    "DUAL_FRONTIER_ENV",
+    "resolve_dual_frontier",
 ]
 
 _NO_CHILD = -1
@@ -110,11 +113,35 @@ _NO_CHILD = -1
 STORAGE_DTYPES = ("float64", "float32")
 
 #: Number of node pairs :meth:`KDTree.dual_self_frontier` expands the
-#: self-join root pair into.  The frontier is the canonical work-unit
-#: decomposition shared by every execution backend: serial runs process the
-#: same pairs a process-backend worker pool does, which keeps results *and*
-#: work counters bit-for-bit identical across backends and worker counts.
+#: self-join root pair into (and the number of query-subtree work units
+#: :meth:`KDTree.node_frontier` produces for the nearest-denser join).  The
+#: frontier is the canonical work-unit decomposition shared by every
+#: execution backend: serial runs process the same pairs a process-backend
+#: worker pool does, which keeps results *and* work counters bit-for-bit
+#: identical across backends and worker counts.
 DUAL_FRONTIER_TARGET = 64
+
+#: Environment variable overriding :data:`DUAL_FRONTIER_TARGET` when an
+#: estimator is built with ``dual_frontier=None``.  The resolved value is
+#: recorded in ``get_params()`` (and therefore in model snapshots), so a
+#: restored model reproduces the same frontier decomposition -- and the same
+#: work counters -- as the fit that produced it.
+DUAL_FRONTIER_ENV = "REPRO_DUAL_FRONTIER"
+
+
+def resolve_dual_frontier(value: int | None) -> int:
+    """Normalise a ``dual_frontier`` parameter.
+
+    ``None`` reads :data:`DUAL_FRONTIER_ENV` and falls back to
+    :data:`DUAL_FRONTIER_TARGET`; any explicit value must be a positive
+    integer.  Resolution happens once, at estimator construction, so the
+    environment cannot silently change the decomposition between a fit and
+    a snapshot restore.
+    """
+    if value is None:
+        env = os.environ.get(DUAL_FRONTIER_ENV)
+        value = int(env) if env else DUAL_FRONTIER_TARGET
+    return check_positive_int(value, "dual_frontier")
 
 #: Node pairs with both sides at or below this many points stop descending
 #: and run one blocked distance kernel over their contiguous point slices.
@@ -125,6 +152,18 @@ _DUAL_BLOCK = 32
 #: Maximum number of ``diff`` elements one mega-batched kernel evaluates at
 #: once; bounds the size of the padded temporaries so they stay cache-sized.
 _DUAL_BATCH_BUDGET = 1_000_000
+
+#: Region-size multipliers of the nearest-denser seeding pyramid: every
+#: query is first joined against its home block of ``_DUAL_BLOCK`` points,
+#: and queries that found no denser point there (local density maxima)
+#: escalate to an 8x and then a 64x larger home region.  The survivors --
+#: peaks denser than their whole 64x neighbourhood, a vanishing fraction --
+#: are resolved exactly against the full point set.  The pyramid gives every
+#: query a *finite, tight* pruning bound before the pair traversal starts;
+#: without it, one unresolved local maximum per leaf would poison the
+#: per-node bounds and the traversal would degenerate towards the quadratic
+#: join.
+_NN_SEED_LEVELS = (1, 8, 64)
 
 
 def check_storage_dtype(dtype) -> np.dtype:
@@ -179,6 +218,21 @@ def _block_pair_distances_sq(q_block: np.ndarray, d_block: np.ndarray) -> np.nda
     return np.einsum("gqjd,gqjd->gqj", diff, diff)
 
 
+def _as_density_vector(values, n: int, name: str) -> np.ndarray:
+    """Normalise a per-point density array to a contiguous float64 vector.
+
+    A conforming input (1-D float64 contiguous of length ``n``) is returned
+    *as the same object* so identity-keyed aggregate caches keep hitting
+    across repeated join calls.
+    """
+    arr = np.ascontiguousarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        arr = arr.reshape(-1)
+    if arr.shape[0] != n:
+        raise ValueError(f"{name} must hold one density per point ({n})")
+    return arr
+
+
 def _ragged_copy_indices(
     dest_base: np.ndarray, src_base: np.ndarray, lengths: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -227,6 +281,11 @@ class KDTreeArrays:
     indices: np.ndarray  #: permutation of point indices, leaf buckets contiguous
     bbox_min: np.ndarray  #: per-node coordinate-wise minimum, shape ``(nodes, d)``
     bbox_max: np.ndarray  #: per-node coordinate-wise maximum, shape ``(nodes, d)``
+    #: Optional per-node maximum of an attached per-point density array (see
+    #: :meth:`KDTree.attach_density_bounds`); the dependency-join engine
+    #: prunes whole subtrees with no denser points through this aggregate.
+    #: ``None`` until a density array is attached.
+    rho_max: np.ndarray | None = None
 
     @property
     def node_count(self) -> int:
@@ -235,19 +294,42 @@ class KDTreeArrays:
 
     @property
     def nbytes(self) -> int:
-        """Total byte size of the nine arrays."""
-        return int(sum(getattr(self, f.name).nbytes for f in fields(self)))
+        """Total byte size of the stored arrays."""
+        return int(
+            sum(
+                getattr(self, f.name).nbytes
+                for f in fields(self)
+                if getattr(self, f.name) is not None
+            )
+        )
 
     def to_mapping(self, prefix: str = "") -> dict[str, np.ndarray]:
-        """Return the arrays as a flat ``{prefix + field: array}`` mapping."""
-        return {prefix + f.name: getattr(self, f.name) for f in fields(self)}
+        """Return the arrays as a flat ``{prefix + field: array}`` mapping.
+
+        Optional fields that are ``None`` (an unattached ``rho_max``) are
+        omitted, so mappings round-trip through :meth:`from_mapping`.
+        """
+        return {
+            prefix + f.name: getattr(self, f.name)
+            for f in fields(self)
+            if getattr(self, f.name) is not None
+        }
 
     @classmethod
     def from_mapping(
         cls, mapping: Mapping[str, np.ndarray], prefix: str = ""
     ) -> "KDTreeArrays":
         """Rebuild the structure from a mapping produced by :meth:`to_mapping`."""
-        return cls(**{f.name: mapping[prefix + f.name] for f in fields(cls)})
+        kwargs = {}
+        for f in fields(cls):
+            key = prefix + f.name
+            if key in mapping:
+                kwargs[f.name] = mapping[key]
+            elif f.name == "rho_max":
+                kwargs[f.name] = None
+            else:
+                raise KeyError(f"tree mapping is missing required array {key!r}")
+        return cls(**kwargs)
 
     def validate(self, points: np.ndarray, leaf_size: int) -> None:
         """Check the structural invariants of the flattened tree.
@@ -259,6 +341,8 @@ class KDTreeArrays:
         n, dim = points.shape
         if self.node_count < 1:
             raise ValueError("tree must have at least one node")
+        if self.rho_max is not None and self.rho_max.shape != (self.node_count,):
+            raise ValueError("rho_max must hold one value per node")
         if not np.array_equal(np.sort(self.indices), np.arange(n)):
             raise ValueError("indices is not a permutation of arange(n)")
         if int(self.start[0]) != 0 or int(self.stop[0]) != n:
@@ -463,6 +547,15 @@ class KDTree:
         # once per tree, on first use (see points_ordered).
         self._ordered_cache: np.ndarray | None = None
         self._terminal_cache: np.ndarray | None = None
+        # Float64 pruning views of the nearest-denser join (identical to the
+        # storage arrays for float64 trees; see _pruning_ordered/_pruning_bbox).
+        self._ordered64_cache: np.ndarray | None = None
+        self._bbox64_cache: tuple[np.ndarray, np.ndarray] | None = None
+        # One-slot caches of the last seen density arrays and their per-node
+        # aggregates (keyed by array identity): data-side maxima
+        # (_density_bounds) and query-side minima (_query_density_bounds).
+        self._density_cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._q_density_cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     @classmethod
     def from_arrays(
@@ -825,7 +918,14 @@ class KDTree:
         return queries
 
     def _check_radius_sq_batch(self, radius, n_queries: int) -> np.ndarray:
-        """Return per-query *squared* radii from a scalar or length-q array."""
+        """Return per-query *squared* radii from a scalar or length-q array.
+
+        The squared radii are cast to the storage dtype: the scalar methods
+        compare float32 distances against a Python-float ``radius_sq``,
+        which NumPy's weak scalar promotion evaluates as a float32
+        comparison, so the batch engine must round the bound identically or
+        the engines would disagree within one ulp of the radius.
+        """
         radius_arr = np.asarray(radius, dtype=np.float64)
         if radius_arr.ndim == 0:
             radius_value = check_positive(float(radius_arr), "radius")
@@ -839,7 +939,10 @@ class KDTree:
                 )
             if radius_arr.size and float(radius_arr.min()) <= 0.0:
                 raise ValueError("every radius must be positive")
-        return radius_arr * radius_arr
+        radius_sq = radius_arr * radius_arr
+        if self._dtype != np.float64:
+            radius_sq = radius_sq.astype(self._dtype)
+        return radius_sq
 
     def _leaf_distances_sq(self, queries_sub: np.ndarray, idx: np.ndarray) -> np.ndarray:
         """Squared distances from every query in the subset to every leaf point.
@@ -1705,6 +1808,517 @@ class KDTree:
                 results[q_indices[position]] = np.sort(all_p[lo:hi])
         return results
 
+    # ------------------------------------------- dual nearest-denser queries
+    #
+    # The dependency phase of every DPC variant asks, for each query point,
+    # for the *nearest point with strictly higher local density*.  The
+    # methods below answer that as one bulk join -- a simultaneous traversal
+    # of a query tree against this tree carrying (a) a per-query
+    # best-distance bound that tightens as candidates are found and (b) the
+    # per-node density maxima attached by attach_density_bounds, so a node
+    # pair prunes either because its boxes are farther apart than every
+    # contained query's current bound or because the data subtree holds no
+    # point denser than any contained query.
+    #
+    # Contract (shared with every other nearest-denser code path in the
+    # library): candidates are compared by lexicographic (squared distance,
+    # point index), squared distances use the diff-then-einsum arithmetic of
+    # the batch kernels, and everything is computed in float64 regardless of
+    # the tree's storage dtype -- so the scalar, batch and dual dependency
+    # engines agree bit for bit even on duplicate-heavy data.
+
+    @property
+    def _pruning_ordered(self) -> np.ndarray:
+        """Float64 leaf-ordered points of the nearest-denser join.
+
+        Identical to :attr:`points_ordered` for float64 trees; float32 trees
+        get a separate float64 copy gathered from :attr:`source_points`, so
+        the dependency phase always runs in full precision (matching the
+        scalar engine) while densities keep the storage precision.
+        """
+        if self._dtype == np.float64:
+            return self.points_ordered
+        if self._ordered64_cache is None:
+            self._ordered64_cache = np.ascontiguousarray(
+                self._source_points[self._indices]
+            )
+        return self._ordered64_cache
+
+    @property
+    def _pruning_bbox(self) -> tuple[np.ndarray, np.ndarray]:
+        """Float64 per-node bounding boxes enclosing the float64 coordinates.
+
+        The stored float32 boxes of a float32 tree bound the *rounded*
+        coordinates and may exclude the float64 originals by an ulp, which
+        would make the join's box-distance pruning unsound; this recomputes
+        genuine float64 boxes once per tree when needed.
+        """
+        if self._dtype == np.float64:
+            return self._bbox_min_arr, self._bbox_max_arr
+        if self._bbox64_cache is None:
+            ordered = self._pruning_ordered
+            n_nodes = self.node_count
+            bbox_min = np.empty((n_nodes, self._dim), dtype=np.float64)
+            bbox_max = np.empty((n_nodes, self._dim), dtype=np.float64)
+            left, right = self._left_arr, self._right_arr
+            start, stop = self._start_arr, self._stop_arr
+            for node in range(n_nodes - 1, -1, -1):
+                child = left[node]
+                if child == _NO_CHILD:
+                    block = ordered[start[node] : stop[node]]
+                    bbox_min[node] = block.min(axis=0)
+                    bbox_max[node] = block.max(axis=0)
+                else:
+                    other = right[node]
+                    np.minimum(bbox_min[child], bbox_min[other], out=bbox_min[node])
+                    np.maximum(bbox_max[child], bbox_max[other], out=bbox_max[node])
+            self._bbox64_cache = (bbox_min, bbox_max)
+        return self._bbox64_cache
+
+    def _node_reduce_positions(self, values_pos: np.ndarray, minimum: bool) -> np.ndarray:
+        """Per-node min/max of a position-space value array (reverse sweep)."""
+        n_nodes = self.node_count
+        out = np.empty(n_nodes, dtype=np.float64)
+        left, right = self._left_arr, self._right_arr
+        start, stop = self._start_arr, self._stop_arr
+        for node in range(n_nodes - 1, -1, -1):
+            child = left[node]
+            if child == _NO_CHILD:
+                block = values_pos[start[node] : stop[node]]
+                out[node] = block.min() if minimum else block.max()
+            else:
+                other = right[node]
+                out[node] = (
+                    min(out[child], out[other])
+                    if minimum
+                    else max(out[child], out[other])
+                )
+        return out
+
+    def attach_density_bounds(self, rho, *, node_max: np.ndarray | None = None) -> np.ndarray:
+        """Attach per-node maxima of a per-point density array (caller order).
+
+        Computes (or adopts, when ``node_max`` comes from a trusted snapshot)
+        the per-node maximum of ``rho`` over each node's point slice, stores
+        it as :attr:`KDTreeArrays.rho_max` so snapshots carry it, and primes
+        the cache :meth:`nn_dual_vs` reads.  Returns the per-node maxima.
+        """
+        source = rho
+        rho = np.ascontiguousarray(rho, dtype=np.float64).reshape(-1)
+        if rho.shape[0] != self._n:
+            raise ValueError("rho must hold one density per indexed point")
+        rho_pos = np.ascontiguousarray(rho[self._indices])
+        if node_max is None:
+            node_max = self._node_reduce_positions(rho_pos, minimum=False)
+        else:
+            node_max = np.ascontiguousarray(node_max, dtype=np.float64).reshape(-1)
+            if node_max.shape[0] != self.node_count:
+                raise ValueError("node_max must hold one value per node")
+        self._arrays = replace(self._arrays, rho_max=node_max)
+        # Key the cache on the object the caller passed (result.rho_), so
+        # later joins against the same array hit it without recomputation.
+        self._density_cache = (source, rho_pos, node_max)
+        return node_max
+
+    def _density_bounds(self, rho: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(rho_pos, node_max)`` for a caller-order density array (cached)."""
+        cached = self._density_cache
+        if cached is not None and cached[0] is rho:
+            return cached[1], cached[2]
+        rho_pos = np.ascontiguousarray(rho[self._indices])
+        node_max = self._node_reduce_positions(rho_pos, minimum=False)
+        self._density_cache = (rho, rho_pos, node_max)
+        return rho_pos, node_max
+
+    def _query_density_bounds(self, rho_q: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(rho_q_pos, node_min)`` for a query-side density array (cached).
+
+        The chunked join calls :meth:`nn_dual_vs` once per frontier slice
+        with the same ``rho_q`` object; caching by identity avoids redoing
+        the position gather and the pure-Python per-node reverse sweep per
+        chunk.
+        """
+        cached = self._q_density_cache
+        if cached is not None and cached[0] is rho_q:
+            return cached[1], cached[2]
+        rho_q_pos = np.ascontiguousarray(rho_q[self._indices])
+        node_min = self._node_reduce_positions(rho_q_pos, minimum=True)
+        self._q_density_cache = (rho_q, rho_q_pos, node_min)
+        return rho_q_pos, node_min
+
+    def node_frontier(self, target_nodes: int = DUAL_FRONTIER_TARGET) -> np.ndarray:
+        """Expand the tree into ~``target_nodes`` disjoint subtree roots.
+
+        The expansion is purely structural (largest node first, ties by
+        insertion order) and therefore deterministic: it is the canonical
+        work-unit decomposition of the nearest-denser join, shared by every
+        execution backend so results and work counters stay bit-for-bit
+        identical across backends and worker counts.  The returned node ids
+        are sorted ascending and their point slices partition the tree.
+        """
+        target_nodes = check_positive_int(target_nodes, "target_nodes")
+        start, stop = self._start_arr, self._stop_arr
+        left, right = self._left_arr, self._right_arr
+        terminal = self._terminal
+        seq = 0
+        heap: list[tuple[int, int, int]] = [
+            (-int(stop[self._root] - start[self._root]), seq, self._root)
+        ]
+        done: list[int] = []
+        while heap and len(heap) + len(done) < target_nodes:
+            _, _, node = heapq.heappop(heap)
+            if terminal[node]:
+                done.append(node)
+                continue
+            for child in (int(left[node]), int(right[node])):
+                seq += 1
+                heapq.heappush(
+                    heap, (-int(stop[child] - start[child]), seq, child)
+                )
+        nodes = done + [node for _, _, node in heap]
+        nodes.sort()
+        return np.asarray(nodes, dtype=np.intp)
+
+    def node_positions(self, nodes) -> np.ndarray:
+        """Caller-order point indices covered by the given nodes' slices."""
+        nodes = np.asarray(nodes, dtype=np.intp).reshape(-1)
+        if nodes.size == 0:
+            return np.empty(0, dtype=np.intp)
+        return np.concatenate(
+            [
+                self._indices[self._start_arr[node] : self._stop_arr[node]]
+                for node in nodes
+            ]
+        )
+
+    def _gather_blocks64(self, nodes: np.ndarray) -> np.ndarray:
+        """Float64 counterpart of :meth:`_gather_blocks`."""
+        start, stop = self._start_arr, self._stop_arr
+        ordered = self._pruning_ordered
+        if nodes.size == 1:
+            node = nodes[0]
+            return ordered[start[node] : stop[node]]
+        return np.concatenate([ordered[start[b] : stop[b]] for b in nodes])
+
+    def _gather_positions(self, nodes: np.ndarray) -> np.ndarray:
+        """Concatenated position ranges of the given data nodes."""
+        start, stop = self._start_arr, self._stop_arr
+        if nodes.size == 1:
+            node = nodes[0]
+            return np.arange(start[node], stop[node], dtype=np.intp)
+        return np.concatenate(
+            [np.arange(start[b], stop[b], dtype=np.intp) for b in nodes]
+        )
+
+    def _nn_merge_block(
+        self,
+        q_lo: int,
+        q_block: np.ndarray,
+        rho_q_block: np.ndarray,
+        data: np.ndarray,
+        data_idx: np.ndarray,
+        data_rho: np.ndarray,
+        best_sq: np.ndarray,
+        best_idx: np.ndarray,
+    ) -> None:
+        """Fold one ``|q| x |data|`` candidate block into the best arrays.
+
+        ``q_lo`` is the first query *position* of the block (query positions
+        are contiguous); candidates are merged by lexicographic (squared
+        distance, data point index), so the outcome is independent of the
+        order in which blocks arrive.
+        """
+        d_sq = _block_pair_distances_sq(q_block[None], data[None])[0]
+        self.counter.add(
+            "distance_calcs", float(q_block.shape[0]) * float(data.shape[0])
+        )
+        d_sq = np.where(data_rho[None, :] > rho_q_block[:, None], d_sq, np.inf)
+        cand_sq = d_sq.min(axis=1)
+        has = np.isfinite(cand_sq)
+        if not has.any():
+            return
+        # Lexicographic (distance, index) minimum per row: among the entries
+        # achieving the row minimum, take the smallest data point index.
+        cand_idx = np.where(
+            d_sq == cand_sq[:, None], data_idx[None, :], np.iinfo(np.intp).max
+        ).min(axis=1)
+        cur_sq = best_sq[q_lo : q_lo + q_block.shape[0]]
+        cur_idx = best_idx[q_lo : q_lo + q_block.shape[0]]
+        better = has & (
+            (cand_sq < cur_sq) | ((cand_sq == cur_sq) & (cand_idx < cur_idx))
+        )
+        rows = np.flatnonzero(better)
+        if rows.size:
+            best_sq[q_lo + rows] = cand_sq[rows]
+            best_idx[q_lo + rows] = cand_idx[rows]
+
+    def _nn_seed_level(
+        self,
+        qt: "KDTree",
+        qpos: np.ndarray,
+        max_size: int,
+        rho_pos: np.ndarray,
+        rho_q_pos: np.ndarray,
+        best_sq,
+        best_idx,
+    ) -> None:
+        """One seeding-pyramid level: join queries against their home region.
+
+        Routes each query (given by query-tree position) down *this* tree to
+        the smallest ancestor region of at most ``max_size`` points (or a
+        leaf) and merges that region's candidates.  Routing compares against
+        the storage-dtype split values, which only decides *which* region
+        seeds the query -- the merged distances are always the canonical
+        float64 values.
+        """
+        q_ordered = qt._pruning_ordered
+        ordered = self._pruning_ordered
+        d_indices = self._indices
+        start, stop = self._start_arr, self._stop_arr
+        left, right = self._left_arr, self._right_arr
+        stack: list[tuple[int, np.ndarray]] = [(self._root, qpos)]
+        while stack:
+            node, sub = stack.pop()
+            if left[node] == _NO_CHILD or stop[node] - start[node] <= max_size:
+                lo, hi = int(start[node]), int(stop[node])
+                self._nn_merge_block(
+                    0,
+                    q_ordered[sub],
+                    rho_q_pos[sub],
+                    ordered[lo:hi],
+                    d_indices[lo:hi],
+                    rho_pos[lo:hi],
+                    _SliceView(best_sq, sub),
+                    _SliceView(best_idx, sub),
+                )
+                continue
+            dim = self._split_dim_arr[node]
+            diff = q_ordered[sub, dim] - np.float64(self._split_val_arr[node])
+            on_left = diff < 0.0
+            if on_left.any():
+                stack.append((int(left[node]), sub[on_left]))
+            if not on_left.all():
+                stack.append((int(right[node]), sub[~on_left]))
+
+    def nn_dual_vs(
+        self, queries_tree: "KDTree", rho, rho_q, *, q_nodes=None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Nearest strictly-denser point of this tree for every query point.
+
+        Parameters
+        ----------
+        queries_tree:
+            :class:`KDTree` over the query points (may be this tree itself:
+            the self-join of the fit dependency phase).
+        rho:
+            Per-data-point densities in this tree's caller point order.
+        rho_q:
+            Per-query densities in the query tree's caller point order.  A
+            data point is a candidate for a query iff its density is
+            *strictly* larger, which also makes every point ineligible as
+            its own dependent point in the self-join.
+        q_nodes:
+            Optional query-tree node ids restricting the join to the queries
+            covered by those subtrees (the work units of
+            :meth:`node_frontier`).  Uncovered queries keep ``(-1, inf)``.
+
+        Returns
+        -------
+        tuple
+            ``(indices, distances)`` in the query tree's caller point order;
+            ``-1`` / ``inf`` for queries with no denser point.  Identical --
+            bit for bit, including exact-tie resolution by smallest index --
+            to a brute-force masked scan with the batch-kernel arithmetic.
+        """
+        qt = queries_tree
+        if not isinstance(qt, KDTree):
+            raise TypeError("nearest-denser joins require a KDTree over the queries")
+        if qt._dim != self._dim:
+            raise ValueError(
+                f"query tree has dimension {qt._dim}, expected {self._dim}"
+            )
+        # Normalisation must hand conforming inputs through *unchanged* (the
+        # per-call aggregate caches key on array identity).
+        rho = _as_density_vector(rho, self._n, "rho")
+        rho_q = _as_density_vector(rho_q, qt._n, "rho_q")
+
+        n_q = qt._n
+        best_idx = np.full(n_q, -1, dtype=np.intp)  # query position space
+        best_sq = np.full(n_q, np.inf)
+        if n_q == 0 or self._n == 0:
+            return best_idx, best_sq.copy()
+
+        rho_pos, node_rho_max = self._density_bounds(rho)
+        rho_q_pos, q_node_rho_min = qt._query_density_bounds(rho_q)
+        # Queries at least as dense as the densest data point have no
+        # candidate anywhere; fixing them up front keeps their infinite
+        # "bound" from poisoning the per-node pruning bounds.
+        hopeless = rho_q_pos >= node_rho_max[self._root]
+
+        if q_nodes is None:
+            q_nodes = np.asarray([qt._root], dtype=np.intp)
+        else:
+            q_nodes = np.asarray(q_nodes, dtype=np.intp).reshape(-1)
+        if q_nodes.size == 0:
+            return self._nn_scatter(qt, best_idx, best_sq)
+
+        q_start, q_stop = qt._start_arr, qt._stop_arr
+        q_left, q_right = qt._left_arr, qt._right_arr
+        d_left, d_right = self._left_arr, self._right_arr
+        d_start, d_stop = self._start_arr, self._stop_arr
+        q_ordered = qt._pruning_ordered
+        d_indices = self._indices
+
+        covered = np.concatenate(
+            [np.arange(q_start[a], q_stop[a], dtype=np.intp) for a in q_nodes]
+        )
+
+        # ---- seeding pyramid: route every covered query to progressively
+        # larger home regions of *this* tree until it has found some denser
+        # point (any candidate is a valid upper bound; the merges are exact
+        # lex comparisons, so seeding can only tighten, never change, the
+        # final answer).  Queries denser than their entire largest home
+        # region are resolved exactly against the full point set -- their
+        # count shrinks geometrically with the region size, so the brute
+        # block stays tiny.  Every step is per-query deterministic, which
+        # keeps results *and* work counters invariant under q_nodes chunking.
+        needs = covered[~hopeless[covered]]
+        for multiplier in _NN_SEED_LEVELS:
+            if needs.size == 0:
+                break
+            self._nn_seed_level(
+                qt, needs, _DUAL_BLOCK * multiplier, rho_pos, rho_q_pos,
+                best_sq, best_idx,
+            )
+            needs = needs[best_idx[needs] < 0]
+        if needs.size:
+            self._nn_merge_block(
+                0,
+                q_ordered[needs],
+                rho_q_pos[needs],
+                self._pruning_ordered,
+                d_indices,
+                rho_pos,
+                _SliceView(best_sq, needs),
+                _SliceView(best_idx, needs),
+            )
+
+        # ---- simultaneous pair traversal.
+        a_min, a_max = qt._pruning_bbox
+        b_min, b_max = self._pruning_bbox
+        q_terminal = qt._terminal
+        d_terminal = self._terminal
+        # Bound staging array in query position space.  Only the covered
+        # positions are ever spanned by a live pair's node slice, so only
+        # they need refreshing per wavefront -- the rest stay at the -inf
+        # initialisation (O(covered) per iteration, not O(n_q), which
+        # matters when one chunked call covers a small frontier slice).
+        eff_pad = np.full(n_q + 1, -np.inf, dtype=np.float64)
+        not_hopeless_cov = covered[~hopeless[covered]]
+        a_nodes = q_nodes.copy()
+        b_nodes = np.full(q_nodes.size, self._root, dtype=np.intp)
+        while a_nodes.size:
+            # Per-pair minimum squared box distance (float64 boxes).
+            gap = np.maximum(
+                b_min[b_nodes] - a_max[a_nodes], a_min[a_nodes] - b_max[b_nodes]
+            )
+            np.maximum(gap, 0.0, out=gap)
+            min_sq = np.einsum("md,md->m", gap, gap)
+
+            # Per-query-node pruning bound: the largest current best squared
+            # distance of any contained, non-hopeless query.  Non-strict
+            # comparison keeps exact-distance ties reachable so the
+            # smallest-index tie-break is traversal-order independent.
+            eff_pad[not_hopeless_cov] = best_sq[not_hopeless_cov]
+            unique_a, inverse = np.unique(a_nodes, return_inverse=True)
+            edges = np.stack([q_start[unique_a], q_stop[unique_a]], axis=1).ravel()
+            bound = np.maximum.reduceat(eff_pad, edges)[::2][inverse]
+
+            pruned = (min_sq > bound) | (
+                node_rho_max[b_nodes] <= q_node_rho_min[a_nodes]
+            )
+            live = ~pruned
+            kernel = live & q_terminal[a_nodes] & d_terminal[b_nodes]
+            if kernel.any():
+                ka = a_nodes[kernel]
+                kb = b_nodes[kernel]
+                order = np.lexsort((kb, ka))
+                ka, kb = ka[order], kb[order]
+                for lo, hi in _group_boundaries(ka):
+                    a = int(ka[lo])
+                    partners = kb[lo:hi]
+                    sa, ea = int(q_start[a]), int(q_stop[a])
+                    data_pos = self._gather_positions(partners)
+                    self._nn_merge_block(
+                        sa,
+                        q_ordered[sa:ea],
+                        rho_q_pos[sa:ea],
+                        self._gather_blocks64(partners),
+                        d_indices[data_pos],
+                        rho_pos[data_pos],
+                        best_sq,
+                        best_idx,
+                    )
+            descend = live & ~kernel
+            if not descend.any():
+                break
+            off_a, off_b = a_nodes[descend], b_nodes[descend]
+            size_a = q_stop[off_a] - q_start[off_a]
+            size_b = d_stop[off_b] - d_start[off_b]
+            go_b = q_terminal[off_a] | (~d_terminal[off_b] & (size_b > size_a))
+            ba, bb = off_a[go_b], off_b[go_b]
+            aa, ab = off_a[~go_b], off_b[~go_b]
+            a_nodes = np.concatenate([ba, ba, q_left[aa], q_right[aa]])
+            b_nodes = np.concatenate([d_left[bb], d_right[bb], ab, ab])
+
+        return self._nn_scatter(qt, best_idx, best_sq)
+
+    @staticmethod
+    def _nn_scatter(
+        qt: "KDTree", best_idx: np.ndarray, best_sq: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Inverse-permute position-space results to query caller order."""
+        out_idx = np.empty_like(best_idx)
+        out_sq = np.empty_like(best_sq)
+        out_idx[qt._indices] = best_idx
+        out_sq[qt._indices] = best_sq
+        return out_idx, np.sqrt(out_sq)
+
+    def range_nn_dual(self, rho, *, q_nodes=None) -> tuple[np.ndarray, np.ndarray]:
+        """Nearest-denser *self*-join: every indexed point queries this tree.
+
+        One simultaneous traversal of the tree against itself replaces the
+        ``n`` per-point nearest-denser searches of the dependency phase;
+        strict density comparison makes every point ineligible as its own
+        dependent point, so no explicit self-exclusion is needed.  Returns
+        ``(indices, distances)`` in caller point order (``-1`` / ``inf`` for
+        the globally densest point).
+        """
+        return self.nn_dual_vs(self, rho, rho, q_nodes=q_nodes)
+
+
+class _SliceView:
+    """Fancy-indexed writable view used by the seeding merges.
+
+    :meth:`KDTree._nn_merge_block` updates contiguous slices
+    ``best[q_lo + rows]``; the seeding passes instead update scattered
+    position subsets.  Wrapping the base array with its position map lets the
+    same merge code serve both: reads and writes at offset ``i`` resolve to
+    ``base[positions[i]]``.
+    """
+
+    __slots__ = ("_base", "_positions")
+
+    def __init__(self, base: np.ndarray, positions: np.ndarray):
+        self._base = base
+        self._positions = positions
+
+    def __getitem__(self, key):
+        return self._base[self._positions[key]]
+
+    def __setitem__(self, key, value):
+        self._base[self._positions[key]] = value
+
 
 class _IncNode:
     """A node of the pointer-based incremental kd-tree."""
@@ -1836,7 +2450,12 @@ class IncrementalKDTree:
     def nearest_neighbor(self, query) -> tuple[int, float]:
         """Return ``(index, distance)`` of the nearest inserted point to ``query``.
 
-        Returns ``(-1, inf)`` when the tree is empty.
+        Returns ``(-1, inf)`` when the tree is empty.  Exact distance ties
+        resolve to the smallest point index and per-pair squared distances
+        use the same ``diff``-then-``einsum`` arithmetic as the batch and
+        dual kernels (see :func:`repro.utils.distance.point_to_points_sq`),
+        so Ex-DPC's incremental dependency phase agrees bit for bit with the
+        unified nearest-denser join of the other engines.
         """
         if self._root is None:
             return -1, np.inf
@@ -1850,16 +2469,18 @@ class IncrementalKDTree:
         best_sq = np.inf
         points = self._store
         counter = self.counter
+        # The non-strict pruning comparison keeps equal-distance candidates
+        # reachable, which makes the smallest-index tie-break independent of
+        # traversal (insertion) order.
         stack: list[tuple[_IncNode, float]] = [(self._root, 0.0)]
         while stack:
             node, plane_sq = stack.pop()
-            if plane_sq >= best_sq:
+            if plane_sq > best_sq:
                 continue
             counter.add("distance_calcs", 1)
             coords = points[node.index]
-            diff_vec = coords - query
-            d_sq = float(np.dot(diff_vec, diff_vec))
-            if d_sq < best_sq:
+            d_sq = float(point_to_points_sq(query, coords[None, :])[0])
+            if d_sq < best_sq or (d_sq == best_sq and node.index < best_idx):
                 best_sq = d_sq
                 best_idx = node.index
             axis = node.axis
@@ -1897,8 +2518,10 @@ class IncrementalKDTree:
             node = stack.pop()
             counter.add("distance_calcs", 1)
             coords = points[node.index]
-            diff_vec = coords - query
-            d_sq = float(np.dot(diff_vec, diff_vec))
+            # Same per-pair arithmetic as the static tree's kernels so a
+            # boundary point counts identically in both indexes (the
+            # streaming layer's density repair relies on this).
+            d_sq = float(point_to_points_sq(query, coords[None, :])[0])
             if (d_sq < radius_sq) if strict else (d_sq <= radius_sq):
                 hits.append(node.index)
             axis = node.axis

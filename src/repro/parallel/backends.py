@@ -49,6 +49,7 @@ __all__ = [
     "execute_chunk",
     "kernel_range_count",
     "kernel_dual_self_count",
+    "kernel_dual_nn",
     "kernel_joint_density",
     "kernel_picked_density",
     "kernel_partitioned_dependency",
@@ -279,6 +280,43 @@ def kernel_picked_density(ctx, payload, chunk):
         )
         results.append((float(neighbors.size), keys))
     return results, delta
+
+
+def kernel_dual_nn(ctx, payload, chunk):
+    """Dual nearest-denser join: one slice of the query-subtree frontier.
+
+    The payload carries the (tiny) query-node ids of this chunk plus the
+    densities and construction parameters; the fitted tree and points come
+    from shared memory.  When the join restricts queries or candidates
+    (``undecided`` / ``candidates`` set), the worker rebuilds the throwaway
+    float64 trees once per phase (cached by ``token``) from the shared point
+    matrix -- construction is deterministic, so node ids match the driver's
+    frontier exactly.  Returns ``(covered_queries, targets, distances)``
+    compacted to the chunk's covered query positions; any grouping of
+    frontier units reproduces the serial results and work counters bit for
+    bit (the traversal is per-query deterministic).
+    """
+    rho = payload["rho"]
+    undecided = payload["undecided"]
+    candidates = payload["candidates"]
+    leaf_size = payload["leaf_size"]
+
+    def build():
+        from repro.core.dependency_join import build_join_trees
+
+        data_tree, rho_data, queries_tree, rho_q, _ = build_join_trees(
+            ctx.points, rho, undecided, candidates, leaf_size,
+            data_tree=ctx.tree, counter=WorkCounter(),
+        )
+        return data_tree, rho_data, queries_tree, rho_q
+
+    data_tree, rho_data, queries_tree, rho_q = ctx.phase_state(payload["token"], build)
+    counter = data_tree.counter
+    before = counter.get("distance_calcs")
+    q_nodes = payload["q_nodes"]
+    idx, dist = data_tree.nn_dual_vs(queries_tree, rho_data, rho_q, q_nodes=q_nodes)
+    cov = queries_tree.node_positions(q_nodes)
+    return (cov, idx[cov], dist[cov]), counter.get("distance_calcs") - before
 
 
 def kernel_partitioned_dependency(ctx, payload, chunk):

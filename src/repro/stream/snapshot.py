@@ -48,7 +48,11 @@ __all__ = ["MODEL_FORMAT_VERSION", "SNAPSHOT_ALGORITHMS", "save_model", "load_mo
 #: Version 2 added the per-node bounding boxes of the dual-tree engine
 #: (``tree.bbox_min`` / ``tree.bbox_max``) and float32 tree storage (the
 #: split values carry the storage dtype; points stay float64 on disk).
-MODEL_FORMAT_VERSION = 2
+#: Version 3 added the per-node density maxima of the nearest-denser join
+#: (``tree.rho_max``, attached by fit) and records the resolved
+#: ``dual_frontier`` in the params, so restored models serve the dual
+#: dependency engine without recomputation and stay counter-deterministic.
+MODEL_FORMAT_VERSION = 3
 
 _TREE_PREFIX = "tree."
 
@@ -226,6 +230,12 @@ def load_model(path, *, mmap: bool = False):
         model._tree = KDTree.from_arrays(
             points, tree_arrays, leaf_size=leaf_size, counter=model._counter
         )
+        if tree_arrays.rho_max is not None:
+            # Adopt the fitted per-node density maxima so the dual
+            # dependency engine serves immediately without recomputing them.
+            model._tree.attach_density_bounds(
+                model.result_.rho_, node_max=np.asarray(tree_arrays.rho_max)
+            )
     return model
 
 

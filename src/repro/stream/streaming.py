@@ -22,6 +22,10 @@ density changed, points whose dependency target changed density or was
 evicted, and points for which a changed/inserted point became a denser
 candidate within their current dependent distance.  Everything else provably
 keeps its dependency, which is what makes the update sublinear in practice.
+The repair itself is one call into the unified nearest-denser join layer
+(:func:`repro.core.dependency_join.repair_nearest_denser`) -- the same
+engine that serves ``fit`` and ``predict`` -- so the recomputed pairs are
+bit-identical to what a cold fit would produce.
 Labels are then re-derived from the repaired arrays; the propagation step is
 ``O(n)`` and far below the cost of the phases the repair machinery avoids.
 
@@ -46,8 +50,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.assignment import assign_clusters
+from repro.core.dependency_join import repair_nearest_denser
 from repro.core.ex_dpc import ExDPC
-from repro.core.predict import nearest_denser_bruteforce
 from repro.core.result import DPCResult, canonical_rho_raw
 from repro.index.kdtree import IncrementalKDTree, KDTree
 from repro.utils.counters import WorkCounter
@@ -128,10 +132,16 @@ class StreamingDPC:
         refit_equivalence: bool = False,
         repair_chunk: int = 256,
         engine: str | None = None,
+        dual_frontier: int | None = None,
     ):
         from repro.core.framework import resolve_engine
+        from repro.index.kdtree import resolve_dual_frontier
 
         self.engine = resolve_engine(engine)
+        # Resolved once, here: every amortized rebuild must use the same
+        # frontier decomposition, or work counters would drift between
+        # rebuilds of one stream if the environment changed underneath.
+        self.dual_frontier = resolve_dual_frontier(dual_frontier)
         self.d_cut = check_positive(d_cut, "d_cut")
         if window_size is not None:
             window_size = check_positive_int(window_size, "window_size")
@@ -183,7 +193,14 @@ class StreamingDPC:
             backend="serial",
             record_costs=False,
             engine=self.engine,
+            dual_frontier=self.dual_frontier,
         )
+
+    def _effective_engine(self) -> str:
+        """The concrete engine of this stream (``"auto"`` resolves by dim)."""
+        from repro.core.framework import effective_engine
+
+        return effective_engine(self.engine, self._dim or 0)
 
     def _check_fitted(self) -> None:
         if self._base_tree is None:
@@ -517,17 +534,20 @@ class StreamingDPC:
 
         repair = np.flatnonzero(dirty)
         if repair.size:
-            # Shared nearest-denser kernel (same tie-break and arithmetic as
-            # predict): no fallback -- a point denser than all others is the
-            # forest root (dependent -1, delta inf), exactly as in a cold fit.
-            targets, distances = nearest_denser_bruteforce(
+            # Unified nearest-denser join (same tie-break and arithmetic as
+            # fit and predict): no fallback -- a point denser than all others
+            # is the forest root (dependent -1, delta inf), exactly as in a
+            # cold fit.  With engine="dual" and a large enough dirty set the
+            # join runs dual-tree; the engine choice never changes a bit of
+            # the result.
+            targets, distances = repair_nearest_denser(
                 points,
                 new_rho,
                 points[repair],
                 new_rho[repair],
-                attach_fallback=False,
+                engine=self._effective_engine(),
                 counter=self._counter,
-                return_distance=True,
+                leaf_size=self.leaf_size,
             )
             self._dependent[repair] = targets
             self._delta[repair] = distances

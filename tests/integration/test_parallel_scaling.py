@@ -29,8 +29,14 @@ class TestThreadScalingShapes:
         assert result.parallel_profile_.speedup(12) > 6.0
 
     def test_ex_dpc_plateaus_from_sequential_dependency(self, syn_points):
-        """Figure 9: Ex-DPC cannot exploit many threads (Amdahl on the dependency phase)."""
-        result = ExDPC(d_cut=D_CUT, n_clusters=K).fit(syn_points)
+        """Figure 9: scalar Ex-DPC cannot exploit many threads (Amdahl).
+
+        The incremental-tree dependency phase of ``engine="scalar"`` is
+        inherently sequential (§3); the batch/dual engines route the phase
+        through the unified nearest-denser join, whose queries are
+        independent, so only the scalar engine keeps the paper's plateau.
+        """
+        result = ExDPC(d_cut=D_CUT, n_clusters=K, engine="scalar").fit(syn_points)
         profile = result.parallel_profile_
         dependency_share = profile.phase("dependency").total_cost / profile.total_serial_time()
         upper_bound = 1.0 / dependency_share
@@ -38,6 +44,16 @@ class TestThreadScalingShapes:
         # The approximate algorithms beat it at high thread counts.
         approx = ApproxDPC(d_cut=D_CUT, n_clusters=K).fit(syn_points)
         assert approx.parallel_profile_.speedup(48) > profile.speedup(48)
+
+    def test_ex_dpc_join_engines_lift_the_plateau(self, syn_points):
+        """The batch/dual dependency joins are embarrassingly parallel."""
+        scalar = ExDPC(d_cut=D_CUT, n_clusters=K, engine="scalar").fit(syn_points)
+        for engine in ("batch", "dual"):
+            joined = ExDPC(d_cut=D_CUT, n_clusters=K, engine=engine).fit(syn_points)
+            assert (
+                joined.parallel_profile_.speedup(48)
+                > scalar.parallel_profile_.speedup(48)
+            )
 
     def test_speedup_monotone_in_threads(self, syn_points):
         result = ApproxDPC(d_cut=D_CUT, n_clusters=K).fit(syn_points)

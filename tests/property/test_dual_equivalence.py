@@ -264,12 +264,17 @@ def test_engines_identical_results(cls, extra, dtype, points, d_cut, block):
                 getattr(other, name),
                 err_msg=f"{cls.__name__}[{dtype}] batch vs {engine}: {name}",
             )
-    # Scalar and batch visit identical (node, query) pairs, so their work
-    # counters agree exactly.  The dual engine's counters are smaller on
-    # realistic data (that is the point) but may exceed batch on degenerate
-    # duplicate-heavy clouds, so they are covered by the backend-parity
-    # tests instead of an inequality here.
-    assert results["scalar"].work_ == reference.work_
+    # Scalar and batch visit identical (node, query) pairs in the *density*
+    # phase, so those counters agree exactly.  Dependency counters may
+    # differ: the engines run different (bit-equal) search strategies --
+    # incremental tree / partitioned join / dual join.  The dual engine's
+    # counters are smaller on realistic data (that is the point) but may
+    # exceed batch on degenerate duplicate-heavy clouds, so they are covered
+    # by the backend-parity tests instead of an inequality here.
+    assert (
+        results["scalar"].work_["density_distance_calcs"]
+        == reference.work_["density_distance_calcs"]
+    )
 
 
 @settings(max_examples=10, deadline=None)

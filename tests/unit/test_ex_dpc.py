@@ -89,11 +89,21 @@ class TestWorkAndProfile:
         assert work_large / work_small < 10.0
 
     def test_dependency_phase_is_sequential_in_profile(self, small_blobs):
+        """The scalar incremental-tree dependency phase is sequential (§3);
+        the batch/dual engines route it through the parallel join layer."""
         points, _ = small_blobs
-        result = ExDPC(d_cut=5_000.0, n_clusters=3).fit(points)
+        result = ExDPC(d_cut=5_000.0, n_clusters=3, engine="scalar").fit(points)
         dependency = result.parallel_profile_.phase("dependency")
         assert dependency.policy == "sequential"
         assert dependency.makespan(48) == pytest.approx(dependency.makespan(1))
+
+    def test_dependency_phase_is_parallel_for_join_engines(self, small_blobs):
+        points, _ = small_blobs
+        for engine in ("batch", "dual"):
+            result = ExDPC(d_cut=5_000.0, n_clusters=3, engine=engine).fit(points)
+            dependency = result.parallel_profile_.phase("dependency")
+            assert dependency.policy == "dynamic"
+            assert dependency.makespan(12) < dependency.makespan(1)
 
     def test_density_phase_is_dynamic_in_profile(self, small_blobs):
         points, _ = small_blobs
