@@ -369,9 +369,17 @@ def main() -> None:
             json.dump(payload, handle, indent=2)
         print(f"JSON written to {args.json}")
     if args.bench_json:
-        with open(args.bench_json, "w") as handle:
-            json.dump(density_trajectory(payload), handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        # Merge into the existing trajectory: other phases' records (e.g. the
+        # "recluster" rows of bench_fig8_dcut.py --recluster) are preserved.
+        path = Path(args.bench_json)
+        trajectory: dict = {}
+        if path.exists():
+            try:
+                trajectory = json.loads(path.read_text())
+            except json.JSONDecodeError:
+                trajectory = {}
+        trajectory.update(density_trajectory(payload))
+        path.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
         print(f"Perf trajectory written to {args.bench_json}")
 
 

@@ -8,12 +8,34 @@ with S-Approx-DPC the least sensitive because a larger cutoff also means
 fewer grid cells.
 
 Run the full figure with ``python benchmarks/bench_fig8_dcut.py``.
+
+``--recluster`` runs the same d_cut tour through the re-cluster-at-any-
+parameter index instead (fit once, ``ReclusterIndex`` serves every stop;
+see ``docs/recluster.md``): every stop is verified bit-identical against a
+cold refit, and a ``phase="recluster"`` record with ``refit_seconds`` /
+``speedup_vs_refit`` is appended to the repo-root perf-trajectory file
+``BENCH_density.json``::
+
+    python benchmarks/bench_fig8_dcut.py --recluster --n 50000
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
 from repro.bench import load_workload, print_series, run_performance_suite
 from repro.bench.workloads import BenchWorkload
+from repro.core import ExDPC
+from repro.data import generate_syn
+
+#: Default output path of the perf-trajectory file (repo root), shared with
+#: benchmarks/bench_batch_vs_scalar.py.
+BENCH_TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_density.json"
 
 #: d_cut multipliers applied to each workload's default cutoff (the paper
 #: sweeps 500-1500 around a default of 1000).
@@ -66,7 +88,146 @@ def test_dcut_sensitivity_airline(benchmark, airline_workload):
     )
 
 
+#: Defaults of the ``--recluster`` tour (the acceptance workload: Syn-style
+#: 2-D points at n=50k, fitted cutoff in the middle of the sweep).
+RECLUSTER_N = 50_000
+RECLUSTER_D_CUT = 600.0
+RECLUSTER_N_CLUSTERS = 10
+RECLUSTER_RHO_MIN = 5
+
+
+def recluster_sweep(
+    n: int = RECLUSTER_N,
+    engine: str = "dual",
+    factors=D_CUT_FACTORS,
+    seed: int = 3,
+) -> dict:
+    """Tour d_cut over ``factors`` once via the recluster index, once by refits.
+
+    Every stop's labels are asserted bit-identical between the two paths;
+    returns the perf-trajectory record (``phase="recluster"``).
+    """
+    points, _ = generate_syn(n_points=n, seed=seed)
+    points = np.asarray(points, dtype=np.float64)
+    model = ExDPC(
+        RECLUSTER_D_CUT,
+        n_clusters=RECLUSTER_N_CLUSTERS,
+        rho_min=RECLUSTER_RHO_MIN,
+        seed=11,
+        engine=engine,
+    )
+    start = time.perf_counter()
+    model.fit(points)
+    fit_s = time.perf_counter() - start
+    start = time.perf_counter()
+    index = model.recluster_index()
+    build_s = time.perf_counter() - start
+
+    recluster_s = refit_s = 0.0
+    for factor in factors:
+        d_cut = factor * RECLUSTER_D_CUT
+        start = time.perf_counter()
+        toured = index.recluster(
+            d_cut, rho_min=RECLUSTER_RHO_MIN, n_clusters=RECLUSTER_N_CLUSTERS
+        )
+        recluster_s += time.perf_counter() - start
+        start = time.perf_counter()
+        cold = ExDPC(
+            d_cut,
+            n_clusters=RECLUSTER_N_CLUSTERS,
+            rho_min=RECLUSTER_RHO_MIN,
+            seed=11,
+            engine=engine,
+        ).fit(points)
+        refit_s += time.perf_counter() - start
+        if not np.array_equal(toured.labels_, cold.labels_):
+            raise AssertionError(
+                f"recluster labels diverge from the cold refit at "
+                f"d_cut={d_cut} (engine={engine})"
+            )
+        print(
+            f"  {engine} d_cut={d_cut:7.1f}: recluster "
+            f"{toured.timings_['total']:.3f}s vs refit "
+            f"{cold.timings_['total']:.3f}s (labels identical)"
+        )
+    return {
+        "n": n,
+        "d": int(points.shape[1]),
+        "dpc_variant": "Ex-DPC",
+        "phase": "recluster",
+        "engine": engine,
+        "n_parameters": len(factors),
+        "fit_seconds": fit_s,
+        "build_seconds": build_s,
+        "seconds": recluster_s,
+        "refit_seconds": refit_s,
+        "speedup_vs_refit": refit_s / recluster_s,
+        "profile_entries": index.n_profile_entries,
+        "index_bytes": index.memory_bytes(),
+    }
+
+
+def append_recluster_trajectory(rows: list[dict], path: Path) -> None:
+    """Merge ``phase="recluster"`` records into the perf-trajectory file.
+
+    The file is keyed ``phase -> engine -> record``; other phases' records
+    (written by ``bench_batch_vs_scalar.py``) are left untouched.
+    """
+    trajectory: dict = {}
+    if path.exists():
+        try:
+            trajectory = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            trajectory = {}
+    bucket = trajectory.setdefault("recluster", {})
+    for row in rows:
+        bucket[row["engine"]] = row
+    path.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+
+
+def run_recluster(args: argparse.Namespace) -> None:
+    rows = []
+    for engine in args.engines.split(","):
+        row = recluster_sweep(n=args.n, engine=engine.strip())
+        rows.append(row)
+        print(
+            f"{row['engine']}: fit {row['fit_seconds']:.2f}s, index build "
+            f"{row['build_seconds']:.2f}s ({row['index_bytes'] / 1e6:.1f} MB), "
+            f"{row['n_parameters']}-stop tour {row['seconds']:.2f}s vs refits "
+            f"{row['refit_seconds']:.2f}s -- {row['speedup_vs_refit']:.1f}x"
+        )
+    if args.bench_json:
+        path = Path(args.bench_json)
+        append_recluster_trajectory(rows, path)
+        print(f"perf trajectory updated: {path}")
+
+
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--recluster",
+        action="store_true",
+        help="run the d_cut tour through the recluster index instead of the "
+        "paper's algorithm sweep, verifying bit-identity against refits",
+    )
+    parser.add_argument(
+        "--n", type=int, default=RECLUSTER_N, help="points for --recluster"
+    )
+    parser.add_argument(
+        "--engines",
+        default="dual,batch",
+        help="comma-separated fit engines for --recluster (default: dual,batch)",
+    )
+    parser.add_argument(
+        "--bench-json",
+        default=str(BENCH_TRAJECTORY_PATH),
+        help="perf-trajectory file updated by --recluster "
+        "(default: repo-root BENCH_density.json; pass '' to skip)",
+    )
+    args = parser.parse_args()
+    if args.recluster:
+        run_recluster(args)
+        return
     for dataset in ("airline", "household"):
         d_cuts, times, works = _sweep(dataset)
         print_series(

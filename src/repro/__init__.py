@@ -24,7 +24,14 @@ EXPERIMENTS.md for paper-versus-measured results.
 """
 
 from repro.baselines import CFSFDPA, DBSCAN, KMeans, LSHDDP, OPTICS, RTreeScanDPC, ScanDPC
-from repro.core import ApproxDPC, DecisionGraph, DPCResult, ExDPC, SApproxDPC
+from repro.core import (
+    ApproxDPC,
+    DecisionGraph,
+    DPCResult,
+    ExDPC,
+    ReclusterIndex,
+    SApproxDPC,
+)
 from repro.index import IncrementalKDTree, KDTree, RTree, SampledGrid, UniformGrid
 from repro.metrics import adjusted_rand_index, center_agreement, rand_index
 
@@ -41,6 +48,7 @@ __all__ = [
     # shared framework objects
     "DPCResult",
     "DecisionGraph",
+    "ReclusterIndex",
     # baselines
     "ScanDPC",
     "RTreeScanDPC",

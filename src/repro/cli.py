@@ -1,9 +1,11 @@
 """Command-line interface.
 
-Five subcommands cover the everyday workflows of the library::
+Six subcommands cover the everyday workflows of the library::
 
     python -m repro.cli cluster data.csv --algorithm approx-dpc --d-cut 2000 \\
         --n-clusters 13 --output labels.csv --save-model model.npz
+    python -m repro.cli recluster model.npz --d-cut 1500 --n-clusters 13 \\
+        --output labels.csv
     python -m repro.cli predict model.npz new_points.csv --output labels.csv
     python -m repro.cli stream data.csv --d-cut 2000 --n-clusters 13 \\
         --window 5000 --batch 500
@@ -12,12 +14,15 @@ Five subcommands cover the everyday workflows of the library::
 
 ``cluster`` reads a CSV / ``.npy`` / ``.npz`` point matrix, runs the chosen
 algorithm and writes the per-point labels (plus a JSON metadata sidecar) and
-optionally a reusable model snapshot; ``predict`` assigns new points with a
-saved snapshot (the fit-once / serve-anywhere recipe of
-``docs/streaming.md``); ``stream`` replays a point file through the
-sliding-window :class:`repro.stream.StreamingDPC`; ``generate`` materialises
-one of the benchmark datasets; ``info`` lists the available algorithms and
-datasets with their parameters.
+optionally a reusable model snapshot; ``recluster`` re-answers a saved
+Ex-DPC snapshot at new ``(d_cut, rho_min, delta_min / n_clusters)`` without
+refitting -- bit-identical to a cold fit at those parameters (see
+``docs/recluster.md``); ``predict`` assigns new points with a saved snapshot
+(the fit-once / serve-anywhere recipe of ``docs/streaming.md``); ``stream``
+replays a point file through the sliding-window
+:class:`repro.stream.StreamingDPC`; ``generate`` materialises one of the
+benchmark datasets; ``info`` lists the available algorithms and datasets
+with their parameters.
 """
 
 from __future__ import annotations
@@ -112,6 +117,46 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="save the fitted model as a .npz snapshot for `repro predict` "
         "(see docs/streaming.md)",
+    )
+
+    recluster = subparsers.add_parser(
+        "recluster",
+        help="re-cluster a saved Ex-DPC snapshot at new parameters, exactly",
+    )
+    recluster.add_argument(
+        "model", help=".npz snapshot written by save_model / cluster --save-model"
+    )
+    recluster.add_argument(
+        "--d-cut",
+        type=float,
+        default=None,
+        help="new cutoff distance (default: keep the fitted d_cut)",
+    )
+    recluster.add_argument(
+        "--rho-min", type=float, default=None, help="noise threshold"
+    )
+    recluster.add_argument(
+        "--delta-min", type=float, default=None, help="cluster-center threshold"
+    )
+    recluster.add_argument(
+        "--n-clusters", type=int, default=None, help="number of centers to select"
+    )
+    recluster.add_argument(
+        "--d-cut-max",
+        type=float,
+        default=None,
+        help="profile cap when the index must be built (default: 2x the "
+        "fitted d_cut; bounds the largest servable --d-cut)",
+    )
+    recluster.add_argument(
+        "--output", default=None, help="write labels CSV (+ JSON sidecar) here"
+    )
+    recluster.add_argument(
+        "--save-model",
+        default=None,
+        metavar="PATH",
+        help="re-save the snapshot including the recluster index, so later "
+        "`repro recluster` calls skip the index build",
     )
 
     predict = subparsers.add_parser(
@@ -255,6 +300,55 @@ def _run_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_recluster(args: argparse.Namespace) -> int:
+    if args.delta_min is None and args.n_clusters is None:
+        print(
+            "error: provide --delta-min or --n-clusters (inspect the decision "
+            "graph to choose a threshold)",
+            file=sys.stderr,
+        )
+        return 2
+
+    model = load_model(args.model)
+    if not getattr(model, "supports_recluster", False):
+        print(
+            f"error: {model.algorithm_name} snapshots cannot be re-clustered "
+            "exactly (only Ex-DPC persists replayable profiles); refit with "
+            "`repro cluster --algorithm ex-dpc` instead",
+            file=sys.stderr,
+        )
+        return 2
+
+    had_index = getattr(model, "_recluster_index_", None) is not None
+    try:
+        result = model.recluster(
+            args.d_cut,
+            rho_min=args.rho_min,
+            delta_min=args.delta_min,
+            n_clusters=args.n_clusters,
+            d_cut_max=args.d_cut_max,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(result.summary())
+    source = "restored from snapshot" if had_index else "built now"
+    print(
+        f"recluster index  : {source}, "
+        f"{result.work_['profile_entries']:.0f} profile entries, "
+        f"{result.work_['repaired_dependencies']:.0f} dependencies repaired, "
+        f"{result.work_['joined_dependencies']:.0f} re-joined"
+    )
+    if args.output:
+        written = save_result(result, args.output)
+        print(f"labels written to {written} (metadata: {written.with_suffix('.json')})")
+    if args.save_model:
+        written = save_model(model, args.save_model)
+        print(f"model snapshot written to {written} (recluster index included)")
+    return 0
+
+
 def _write_labels(labels: np.ndarray, path: str | Path) -> Path:
     """Write a bare label column as CSV."""
     path = Path(path)
@@ -384,6 +478,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "cluster":
         return _run_cluster(args)
+    if args.command == "recluster":
+        return _run_recluster(args)
     if args.command == "predict":
         return _run_predict(args)
     if args.command == "stream":

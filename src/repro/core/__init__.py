@@ -12,12 +12,17 @@
   ``fit``.
 * :class:`repro.core.decision_graph.DecisionGraph` -- the
   ``(rho, delta)`` scatter used to pick ``rho_min`` / ``delta_min``.
+* :class:`repro.core.recluster.ReclusterIndex` -- the
+  re-cluster-at-any-parameter index: fit once, re-cut the decision graph at
+  any ``(d_cut, rho_min, delta_min)`` with labels bit-identical to a cold
+  fit.
 """
 
 from repro.core.approx_dpc import ApproxDPC
 from repro.core.decision_graph import DecisionGraph
 from repro.core.ex_dpc import ExDPC
 from repro.core.framework import DensityPeaksBase
+from repro.core.recluster import ReclusterIndex
 from repro.core.result import DPCResult
 from repro.core.s_approx_dpc import SApproxDPC
 
@@ -28,4 +33,5 @@ __all__ = [
     "ExDPC",
     "ApproxDPC",
     "SApproxDPC",
+    "ReclusterIndex",
 ]

@@ -96,11 +96,15 @@ class DecisionGraph:
         ``delta_min`` is placed halfway (geometrically) between the
         ``n_clusters``-th and ``n_clusters + 1``-th largest dependent distances
         among points with ``rho >= rho_min``, mimicking how an analyst would
-        read the gap in the decision graph.
+        read the gap in the decision graph.  Raw deltas are ranked -- the
+        densest point's ``inf`` outranks everything, matching the ``>=``
+        threshold semantics of center selection -- and a :class:`ValueError`
+        is raised when the two distances are exactly tied, because then no
+        threshold selects exactly ``n_clusters`` centers.
         """
         if n_clusters <= 0:
             raise ValueError(f"n_clusters must be positive, got {n_clusters}")
-        delta = self._finite_delta()
+        delta = self.delta
         eligible = self.rho >= rho_min
         candidate_delta = np.sort(delta[eligible])[::-1]
         if candidate_delta.size < n_clusters:
@@ -110,12 +114,33 @@ class DecisionGraph:
             )
         kth = candidate_delta[n_clusters - 1]
         if candidate_delta.size == n_clusters:
-            delta_min = kth
+            delta_min = float(kth)
         else:
             next_one = candidate_delta[n_clusters]
-            delta_min = float(np.sqrt(max(kth, 1e-12) * max(next_one, 1e-12)))
-            if delta_min >= kth:
-                delta_min = 0.5 * (kth + next_one)
+            if next_one == kth:
+                raise ValueError(
+                    f"the {n_clusters}-th and {n_clusters + 1}-th largest "
+                    f"dependent distances are exactly equal ({kth!r}); no "
+                    f"delta_min can select exactly {n_clusters} centers -- "
+                    "pass n_clusters to the estimator instead"
+                )
+            # Any delta_min in (next_one, kth] selects exactly n_clusters
+            # centers under the >= threshold semantics.  The geometric (then
+            # arithmetic) midpoint mimics reading the gap in the graph, but
+            # either can collapse onto an endpoint -- tiny magnitudes hit the
+            # 1e-12 guards, adjacent floats round to an endpoint, an infinite
+            # kth poisons both -- so clamp step by step and fall back to a
+            # value that is always exact.
+            if np.isinf(kth):
+                delta_min = float(2.0 * next_one) if next_one > 0.0 else 1.0
+            else:
+                delta_min = float(
+                    np.sqrt(max(kth, 1e-12) * max(next_one, 1e-12))
+                )
+                if not next_one < delta_min < kth:
+                    delta_min = float(0.5 * (kth + next_one))
+                if not next_one < delta_min <= kth:
+                    delta_min = float(kth)
         return float(rho_min), float(delta_min)
 
     def to_text(self, width: int = 60, height: int = 20) -> str:

@@ -358,6 +358,8 @@ def nearest_denser_join(
     n_partitions: int | None = None,
     frontier_target: int | None = None,
     process_task_builder=None,
+    seed_dependent=None,
+    seed_delta_sq=None,
 ) -> JoinOutcome:
     """Resolve the exact nearest-denser point of every query (fit phase).
 
@@ -375,8 +377,20 @@ def nearest_denser_join(
     ``tree`` is the caller's fitted kd-tree over *all* points; the dual
     engine joins against it directly when the candidate set is unrestricted
     and builds a float64 candidate tree otherwise.
+
+    ``seed_dependent`` / ``seed_delta_sq`` (both or neither, one entry per
+    query in ``query_indices`` order) optionally seed the dual traversal's
+    per-query best bounds with known denser candidates (``-1`` / ``inf`` for
+    unseeded queries); see :meth:`repro.index.kdtree.KDTree.nn_dual_vs`.
+    Seeds are a pure pruning hint -- every engine returns bit-identical
+    results with or without them -- and require the unrestricted candidate
+    set.
     """
     n = points.shape[0]
+    if (seed_dependent is None) != (seed_delta_sq is None):
+        raise ValueError("seed_dependent and seed_delta_sq must be given together")
+    if seed_dependent is not None and candidate_indices is not None:
+        raise ValueError("join seeds require the unrestricted candidate set")
     qi = (
         None
         if query_indices is None
@@ -403,6 +417,8 @@ def nearest_denser_join(
             executor,
             counter,
             process_task_builder,
+            seed_dependent,
+            seed_delta_sq,
         )
         return JoinOutcome(
             dependent=dependent,
@@ -521,6 +537,8 @@ def _dual_join(
     executor,
     counter: WorkCounter,
     process_task_builder,
+    seed_dependent=None,
+    seed_delta_sq=None,
 ) -> tuple[np.ndarray, np.ndarray, int]:
     """Dual-tree nearest-denser join over the query-subtree frontier."""
     data_tree, rho_data, queries_tree, rho_q, cand_sorted = build_join_trees(
@@ -553,7 +571,12 @@ def _dual_join(
 
     def join_chunk(chunk: np.ndarray):
         idx, dist = data_tree.nn_dual_vs(
-            queries_tree, rho_data, rho_q, q_nodes=q_nodes[chunk]
+            queries_tree,
+            rho_data,
+            rho_q,
+            q_nodes=q_nodes[chunk],
+            seed_idx=seed_dependent,
+            seed_sq=seed_delta_sq,
         )
         cov = queries_tree.node_positions(q_nodes[chunk])
         return cov, idx[cov], dist[cov]

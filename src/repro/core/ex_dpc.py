@@ -76,6 +76,11 @@ class ExDPC(DensityPeaksBase):
 
     algorithm_name = "Ex-DPC"
 
+    # Ex-DPC is exact: densities and dependencies are pure functions of
+    # (points, d_cut, seed), so its fits can be replayed at any d_cut from
+    # persisted neighbor profiles (see repro.core.recluster).
+    supports_recluster = True
+
     def __init__(
         self,
         d_cut: float,

@@ -45,7 +45,7 @@ from repro.parallel.executor import ParallelExecutor, resolve_n_jobs
 from repro.parallel.shm import SharedArrayBundle
 from repro.parallel.simulate import SimulatedMulticore
 from repro.utils.counters import WorkCounter
-from repro.utils.rng import ensure_rng, random_tiebreak
+from repro.utils.rng import draw_tiebreak_jitter, ensure_rng
 from repro.utils.validation import (
     check_non_negative,
     check_points,
@@ -180,6 +180,13 @@ class DensityPeaksBase(abc.ABC):
     #: Human-readable algorithm name; subclasses override.
     algorithm_name: str = "density-peaks"
 
+    #: Whether this estimator supports the re-cluster-at-any-parameter index
+    #: (:mod:`repro.core.recluster`).  Only exact algorithms whose density /
+    #: dependency definitions are pure functions of ``(points, d_cut, seed)``
+    #: can replay a cold fit from persisted profiles; approximate algorithms
+    #: entangle ``d_cut`` with their index construction and must refit.
+    supports_recluster: bool = False
+
     def __init__(
         self,
         d_cut: float,
@@ -261,6 +268,8 @@ class DensityPeaksBase(abc.ABC):
         # *unfitted* (predict refuses) rather than a silent mix of the old
         # result and the new index.
         self.result_ = None
+        self._tiebreak_jitter_ = None
+        self._recluster_index_ = None
         # engine="auto" resolves against the data dimensionality; the
         # subclass hot paths read the resolved engine through `engine_`.
         self._fit_dim = int(points.shape[1])
@@ -291,7 +300,13 @@ class DensityPeaksBase(abc.ABC):
                 raise RuntimeError("local density array has the wrong length")
 
             # Tie-break densities so dependent points are well-defined (§3).
-            rho = random_tiebreak(rho_raw, rng)
+            # The jitter is kept on the estimator (and in model snapshots):
+            # re-clustering at a different d_cut re-applies the *same* jitter
+            # to the new integer counts, which is what keeps its tie-broken
+            # densities -- and therefore its dependency forest -- bit-identical
+            # to a cold fit at that d_cut.
+            jitter = draw_tiebreak_jitter(rho_raw.shape, rng)
+            rho = rho_raw + jitter
 
             # Attach the per-node density maxima the nearest-denser join
             # prunes with; also persisted into model snapshots so restored
@@ -332,6 +347,7 @@ class DensityPeaksBase(abc.ABC):
             self._release_parallel_resources()
 
         self._fit_points_ = points  # only on success, matching result_
+        self._tiebreak_jitter_ = jitter
         dependent = np.asarray(dependent, dtype=np.intp).copy()
         dependent_raw = dependent.copy()
         dependent[centers] = -1  # a center's dependent point is itself (§2.1)
@@ -381,6 +397,53 @@ class DensityPeaksBase(abc.ABC):
                 )
             dim = points.shape[1]
         return effective_engine(self.engine, dim)
+
+    # ----------------------------------------------------------- re-clustering
+
+    def recluster_index(self, *, d_cut_max: float | None = None, rebuild: bool = False):
+        """Build (and cache) the re-cluster-at-any-parameter index.
+
+        The index persists every point's sorted neighbor-distance profile up
+        to ``d_cut_max`` (default: twice the fitted ``d_cut``) plus the fitted
+        dependency forest; :meth:`repro.core.recluster.ReclusterIndex.recluster`
+        then answers any ``(d_cut, rho_min, delta_min)`` with labels
+        bit-identical to a cold :meth:`fit` at those parameters, at a fraction
+        of the cost.  Only estimators with ``supports_recluster = True``
+        (Ex-DPC) can build one.  The index is cached on the estimator and
+        reused by :meth:`recluster`; pass ``rebuild=True`` (or a different
+        ``d_cut_max``) to force a fresh build.
+        """
+        from repro.core.recluster import ReclusterIndex
+
+        cached = getattr(self, "_recluster_index_", None)
+        if (
+            cached is not None
+            and not rebuild
+            and (d_cut_max is None or float(d_cut_max) == cached.d_cut_max)
+        ):
+            return cached
+        index = ReclusterIndex.from_estimator(self, d_cut_max=d_cut_max)
+        self._recluster_index_ = index
+        return index
+
+    def recluster(
+        self,
+        d_cut: float | None = None,
+        *,
+        rho_min: float | None = None,
+        delta_min: float | None = None,
+        n_clusters: int | None = None,
+        d_cut_max: float | None = None,
+    ) -> DPCResult:
+        """Re-cluster the fitted data at new parameters without refitting.
+
+        Convenience wrapper over :meth:`recluster_index`; see
+        :meth:`repro.core.recluster.ReclusterIndex.recluster` for the exact
+        parameter semantics.  ``d_cut=None`` keeps the fitted cutoff.
+        """
+        return self.recluster_index(d_cut_max=d_cut_max).recluster(
+            d_cut, rho_min=rho_min, delta_min=delta_min, n_clusters=n_clusters
+        )
 
     # ------------------------------------------------------ online prediction
 

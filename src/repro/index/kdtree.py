@@ -1067,6 +1067,59 @@ class KDTree:
                 results[query] = np.sort(all_points[start:stop])
         return results
 
+    def range_profile_batch(
+        self, queries, radius, strict: bool = True
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-query sorted neighbor-distance profiles (CSR layout).
+
+        For every query this collects the *squared* distances (and indices) of
+        all indexed points within ``radius``, using the exact hit predicate
+        and ``diff``-then-``einsum`` arithmetic of :meth:`range_count_batch`.
+        Consequently, for any radius ``r <= radius``, the number of profile
+        entries below the storage-dtype bound ``r*r`` equals
+        ``range_count_batch([q], r)`` bit for bit -- this is the invariant the
+        re-cluster index (:mod:`repro.core.recluster`) is built on.
+
+        Returns
+        -------
+        tuple
+            ``(values, ids, indptr)``: ``values`` are the squared distances in
+            the tree's storage dtype, ``ids`` the matching point indices, and
+            ``indptr`` the ``(q + 1,)`` row offsets (row ``i`` spans
+            ``values[indptr[i]:indptr[i + 1]]``).  Rows are sorted by
+            ``(squared distance, point index)`` ascending, so each row's
+            values are non-decreasing and exact distance ties keep the global
+            index order (the lexicographic tie-break of the dependency join).
+        """
+        queries = self._check_query_batch(queries)
+        n_queries = queries.shape[0]
+        radius_sq = self._check_radius_sq_batch(radius, n_queries)
+        indptr = np.zeros(n_queries + 1, dtype=np.int64)
+        if n_queries == 0:
+            return np.empty(0, dtype=self._dtype), np.empty(0, dtype=np.intp), indptr
+        hit_queries: list[np.ndarray] = []
+        hit_points: list[np.ndarray] = []
+        hit_values: list[np.ndarray] = []
+
+        def on_leaf(qidx: np.ndarray, idx: np.ndarray, d_sq: np.ndarray) -> None:
+            bound = radius_sq[qidx, None]
+            hits = d_sq < bound if strict else d_sq <= bound
+            rows, cols = np.nonzero(hits)
+            if rows.size:
+                hit_queries.append(qidx[rows])
+                hit_points.append(idx[cols])
+                hit_values.append(d_sq[rows, cols])
+
+        self._range_traverse_batch(queries, radius_sq, on_leaf)
+        if not hit_queries:
+            return np.empty(0, dtype=self._dtype), np.empty(0, dtype=np.intp), indptr
+        all_queries = np.concatenate(hit_queries)
+        all_points = np.concatenate(hit_points)
+        all_values = np.concatenate(hit_values)
+        order = np.lexsort((all_points, all_values, all_queries))
+        indptr[1:] = np.cumsum(np.bincount(all_queries, minlength=n_queries))
+        return all_values[order], all_points[order], indptr
+
     def _knn_batch_impl(
         self,
         queries: np.ndarray,
@@ -2101,7 +2154,14 @@ class KDTree:
                 stack.append((int(right[node]), sub[~on_left]))
 
     def nn_dual_vs(
-        self, queries_tree: "KDTree", rho, rho_q, *, q_nodes=None
+        self,
+        queries_tree: "KDTree",
+        rho,
+        rho_q,
+        *,
+        q_nodes=None,
+        seed_idx=None,
+        seed_sq=None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Nearest strictly-denser point of this tree for every query point.
 
@@ -2121,6 +2181,19 @@ class KDTree:
             Optional query-tree node ids restricting the join to the queries
             covered by those subtrees (the work units of
             :meth:`node_frontier`).  Uncovered queries keep ``(-1, inf)``.
+        seed_idx, seed_sq:
+            Optional per-query initial best candidates (both or neither), in
+            the query tree's caller point order: a data point index (``-1``
+            for no seed) and its squared distance (``inf`` for no seed).
+            Every seed MUST be a genuinely denser data point whose squared
+            distance was computed with the canonical float64 kernel
+            arithmetic; the merges are exact lexicographic comparisons, so
+            valid seeds can only tighten the traversal's pruning bounds --
+            the returned answers are bit-identical with or without them.
+            Callers that track an out-of-date dependency forest (the
+            re-cluster index) use this to turn the worst-case queries --
+            sparse-region points whose nearest denser neighbour is far away
+            -- into nearly-free bound checks.
 
         Returns
         -------
@@ -2143,8 +2216,20 @@ class KDTree:
         rho_q = _as_density_vector(rho_q, qt._n, "rho_q")
 
         n_q = qt._n
-        best_idx = np.full(n_q, -1, dtype=np.intp)  # query position space
-        best_sq = np.full(n_q, np.inf)
+        if (seed_idx is None) != (seed_sq is None):
+            raise ValueError("seed_idx and seed_sq must be provided together")
+        if seed_idx is not None:
+            seed_idx = np.asarray(seed_idx, dtype=np.intp)
+            seed_sq = np.asarray(seed_sq, dtype=np.float64)
+            if seed_idx.shape != (n_q,) or seed_sq.shape != (n_q,):
+                raise ValueError("seeds must provide one entry per query point")
+            # Caller order -> query position space (fancy indexing copies,
+            # so the caller's arrays are never written to).
+            best_idx = seed_idx[qt._indices]
+            best_sq = seed_sq[qt._indices]
+        else:
+            best_idx = np.full(n_q, -1, dtype=np.intp)  # query position space
+            best_sq = np.full(n_q, np.inf)
         if n_q == 0 or self._n == 0:
             return best_idx, best_sq.copy()
 
@@ -2183,6 +2268,10 @@ class KDTree:
         # block stays tiny.  Every step is per-query deterministic, which
         # keeps results *and* work counters invariant under q_nodes chunking.
         needs = covered[~hopeless[covered]]
+        if seed_idx is not None:
+            # Externally seeded queries already hold a valid upper bound;
+            # they skip the pyramid and go straight to the pruned traversal.
+            needs = needs[best_idx[needs] < 0]
         for multiplier in _NN_SEED_LEVELS:
             if needs.size == 0:
                 break

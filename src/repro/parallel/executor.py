@@ -71,7 +71,7 @@ def resolve_n_jobs(n_jobs: int | None) -> int:
         if hasattr(os, "sched_getaffinity"):
             try:
                 return max(1, len(os.sched_getaffinity(0)))
-            except OSError:  # pragma: no cover - affinity query refused
+            except OSError:  # affinity query refused (restricted container)
                 pass
         return max(1, os.cpu_count() or 1)
     return check_positive_int(n_jobs, "n_jobs")

@@ -8,9 +8,16 @@ A snapshot is a single uncompressed ``.npz`` archive holding everything
   dependent distances, the dependency forest with and without center
   masking, centers, noise and exactness masks),
 * the flattened kd-tree (:class:`~repro.index.kdtree.KDTreeArrays`, stored
-  under ``tree.*`` keys) when the estimator owns one, and
+  under ``tree.*`` keys) when the estimator owns one,
+* the density tie-break jitter and, when the estimator had built one, the
+  re-cluster index profiles (``profile.*`` keys), so restored models answer
+  :meth:`~repro.core.framework.DensityPeaksBase.recluster` immediately, and
 * a JSON metadata record (``meta``): format version, algorithm name and the
   constructor parameters used to rebuild the estimator.
+
+Snapshots from every older format version load transparently (missing
+pieces are rebuilt or simply absent); snapshots from a *newer* version are
+rejected with a clear error.
 
 Because ``np.savez`` stores members uncompressed, :func:`load_model` can
 optionally **memory-map** every array straight out of the archive
@@ -52,9 +59,18 @@ __all__ = ["MODEL_FORMAT_VERSION", "SNAPSHOT_ALGORITHMS", "save_model", "load_mo
 #: (``tree.rho_max``, attached by fit) and records the resolved
 #: ``dual_frontier`` in the params, so restored models serve the dual
 #: dependency engine without recomputation and stay counter-deterministic.
-MODEL_FORMAT_VERSION = 3
+#: Version 4 added the density tie-break jitter (``tiebreak_jitter``) and,
+#: when the estimator had built one, the re-cluster index profiles
+#: (``profile.values`` / ``profile.join_ids`` / ``profile.indptr`` /
+#: ``profile.coverage_sq`` / ``profile.d_cut_max``), so a restored model can
+#: answer :meth:`~repro.core.framework.DensityPeaksBase.recluster` without
+#: re-deriving either.  :func:`load_model` reads *every* version back to 1:
+#: v1 tree bounding boxes are rebuilt on load, and pre-v4 snapshots simply
+#: restore without a cached re-cluster index.
+MODEL_FORMAT_VERSION = 4
 
 _TREE_PREFIX = "tree."
+_PROFILE_PREFIX = "profile."
 
 #: Algorithm name (as recorded in ``result.algorithm_``) -> estimator class.
 _ESTIMATOR_CLASSES = {
@@ -124,6 +140,22 @@ def save_model(model, path) -> Path:
             arrays[name] = array
         arrays[_TREE_PREFIX + "leaf_size"] = np.asarray([tree.leaf_size], dtype=np.int64)
 
+    jitter = getattr(model, "_tiebreak_jitter_", None)
+    if jitter is not None:
+        arrays["tiebreak_jitter"] = np.asarray(jitter, dtype=np.float64)
+
+    recluster_index = getattr(model, "_recluster_index_", None)
+    if recluster_index is not None:
+        arrays[_PROFILE_PREFIX + "values"] = recluster_index._values
+        arrays[_PROFILE_PREFIX + "join_ids"] = np.asarray(
+            recluster_index._join_ids, dtype=np.int64
+        )
+        arrays[_PROFILE_PREFIX + "indptr"] = recluster_index._indptr
+        arrays[_PROFILE_PREFIX + "coverage_sq"] = recluster_index._coverage_sq
+        arrays[_PROFILE_PREFIX + "d_cut_max"] = np.asarray(
+            [recluster_index.d_cut_max], dtype=np.float64
+        )
+
     from repro import __version__  # deferred: repro/__init__ imports this module
 
     meta = {
@@ -134,6 +166,7 @@ def save_model(model, path) -> Path:
         "n_points": int(arrays["points"].shape[0]),
         "dim": int(arrays["points"].shape[1]),
         "has_tree": tree is not None,
+        "has_profile": recluster_index is not None,
     }
     arrays["meta"] = np.asarray(json.dumps(meta, sort_keys=True))
 
@@ -176,10 +209,14 @@ def load_model(path, *, mmap: bool = False):
         raise ValueError(f"{path} is not a model snapshot (no 'meta' record)")
     meta = json.loads(str(data["meta"][()]))
     version = meta.get("format_version")
-    if version != MODEL_FORMAT_VERSION:
+    if (
+        not isinstance(version, int)
+        or version < 1
+        or version > MODEL_FORMAT_VERSION
+    ):
         raise ValueError(
             f"unsupported model snapshot format version {version!r} "
-            f"(this library reads version {MODEL_FORMAT_VERSION}); "
+            f"(this library reads versions 1..{MODEL_FORMAT_VERSION}); "
             "re-export the snapshot with a matching library version"
         )
     algorithm = meta.get("algorithm")
@@ -224,7 +261,17 @@ def load_model(path, *, mmap: bool = False):
         dependent_raw_=dependent_raw,
     )
 
+    if "tiebreak_jitter" in data:
+        model._tiebreak_jitter_ = np.asarray(
+            data["tiebreak_jitter"], dtype=np.float64
+        )
+
     if meta.get("has_tree") and (_TREE_PREFIX + "split_dim") in data:
+        if (_TREE_PREFIX + "bbox_min") not in data:
+            # Version 1 snapshots predate the per-node bounding boxes; the
+            # rebuild replays the builder's bottom-up sweep exactly.
+            data = dict(data)
+            data.update(_rebuild_bbox(points, data))
         tree_arrays = KDTreeArrays.from_mapping(data, prefix=_TREE_PREFIX)
         leaf_size = int(np.asarray(data[_TREE_PREFIX + "leaf_size"])[0])
         model._tree = KDTree.from_arrays(
@@ -236,7 +283,59 @@ def load_model(path, *, mmap: bool = False):
             model._tree.attach_density_bounds(
                 model.result_.rho_, node_max=np.asarray(tree_arrays.rho_max)
             )
+
+    if meta.get("has_profile") and (_PROFILE_PREFIX + "values") in data:
+        from repro.core.recluster import ReclusterIndex
+
+        model._recluster_index_ = ReclusterIndex.from_arrays(
+            model,
+            d_cut_max=float(np.asarray(data[_PROFILE_PREFIX + "d_cut_max"])[0]),
+            values=np.asarray(data[_PROFILE_PREFIX + "values"]),
+            join_ids=np.asarray(data[_PROFILE_PREFIX + "join_ids"], dtype=np.intp),
+            indptr=np.asarray(data[_PROFILE_PREFIX + "indptr"], dtype=np.int64),
+            coverage_sq=np.asarray(
+                data[_PROFILE_PREFIX + "coverage_sq"], dtype=np.float64
+            ),
+        )
     return model
+
+
+def _rebuild_bbox(points: np.ndarray, data) -> dict[str, np.ndarray]:
+    """Per-node bounding boxes for a version-1 snapshot's tree arrays.
+
+    Replays the builder's reverse preorder sweep (children carry larger node
+    ids than their parent): leaves take the coordinate-wise extrema of their
+    bucket slice, internal nodes merge their children.  Version-1 trees
+    always stored float64 points, so the rebuilt boxes are bit-identical to
+    what the builder of the day would have produced.
+    """
+    left = np.asarray(data[_TREE_PREFIX + "left"])
+    right = np.asarray(data[_TREE_PREFIX + "right"])
+    start = np.asarray(data[_TREE_PREFIX + "start"])
+    stop = np.asarray(data[_TREE_PREFIX + "stop"])
+    indices = np.asarray(data[_TREE_PREFIX + "indices"])
+    n_nodes = left.shape[0]
+    dim = points.shape[1]
+    bbox_min = np.empty((n_nodes, dim), dtype=points.dtype)
+    bbox_max = np.empty((n_nodes, dim), dtype=points.dtype)
+    for node in range(n_nodes - 1, -1, -1):
+        child_left = left[node]
+        if child_left < 0:
+            coords = points[indices[start[node] : stop[node]]]
+            bbox_min[node] = coords.min(axis=0)
+            bbox_max[node] = coords.max(axis=0)
+        else:
+            child_right = right[node]
+            np.minimum(
+                bbox_min[child_left], bbox_min[child_right], out=bbox_min[node]
+            )
+            np.maximum(
+                bbox_max[child_left], bbox_max[child_right], out=bbox_max[node]
+            )
+    return {
+        _TREE_PREFIX + "bbox_min": bbox_min,
+        _TREE_PREFIX + "bbox_max": bbox_max,
+    }
 
 
 def _load_npz_memmap(path: Path) -> dict[str, np.ndarray]:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["ensure_rng", "random_tiebreak"]
+__all__ = ["ensure_rng", "draw_tiebreak_jitter", "random_tiebreak"]
 
 
 def ensure_rng(seed=None) -> np.random.Generator:
@@ -25,6 +25,20 @@ def ensure_rng(seed=None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def draw_tiebreak_jitter(shape, rng: np.random.Generator) -> np.ndarray:
+    """Draw the density tie-break perturbation: i.i.d. values in ``(0, 1)``.
+
+    This is the *only* randomness of an exact DPC fit, and it is the first
+    draw consumed from the fit's generator -- so the identical jitter can be
+    regenerated from the estimator's integer seed alone, which is what lets
+    the re-cluster index (:mod:`repro.core.recluster`) reproduce a cold
+    fit's tie-broken densities bit for bit at any ``d_cut``.
+    """
+    jitter = rng.uniform(0.0, 1.0, size=shape)
+    # Keep the jitter strictly inside (0, 1): uniform() may return exactly 0.
+    return np.nextafter(jitter, 1.0)
+
+
 def random_tiebreak(values: np.ndarray, seed=None) -> np.ndarray:
     """Return ``values`` plus a random perturbation drawn from ``(0, 1)``.
 
@@ -35,7 +49,4 @@ def random_tiebreak(values: np.ndarray, seed=None) -> np.ndarray:
     """
     rng = ensure_rng(seed)
     values = np.asarray(values, dtype=np.float64)
-    jitter = rng.uniform(0.0, 1.0, size=values.shape)
-    # Keep the jitter strictly inside (0, 1): uniform() may return exactly 0.
-    jitter = np.nextafter(jitter, 1.0)
-    return values + jitter
+    return values + draw_tiebreak_jitter(values.shape, rng)

@@ -1,0 +1,185 @@
+"""Property tests: recluster at any parameters equals a cold fit bit for bit.
+
+The :class:`repro.core.recluster.ReclusterIndex` contract is *exact* replay:
+for every ``(d_cut', rho_min, delta_min / n_clusters)`` with
+``d_cut' <= d_cut_max``, the per-point arrays of ``index.recluster(...)``
+equal those of a cold ``ExDPC.fit`` at the same parameters bit for bit --
+densities (raw and tie-broken), deltas, dependency forest, centers, noise
+mask and labels.  These tests pin that down over hypothesis-generated point
+sets (duplicate-heavy lattices included, which force exact density ties and
+exercise the lexicographic repair order), every query engine, both storage
+dtypes, and ``d_cut'`` below / at / above the fitted cutoff, plus
+deterministic moderate-size datasets that drive the tiered sweep's CSR tail
+scan and the join fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ExDPC
+from repro.data.synthetic import generate_syn
+
+MAX_EXAMPLES = 25
+
+RESULT_FIELDS = (
+    "labels_",
+    "rho_",
+    "rho_raw_",
+    "delta_",
+    "dependent_",
+    "dependent_raw_",
+    "centers_",
+    "noise_mask_",
+)
+
+
+def _assert_bit_identical(recluster, cold, context: str):
+    for name in RESULT_FIELDS:
+        np.testing.assert_array_equal(
+            getattr(recluster, name),
+            getattr(cold, name),
+            err_msg=f"{context}: {name} differ",
+        )
+
+
+@st.composite
+def point_sets(draw):
+    """Random 2-D / 3-D point sets, sometimes lattice-valued to force ties."""
+    dim = draw(st.integers(1, 3))
+    n = draw(st.integers(10, 48))
+    if draw(st.booleans()):
+        coordinate = st.integers(0, 4).map(float)
+    else:
+        coordinate = st.floats(
+            min_value=-100.0, max_value=100.0, allow_nan=False, width=32
+        )
+    rows = draw(
+        st.lists(
+            st.lists(coordinate, min_size=dim, max_size=dim),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return np.asarray(rows, dtype=np.float64)
+
+
+# Below, at, and above the fitted cutoff (the cap is 2x the fitted d_cut, so
+# 2.0 probes the boundary row-completeness too).
+d_cut_factors = st.sampled_from([0.5, 0.8, 1.0, 1.3, 2.0])
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(
+    points=point_sets(),
+    d_cut=st.floats(min_value=1.0, max_value=120.0, allow_nan=False),
+    factor=d_cut_factors,
+    engine=st.sampled_from(["scalar", "batch", "dual"]),
+    dtype=st.sampled_from(["float64", "float32"]),
+    seed=st.integers(0, 2**16),
+)
+def test_recluster_matches_cold_fit(points, d_cut, factor, engine, dtype, seed):
+    model = ExDPC(
+        d_cut, rho_min=1, n_clusters=2, seed=seed, engine=engine, dtype=dtype
+    )
+    model.fit(points)
+    index = model.recluster_index()
+    new_d_cut = factor * d_cut
+    result = index.recluster(new_d_cut, rho_min=1, n_clusters=2)
+    cold = ExDPC(
+        new_d_cut, rho_min=1, n_clusters=2, seed=seed, engine=engine, dtype=dtype
+    ).fit(points)
+    _assert_bit_identical(
+        result, cold, f"{engine}/{dtype} d_cut={d_cut} factor={factor}"
+    )
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(
+    points=point_sets(),
+    d_cut=st.floats(min_value=1.0, max_value=120.0, allow_nan=False),
+    rho_min=st.integers(0, 4),
+    seed=st.integers(0, 2**16),
+)
+def test_delta_min_cut_matches_cold_fit(points, d_cut, rho_min, seed):
+    # Threshold-mode center selection: delta_min must exceed d_cut' (Def. 5).
+    # The fitted forest depends only on (points, d_cut, seed), so the fit
+    # itself uses a permissive rho_min; the drawn one is applied at
+    # recluster time (threshold mode tolerates zero selected centers).
+    model = ExDPC(d_cut, rho_min=1, n_clusters=2, seed=seed)
+    model.fit(points)
+    index = model.recluster_index()
+    new_d_cut = 0.75 * d_cut
+    delta_min = 1.5 * d_cut
+    # The cut may select no centers at all (degenerate duplicate-heavy
+    # draws); the contract then is that recluster fails exactly where a cold
+    # fit fails, with the same refusal.
+    try:
+        cold = ExDPC(
+            new_d_cut, rho_min=rho_min, delta_min=delta_min, seed=seed
+        ).fit(points)
+    except ValueError:
+        with pytest.raises(ValueError, match="no cluster centers"):
+            index.recluster(new_d_cut, rho_min=rho_min, delta_min=delta_min)
+        return
+    result = index.recluster(new_d_cut, rho_min=rho_min, delta_min=delta_min)
+    _assert_bit_identical(result, cold, f"delta_min d_cut={d_cut}")
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(
+    points=point_sets(),
+    d_cut=st.floats(min_value=1.0, max_value=120.0, allow_nan=False),
+    seed=st.integers(0, 2**16),
+)
+def test_one_index_serves_a_whole_tour(points, d_cut, seed):
+    # The index is read-only: a full decision-graph tour over one instance
+    # returns the same answers as one cold fit per stop, in any order.
+    model = ExDPC(d_cut, rho_min=1, n_clusters=2, seed=seed)
+    model.fit(points)
+    index = model.recluster_index()
+    for factor in (1.6, 0.5, 1.0, 0.9):
+        new_d_cut = factor * d_cut
+        result = index.recluster(new_d_cut, rho_min=1, n_clusters=2)
+        cold = ExDPC(new_d_cut, rho_min=1, n_clusters=2, seed=seed).fit(points)
+        _assert_bit_identical(result, cold, f"tour stop factor={factor}")
+
+
+@pytest.mark.parametrize("engine", ["scalar", "batch", "dual"])
+@pytest.mark.parametrize("dtype", ["float64", "float32"])
+def test_moderate_dataset_sweep(engine, dtype):
+    # Large enough that profile rows exceed the dense sweep prefix (CSR tail
+    # tier) and sparse fringe points hit the join fallback.
+    points, _ = generate_syn(n_points=900, n_peaks=5, seed=23)
+    points = np.asarray(points, dtype=np.float64)
+    d_cut = 900.0
+    model = ExDPC(d_cut, rho_min=3, n_clusters=5, seed=11, engine=engine, dtype=dtype)
+    model.fit(points)
+    index = model.recluster_index()
+    for factor in (0.5, 0.8, 1.0, 1.3, 2.0):
+        new_d_cut = factor * d_cut
+        result = index.recluster(new_d_cut, rho_min=3, n_clusters=5)
+        cold = ExDPC(
+            new_d_cut, rho_min=3, n_clusters=5, seed=11, engine=engine, dtype=dtype
+        ).fit(points)
+        _assert_bit_identical(result, cold, f"{engine}/{dtype} factor={factor}")
+
+
+def test_rho_min_only_moves_are_pure_relabels():
+    # Varying the decision-graph cut at a fixed d_cut must not touch the
+    # forest at all (zero repair work) and still equal cold fits.
+    points, _ = generate_syn(n_points=700, n_peaks=4, seed=3)
+    points = np.asarray(points, dtype=np.float64)
+    d_cut = 1_000.0
+    model = ExDPC(d_cut, rho_min=2, n_clusters=4, seed=7)
+    model.fit(points)
+    index = model.recluster_index()
+    for rho_min in (0, 2, 4, 6):
+        result = index.recluster(rho_min=rho_min, n_clusters=4)
+        assert result.work_["repaired_dependencies"] == 0
+        assert result.work_["joined_dependencies"] == 0
+        cold = ExDPC(d_cut, rho_min=rho_min, n_clusters=4, seed=7).fit(points)
+        _assert_bit_identical(result, cold, f"rho_min={rho_min}")

@@ -73,6 +73,46 @@ class TestSuggestThresholds:
         with pytest.raises(ValueError):
             simple_graph.suggest_thresholds(100)
 
+    def test_tied_kth_delta_raises(self):
+        # Regression: when the k-th and (k+1)-th largest deltas are exactly
+        # equal, every midpoint collapses onto the tie and the >= selection
+        # would pick more than k centers; the graph must refuse instead.
+        rho = np.array([5.0, 4.0, 3.0, 2.0, 1.0])
+        delta = np.array([9.0, 7.0, 7.0, 0.5, 0.2])
+        graph = DecisionGraph(rho, delta)
+        with pytest.raises(ValueError, match="exactly equal"):
+            graph.suggest_thresholds(2)
+
+    def test_tie_below_cut_is_fine(self):
+        # Ties strictly below the k-th delta never interfere.
+        rho = np.array([5.0, 4.0, 3.0, 2.0, 1.0])
+        delta = np.array([9.0, 7.0, 0.5, 0.5, 0.2])
+        graph = DecisionGraph(rho, delta)
+        rho_min, delta_min = graph.suggest_thresholds(2)
+        assert np.count_nonzero((rho >= rho_min) & (delta >= delta_min)) == 2
+
+    def test_adjacent_float_deltas_select_exactly_k(self):
+        # The geometric/arithmetic midpoints of two adjacent floats round
+        # onto an endpoint; the clamp must still yield an exact threshold.
+        kth = 3.0
+        next_one = np.nextafter(kth, 0.0)
+        rho = np.array([5.0, 4.0, 3.0, 2.0])
+        delta = np.array([9.0, kth, next_one, 0.1])
+        graph = DecisionGraph(rho, delta)
+        _, delta_min = graph.suggest_thresholds(2)
+        assert next_one < delta_min <= kth
+        assert np.count_nonzero(delta >= delta_min) == 2
+
+    def test_tiny_magnitude_deltas_select_exactly_k(self):
+        # Deltas below the 1e-12 guard floor used to push the midpoint to
+        # the guard value itself (>= kth); the clamp falls back to kth.
+        rho = np.array([5.0, 4.0, 3.0])
+        delta = np.array([1e-15, 1e-16, 1e-17])
+        graph = DecisionGraph(rho, delta)
+        _, delta_min = graph.suggest_thresholds(2)
+        finite = graph._finite_delta()
+        assert np.count_nonzero(finite >= delta_min) == 2
+
 
 class TestTextRendering:
     def test_contains_axes_and_points(self, simple_graph):

@@ -249,3 +249,131 @@ class TestCLI:
         code = main(["stream", str(data_path), "--d-cut", "0.5"])
         assert code == 2
         assert "delta-min" in capsys.readouterr().err
+
+    def _save_exdpc_model(self, tmp_path, capsys):
+        data_path = tmp_path / "syn.csv"
+        assert main(
+            ["generate", "syn", "--sampling-rate", "0.05", "--output", str(data_path)]
+        ) == 0
+        model_path = tmp_path / "model.npz"
+        assert main(
+            [
+                "cluster",
+                str(data_path),
+                "--algorithm",
+                "ex-dpc",
+                "--d-cut",
+                "2000",
+                "--n-clusters",
+                "5",
+                "--save-model",
+                str(model_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        return data_path, model_path
+
+    def test_recluster_subcommand(self, tmp_path, capsys):
+        data_path, model_path = self._save_exdpc_model(tmp_path, capsys)
+        labels_path = tmp_path / "relabels.csv"
+        again_path = tmp_path / "again.npz"
+        code = main(
+            [
+                "recluster",
+                str(model_path),
+                "--d-cut",
+                "1500",
+                "--n-clusters",
+                "5",
+                "--output",
+                str(labels_path),
+                "--save-model",
+                str(again_path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "built now" in output
+        assert labels_path.exists() and labels_path.with_suffix(".json").exists()
+        # The re-saved snapshot carries the index: a second tour restores it.
+        assert main(
+            ["recluster", str(again_path), "--d-cut", "2400", "--n-clusters", "4"]
+        ) == 0
+        assert "restored from snapshot" in capsys.readouterr().out
+
+    def test_recluster_matches_cold_cluster_run(self, tmp_path, capsys):
+        data_path, model_path = self._save_exdpc_model(tmp_path, capsys)
+        toured_path = tmp_path / "toured.csv"
+        assert main(
+            [
+                "recluster",
+                str(model_path),
+                "--d-cut",
+                "1500",
+                "--n-clusters",
+                "5",
+                "--output",
+                str(toured_path),
+            ]
+        ) == 0
+        cold_path = tmp_path / "cold.csv"
+        assert main(
+            [
+                "cluster",
+                str(data_path),
+                "--algorithm",
+                "ex-dpc",
+                "--d-cut",
+                "1500",
+                "--n-clusters",
+                "5",
+                "--output",
+                str(cold_path),
+            ]
+        ) == 0
+        # Whole result table (label, rho, delta, dependent, noise) matches.
+        toured = np.loadtxt(toured_path, delimiter=",", skiprows=1)
+        cold = np.loadtxt(cold_path, delimiter=",", skiprows=1)
+        np.testing.assert_array_equal(toured, cold)
+
+    def test_recluster_requires_center_mode(self, tmp_path, capsys):
+        _, model_path = self._save_exdpc_model(tmp_path, capsys)
+        code = main(["recluster", str(model_path), "--d-cut", "1500"])
+        assert code == 2
+        assert "delta-min" in capsys.readouterr().err
+
+    def test_recluster_rejects_unsupported_snapshot(self, tmp_path, capsys):
+        data_path = tmp_path / "syn.csv"
+        assert main(
+            ["generate", "syn", "--sampling-rate", "0.05", "--output", str(data_path)]
+        ) == 0
+        model_path = tmp_path / "approx.npz"
+        assert main(
+            [
+                "cluster",
+                str(data_path),
+                "--algorithm",
+                "approx-dpc",
+                "--d-cut",
+                "2000",
+                "--n-clusters",
+                "5",
+                "--save-model",
+                str(model_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["recluster", str(model_path), "--d-cut", "1500", "--n-clusters", "5"]
+        )
+        assert code == 2
+        assert "cannot be re-clustered" in capsys.readouterr().err
+
+    def test_recluster_reports_parameter_errors(self, tmp_path, capsys):
+        _, model_path = self._save_exdpc_model(tmp_path, capsys)
+        # d_cut beyond the default 2x profile cap is a clean CLI error.
+        code = main(
+            ["recluster", str(model_path), "--d-cut", "9000", "--n-clusters", "5"]
+        )
+        assert code == 2
+        assert "d_cut_max" in capsys.readouterr().err

@@ -1,5 +1,7 @@
 """Unit tests for repro.parallel (partition, scheduler, executor, simulate)."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -130,6 +132,25 @@ class TestExecutor:
     def test_resolve_rejects_invalid(self):
         with pytest.raises(ValueError):
             resolve_n_jobs(0)
+
+    def test_resolve_all_cpus_survives_refused_affinity(self, monkeypatch):
+        # Some platforms expose sched_getaffinity but refuse the query at
+        # runtime (restricted containers); -1 must fall back to cpu_count.
+        def refused(pid):
+            raise OSError("affinity query refused")
+
+        monkeypatch.setattr(os, "sched_getaffinity", refused, raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 6)
+        assert resolve_n_jobs(-1) == 6
+
+    def test_resolve_all_cpus_survives_unknown_cpu_count(self, monkeypatch):
+        # cpu_count may return None; -1 still resolves to at least one job.
+        def refused(pid):
+            raise OSError("affinity query refused")
+
+        monkeypatch.setattr(os, "sched_getaffinity", refused, raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert resolve_n_jobs(-1) == 1
 
     def test_serial_map_preserves_order(self):
         executor = ParallelExecutor(1)

@@ -1,6 +1,7 @@
 """Unit tests for model snapshots (save_model / load_model / mmap loading)."""
 
 import json
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -159,3 +160,88 @@ class TestMemmapLoader:
         assert isinstance(mapped["points"], np.memmap)
         with pytest.raises((ValueError, RuntimeError)):
             mapped["points"][0, 0] = 1.0
+
+
+GOLDEN_DIR = Path(__file__).resolve().parents[1] / "fixtures" / "snapshots"
+
+
+class TestBackwardCompat:
+    """Golden snapshots of every historical format version keep loading.
+
+    The fixtures are committed files produced by
+    ``tests/fixtures/snapshots/make_goldens.py`` -- a tiny Ex-DPC fit saved
+    in the current format and byte-faithfully downgraded to each older
+    layout (v1: no tree bounding boxes, no rho_max; v2: no rho_max; v3: no
+    jitter / profiles).
+    """
+
+    @pytest.fixture(scope="class")
+    def golden_labels(self):
+        return np.load(GOLDEN_DIR / "golden_labels.npy")
+
+    @pytest.mark.parametrize("version", [1, 2, 3, 4])
+    @pytest.mark.parametrize("mmap", [False, True], ids=["load", "mmap"])
+    def test_golden_loads_and_serves(self, version, mmap, golden_labels, queries):
+        model = load_model(GOLDEN_DIR / f"golden_v{version}.npz", mmap=mmap)
+        np.testing.assert_array_equal(model.result_.labels_, golden_labels)
+        predictions = model.predict(queries)
+        assert predictions.shape == (queries.shape[0],)
+
+    def test_v1_bbox_rebuild_matches_stored_v2_bbox(self):
+        # The v2 golden stores the very boxes the v1 loader must re-derive.
+        model = load_model(GOLDEN_DIR / "golden_v1.npz")
+        with np.load(GOLDEN_DIR / "golden_v2.npz", allow_pickle=False) as archive:
+            np.testing.assert_array_equal(
+                model._tree.arrays.bbox_min, archive["tree.bbox_min"]
+            )
+            np.testing.assert_array_equal(
+                model._tree.arrays.bbox_max, archive["tree.bbox_max"]
+            )
+
+    def test_v4_restores_jitter_and_profile(self):
+        model = load_model(GOLDEN_DIR / "golden_v4.npz")
+        assert model._tiebreak_jitter_ is not None
+        index = model._recluster_index_
+        assert index is not None
+        # The cached index serves recluster() without a rebuild.
+        assert model.recluster_index() is index
+
+    @pytest.mark.parametrize("version", [3, 4])
+    def test_restored_model_reclusters_bit_identically(self, version):
+        # v4 restores the profile directly; v3 lacks it and must rebuild
+        # (regenerating the jitter from the recorded integer seed).
+        model = load_model(GOLDEN_DIR / f"golden_v{version}.npz")
+        new_d_cut = 0.75 * model.d_cut
+        res = model.recluster(new_d_cut, rho_min=2, n_clusters=3)
+        cold = ExDPC(
+            new_d_cut, rho_min=2, n_clusters=3, seed=5, engine="dual"
+        ).fit(np.asarray(model._fit_points_))
+        np.testing.assert_array_equal(res.labels_, cold.labels_)
+        np.testing.assert_array_equal(res.delta_, cold.delta_)
+        np.testing.assert_array_equal(res.dependent_, cold.dependent_)
+
+    def test_profile_roundtrips_through_save(self, tmp_path):
+        model = load_model(GOLDEN_DIR / "golden_v4.npz")
+        path = save_model(model, tmp_path / "again.npz")
+        with np.load(path, allow_pickle=False) as archive:
+            assert "profile.values" in archive.files
+            assert "tiebreak_jitter" in archive.files
+        again = load_model(path)
+        first = model._recluster_index_
+        second = again._recluster_index_
+        np.testing.assert_array_equal(first._values, second._values)
+        np.testing.assert_array_equal(first._join_ids, second._join_ids)
+        np.testing.assert_array_equal(first._indptr, second._indptr)
+        np.testing.assert_array_equal(first._coverage_sq, second._coverage_sq)
+        assert first.d_cut_max == second.d_cut_max
+
+    def test_future_version_rejected(self, tmp_path):
+        with np.load(GOLDEN_DIR / "golden_v4.npz", allow_pickle=False) as archive:
+            data = {name: archive[name] for name in archive.files}
+        meta = json.loads(str(data["meta"][()]))
+        meta["format_version"] = MODEL_FORMAT_VERSION + 1
+        data["meta"] = np.asarray(json.dumps(meta))
+        path = tmp_path / "future.npz"
+        np.savez(path, **data)
+        with pytest.raises(ValueError, match="format version"):
+            load_model(path)
