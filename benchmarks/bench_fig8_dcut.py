@@ -28,7 +28,12 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.bench import load_workload, print_series, run_performance_suite
+from repro.bench import (
+    load_workload,
+    merge_trajectory,
+    print_series,
+    run_performance_suite,
+)
 from repro.bench.workloads import BenchWorkload
 from repro.core import ExDPC
 from repro.data import generate_syn
@@ -171,18 +176,10 @@ def append_recluster_trajectory(rows: list[dict], path: Path) -> None:
     """Merge ``phase="recluster"`` records into the perf-trajectory file.
 
     The file is keyed ``phase -> engine -> record``; other phases' records
-    (written by ``bench_batch_vs_scalar.py``) are left untouched.
+    (written by ``bench_batch_vs_scalar.py`` / ``bench_kernels.py``) are
+    left untouched.
     """
-    trajectory: dict = {}
-    if path.exists():
-        try:
-            trajectory = json.loads(path.read_text())
-        except json.JSONDecodeError:
-            trajectory = {}
-    bucket = trajectory.setdefault("recluster", {})
-    for row in rows:
-        bucket[row["engine"]] = row
-    path.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+    merge_trajectory(path, {"recluster": {row["engine"]: row for row in rows}})
 
 
 def run_recluster(args: argparse.Namespace) -> None:

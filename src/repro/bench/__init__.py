@@ -14,7 +14,7 @@ paper's evaluation (§6).  They all build on this package:
   by each bench's ``main()`` entry point.
 """
 
-from repro.bench.reporting import print_series, print_table
+from repro.bench.reporting import merge_trajectory, print_series, print_table
 from repro.bench.runners import (
     ALGORITHM_BUILDERS,
     ENGINE_AWARE_ALGORITHMS,
@@ -43,4 +43,5 @@ __all__ = [
     "run_performance_suite",
     "print_table",
     "print_series",
+    "merge_trajectory",
 ]

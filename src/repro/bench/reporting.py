@@ -6,9 +6,32 @@ or figure series with these helpers; no plotting dependency is required.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
 from typing import Mapping, Sequence
 
-__all__ = ["print_table", "print_series", "format_value"]
+__all__ = ["print_table", "print_series", "format_value", "merge_trajectory"]
+
+
+def merge_trajectory(path: Path | str, updates: Mapping[str, Mapping]) -> None:
+    """Merge ``phase -> key -> record`` updates into a perf-trajectory file.
+
+    Every bench that contributes to the repo-root ``BENCH_density.json``
+    writes through this helper so phases (and keys within a phase) owned by
+    *other* benches are preserved -- merge, don't clobber.  An unreadable
+    existing file is treated as empty rather than aborting the bench run.
+    """
+    path = Path(path)
+    trajectory: dict = {}
+    if path.exists():
+        try:
+            trajectory = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            trajectory = {}
+    for phase, records in updates.items():
+        bucket = trajectory.setdefault(phase, {})
+        bucket.update(records)
+    path.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
 
 
 def format_value(value) -> str:

@@ -39,6 +39,7 @@ from repro import __version__
 from repro.bench.runners import ALGORITHM_BUILDERS, ENGINE_AWARE_ALGORITHMS
 from repro.bench.workloads import load_workload
 from repro.core.framework import ENGINE_CHOICES
+from repro.kernels import KERNEL_CHOICES
 from repro.io import load_model, load_points, save_model, save_points, save_result
 
 __all__ = ["main", "build_parser"]
@@ -106,6 +107,15 @@ def build_parser() -> argparse.ArgumentParser:
         "ex-dpc/approx-dpc/s-approx-dpc ('auto' picks dual/batch by "
         "dimension; default: REPRO_DEFAULT_ENGINE or 'batch'; baselines "
         "ignore the flag; see docs/performance.md)",
+    )
+    cluster.add_argument(
+        "--kernel",
+        choices=list(KERNEL_CHOICES),
+        default=None,
+        help="blocked kernel tier of the distance kernels ('auto' upgrades "
+        "to numba when installed; tiers are bit-identical; default: "
+        "REPRO_KERNEL or 'auto'; baselines ignore the flag; see "
+        "docs/kernels.md)",
     )
     cluster.add_argument("--seed", type=int, default=0, help="random seed")
     cluster.add_argument(
@@ -210,6 +220,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="query engine of the wrapped Ex-DPC (rebuilds, repair and predict)",
     )
+    stream.add_argument(
+        "--kernel",
+        choices=list(KERNEL_CHOICES),
+        default=None,
+        help="blocked kernel tier of the distance kernels (see docs/kernels.md)",
+    )
     stream.add_argument("--seed", type=int, default=0, help="random seed")
     stream.add_argument(
         "--refit-equivalence",
@@ -285,6 +301,15 @@ def _run_cluster(args: argparse.Namespace) -> int:
             print(
                 f"note: {args.algorithm} has no query-engine switch; "
                 f"--engine {args.engine} ignored",
+                file=sys.stderr,
+            )
+    if args.kernel is not None:
+        if name in ENGINE_AWARE_ALGORITHMS:
+            kwargs["kernel"] = args.kernel
+        else:
+            print(
+                f"note: {args.algorithm} has no kernel-tier switch; "
+                f"--kernel {args.kernel} ignored",
                 file=sys.stderr,
             )
     model = ALGORITHM_BUILDERS[name](args.d_cut, **kwargs)
@@ -413,6 +438,7 @@ def _run_stream(args: argparse.Namespace) -> int:
         seed=args.seed,
         refit_equivalence=args.refit_equivalence,
         engine=args.engine,
+        kernel=args.kernel,
     )
     warmup = min(points.shape[0], args.window)
     model.fit(points[:warmup])

@@ -149,7 +149,8 @@ class ApproxDPC(DensityPeaksBase):
         n_partitions: int | None = None,
         engine: str | None = None,
         dtype: str = "float64",
-        dual_frontier: int | None = None,
+        dual_frontier=None,
+        kernel: str | None = None,
     ):
         super().__init__(
             d_cut,
@@ -162,6 +163,7 @@ class ApproxDPC(DensityPeaksBase):
             record_costs=record_costs,
             engine=engine,
             dual_frontier=dual_frontier,
+            kernel=kernel,
         )
         self.leaf_size = leaf_size
         self.n_partitions = n_partitions
@@ -174,7 +176,11 @@ class ApproxDPC(DensityPeaksBase):
 
     def _build_index(self, points: np.ndarray) -> None:
         self._tree = KDTree(
-            points, leaf_size=self.leaf_size, counter=self._counter, dtype=self.dtype
+            points,
+            leaf_size=self.leaf_size,
+            counter=self._counter,
+            dtype=self.dtype,
+            kernel=self.kernel,
         )
         cell_side = self.d_cut / np.sqrt(points.shape[1])
         self._grid = UniformGrid(points, cell_side)
@@ -242,6 +248,7 @@ class ApproxDPC(DensityPeaksBase):
                 leaf_size=self.leaf_size,
                 counter=WorkCounter(),
                 dtype=tree.dtype_name,
+                kernel=tree.kernel_name,
             )
             candidate_lists = tree.range_search_dual_vs(
                 centers_tree, radii, strict=False
@@ -386,7 +393,7 @@ class ApproxDPC(DensityPeaksBase):
                 tree=self._tree,
                 leaf_size=self.leaf_size,
                 n_partitions=self.n_partitions,
-                frontier_target=self.dual_frontier,
+                frontier_target=self.dual_frontier_,
                 process_task_builder=self._process_task,
             )
             dependent[undecided_arr] = outcome.dependent

@@ -27,7 +27,7 @@ Every engine -- and every other nearest-denser code path in the library
 (Ex-DPC's incremental tree, :func:`repro.core.predict.nearest_denser_targets`,
 :func:`repro.core.predict.nearest_denser_bruteforce`) -- selects candidates by
 lexicographic **(squared distance, point index)**, computes squared distances
-with the ``diff``-then-``einsum`` arithmetic of the batch kernels, and runs
+with the canonical sequential arithmetic of :mod:`repro.kernels`, and runs
 the comparison in float64 regardless of the tree storage dtype.  Results are
 therefore bit-for-bit identical across engines (dependencies, deltas and
 labels), including on duplicate-heavy data with exact distance ties; the
@@ -50,7 +50,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.predict import nearest_denser_bruteforce, nearest_denser_targets
-from repro.index.kdtree import KDTree, resolve_dual_frontier
+from repro.index.kdtree import (
+    DUAL_FRONTIER_AUTO,
+    KDTree,
+    adaptive_dual_frontier,
+    resolve_dual_frontier,
+)
+from repro.kernels import pair_distances_sq
 from repro.parallel.backends import kernel_dual_nn, kernel_partitioned_dependency
 from repro.utils.counters import WorkCounter
 
@@ -66,7 +72,8 @@ __all__ = [
 
 #: Minimum ``|queries| * |data|`` brute-force work at which the streaming
 #: repair builds throwaway kd-trees and runs the dual join instead of the
-#: vectorised scan.  Below it the scan's single einsum beats two tree builds.
+#: vectorised scan.  Below it the scan's single blocked kernel beats two
+#: tree builds.
 _DUAL_REPAIR_MIN_WORK = 1 << 18
 
 
@@ -308,11 +315,9 @@ class PartitionedDependencySearcher:
                 members = part.member_indices
                 eligible = self._rho[members][None, :] > query_rho[case_ii, None]
                 self._counter.add("distance_calcs", float(eligible.sum()))
-                diff = (
-                    query_points[case_ii][:, None, :]
-                    - self._points[members][None, :, :]
+                d_sq = pair_distances_sq(
+                    query_points[case_ii], self._points[members]
                 )
-                d_sq = np.einsum("qjd,qjd->qj", diff, diff)
                 d_sq = np.where(eligible, d_sq, np.inf)
                 cand_sq = d_sq.min(axis=1)
                 has = np.isfinite(cand_sq)
@@ -406,6 +411,11 @@ def nearest_denser_join(
         )
 
     if engine == "dual":
+        frontier = resolve_dual_frontier(frontier_target)
+        if frontier == DUAL_FRONTIER_AUTO:
+            # Scale-aware deterministic default: a function of the query
+            # count and leaf size only, so results replay identically.
+            frontier = adaptive_dual_frontier(n_q, leaf_size)
         dependent, delta, memory_bytes = _dual_join(
             points,
             rho,
@@ -413,7 +423,7 @@ def nearest_denser_join(
             candidate_indices,
             tree,
             leaf_size,
-            resolve_dual_frontier(frontier_target),
+            frontier,
             executor,
             counter,
             process_task_builder,
@@ -506,14 +516,22 @@ def build_join_trees(
     index order -- the tie-break order of the join -- matches the global
     index order.
     """
+    # Auxiliary trees inherit the caller tree's kernel tier (all tiers are
+    # bit-identical, but the whole join should run on the tier the caller
+    # selected, not silently fall back to the environment default).
+    kernel = data_tree.kernel_name if data_tree is not None else None
     if candidate_indices is None:
         cand_sorted = None
         if data_tree is None:
-            data_tree = KDTree(points, leaf_size=leaf_size, counter=counter)
+            data_tree = KDTree(
+                points, leaf_size=leaf_size, counter=counter, kernel=kernel
+            )
         rho_data = rho
     else:
         cand_sorted = np.sort(np.asarray(candidate_indices, dtype=np.intp))
-        data_tree = KDTree(points[cand_sorted], leaf_size=leaf_size, counter=counter)
+        data_tree = KDTree(
+            points[cand_sorted], leaf_size=leaf_size, counter=counter, kernel=kernel
+        )
         rho_data = rho[cand_sorted]
 
     if qi is None and cand_sorted is None:
@@ -521,7 +539,12 @@ def build_join_trees(
         rho_q = rho
     else:
         q_arr = qi if qi is not None else np.arange(points.shape[0], dtype=np.intp)
-        queries_tree = KDTree(points[q_arr], leaf_size=leaf_size, counter=WorkCounter())
+        queries_tree = KDTree(
+            points[q_arr],
+            leaf_size=leaf_size,
+            counter=WorkCounter(),
+            kernel=data_tree.kernel_name,
+        )
         rho_q = rho[q_arr]
     return data_tree, rho_data, queries_tree, rho_q, cand_sorted
 
@@ -623,7 +646,12 @@ def attach_targets(
     if n_q == 0:
         return np.empty(0, dtype=np.intp)
     if engine == "dual":
-        queries_tree = KDTree(queries, leaf_size=tree.leaf_size, counter=WorkCounter())
+        queries_tree = KDTree(
+            queries,
+            leaf_size=tree.leaf_size,
+            counter=WorkCounter(),
+            kernel=tree.kernel_name,
+        )
         targets, _ = tree.nn_dual_vs(queries_tree, rho_train, rho_q)
         unresolved = np.flatnonzero(targets < 0)
         if unresolved.size:
@@ -647,6 +675,7 @@ def repair_nearest_denser(
     engine: str,
     counter: WorkCounter | None = None,
     leaf_size: int = 32,
+    kernel: str | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Recompute ``(dependent, delta)`` for a streaming dirty set.
 
@@ -664,8 +693,10 @@ def repair_nearest_denser(
         and n_q
         and float(n_q) * float(n) >= _DUAL_REPAIR_MIN_WORK
     ):
-        data_tree = KDTree(points, leaf_size=leaf_size, counter=counter)
-        queries_tree = KDTree(queries, leaf_size=leaf_size, counter=WorkCounter())
+        data_tree = KDTree(points, leaf_size=leaf_size, counter=counter, kernel=kernel)
+        queries_tree = KDTree(
+            queries, leaf_size=leaf_size, counter=WorkCounter(), kernel=kernel
+        )
         return data_tree.nn_dual_vs(queries_tree, rho, rho_q)
     return nearest_denser_bruteforce(
         points,

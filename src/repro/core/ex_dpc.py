@@ -95,7 +95,8 @@ class ExDPC(DensityPeaksBase):
         leaf_size: int = 32,
         engine: str | None = None,
         dtype: str = "float64",
-        dual_frontier: int | None = None,
+        dual_frontier=None,
+        kernel: str | None = None,
     ):
         super().__init__(
             d_cut,
@@ -108,6 +109,7 @@ class ExDPC(DensityPeaksBase):
             record_costs=record_costs,
             engine=engine,
             dual_frontier=dual_frontier,
+            kernel=kernel,
         )
         self.leaf_size = leaf_size
         self.dtype = check_storage_dtype(dtype).name
@@ -117,7 +119,11 @@ class ExDPC(DensityPeaksBase):
 
     def _build_index(self, points: np.ndarray) -> None:
         self._tree = KDTree(
-            points, leaf_size=self.leaf_size, counter=self._counter, dtype=self.dtype
+            points,
+            leaf_size=self.leaf_size,
+            counter=self._counter,
+            dtype=self.dtype,
+            kernel=self.kernel,
         )
 
     def get_params(self):
@@ -146,7 +152,7 @@ class ExDPC(DensityPeaksBase):
             # ship as picklable tasks against the shared-memory tree -- so
             # counts *and* work counters match the serial run bit for bit.
             pairs, base = tree.dual_self_frontier(
-                self.d_cut, strict=True, target_pairs=self.dual_frontier
+                self.d_cut, strict=True, target_pairs=self.dual_frontier_
             )
             task = self._process_task(
                 kernel_dual_self_count,
@@ -214,7 +220,7 @@ class ExDPC(DensityPeaksBase):
                 counter=self._counter,
                 tree=self._tree,
                 leaf_size=self.leaf_size,
-                frontier_target=self.dual_frontier,
+                frontier_target=self.dual_frontier_,
                 process_task_builder=self._process_task,
             )
             self._record_phase("dependency", "dynamic", outcome.cost_estimates)

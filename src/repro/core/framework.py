@@ -32,7 +32,12 @@ from repro.core.predict import (
     nearest_denser_bruteforce,
     predict_density_bruteforce,
 )
-from repro.index.kdtree import resolve_dual_frontier
+from repro.index.kdtree import (
+    DUAL_FRONTIER_AUTO,
+    adaptive_dual_frontier,
+    resolve_dual_frontier,
+)
+from repro.kernels import resolve_kernel
 from repro.core.result import DPCResult, canonical_rho_raw
 from repro.parallel.backends import (
     ChunkTask,
@@ -72,10 +77,15 @@ ENGINES = ("scalar", "batch", "dual")
 ENGINE_CHOICES = ENGINES + ("auto",)
 
 #: Largest dimensionality at which ``engine="auto"`` picks the dual-tree
-#: engine.  The dual self-join's d<=2 accumulation fast path is what delivers
-#: its advantage; from d=3 up the blocked kernels lose their edge over the
-#: batch engine on the paper's workloads (measured in docs/performance.md).
-AUTO_DUAL_MAX_DIM = 2
+#: engine.  With the blocked kernel tier supplying one canonical sequential
+#: accumulation at every dimensionality, the dual engine wins the combined
+#: density+dependency workload at every dimension of the recorded sweep
+#: (d = 2..5: the nearest-denser join is 2.4-5.4x faster than batch
+#: throughout, and the density self-join wins or ties except a ~0.8x
+#: residual at d=4 caused by node-granular pruning visiting ~1.2x more
+#: pairs, not by arithmetic; see docs/performance.md).  Above the measured
+#: range ``"auto"`` stays with the batch engine pending measurement.
+AUTO_DUAL_MAX_DIM = 5
 
 #: Environment variable naming the engine used when an estimator is built
 #: with ``engine=None``; CI exercises the dual engine by exporting it.
@@ -171,10 +181,24 @@ class DensityPeaksBase(abc.ABC):
         Number of independent work units the dual engine expands its
         traversals into (the canonical chunking shared by every execution
         backend, so results and work counters stay backend-invariant).
-        ``None`` reads the ``REPRO_DUAL_FRONTIER`` environment variable and
-        falls back to ``repro.index.kdtree.DUAL_FRONTIER_TARGET``; the
-        resolved value is recorded in ``get_params()`` and therefore in
-        model snapshots, so restored models stay counter-deterministic.
+        ``"auto"`` (the default) sizes the frontier from the fitted data
+        size and leaf size (:func:`repro.index.kdtree.adaptive_dual_frontier`
+        -- deterministic, so replays are identical); an explicit positive
+        integer pins it.  ``None`` reads the ``REPRO_DUAL_FRONTIER``
+        environment variable and falls back to ``"auto"``.  The value
+        resolved at fit time is exposed as ``dual_frontier_`` and recorded
+        in ``get_params()`` -- and therefore in model snapshots -- so
+        restored models stay counter-deterministic.
+    kernel:
+        Blocked distance-kernel tier of the hot paths: ``"numpy"`` (always
+        available), ``"numba"`` (JIT-compiled loops), ``"cupy"`` (CUDA), or
+        ``"auto"`` (numba when installed, else numpy; never cupy
+        implicitly).  ``None`` reads the ``REPRO_KERNEL`` environment
+        variable and falls back to ``"auto"``.  Every tier produces
+        bit-identical results and work counters (property-tested), so the
+        choice is purely a performance knob; requesting a tier whose
+        optional dependency is missing raises at dispatch time.  See
+        ``docs/kernels.md``.
     """
 
     #: Human-readable algorithm name; subclasses override.
@@ -199,12 +223,14 @@ class DensityPeaksBase(abc.ABC):
         seed: int | None = 0,
         record_costs: bool = True,
         engine: str | None = None,
-        dual_frontier: int | None = None,
+        dual_frontier=None,
+        kernel: str | None = None,
     ):
         self.d_cut = check_positive(d_cut, "d_cut")
         self.backend = resolve_backend(backend)
         self.engine = resolve_engine(engine)
         self.dual_frontier = resolve_dual_frontier(dual_frontier)
+        self.kernel = resolve_kernel(kernel)
         self.rho_min = None if rho_min is None else check_non_negative(rho_min, "rho_min")
         if delta_min is not None and n_clusters is not None:
             raise ValueError("delta_min and n_clusters are mutually exclusive")
@@ -273,6 +299,16 @@ class DensityPeaksBase(abc.ABC):
         # engine="auto" resolves against the data dimensionality; the
         # subclass hot paths read the resolved engine through `engine_`.
         self._fit_dim = int(points.shape[1])
+        # dual_frontier="auto" resolves against the data size (deterministic
+        # in n and leaf size, so replays are identical); the subclass hot
+        # paths read the resolved value through `dual_frontier_` and
+        # get_params() records it for snapshots.
+        if self.dual_frontier == DUAL_FRONTIER_AUTO:
+            self._dual_frontier_ = adaptive_dual_frontier(
+                points.shape[0], getattr(self, "leaf_size", 32)
+            )
+        else:
+            self._dual_frontier_ = self.dual_frontier
         rng = ensure_rng(self.seed)
         profile = SimulatedMulticore()
         self._profile = profile
@@ -397,6 +433,32 @@ class DensityPeaksBase(abc.ABC):
                 )
             dim = points.shape[1]
         return effective_engine(self.engine, dim)
+
+    @property
+    def dual_frontier_(self) -> int:
+        """The resolved dual-frontier target of the current/last fit.
+
+        Identical to :attr:`dual_frontier` for explicit integer values;
+        ``"auto"`` resolves against the fitted data size via
+        :func:`repro.index.kdtree.adaptive_dual_frontier` (and therefore
+        requires a fit or a restored snapshot).
+        """
+        value = getattr(self, "_dual_frontier_", None)
+        if value is not None:
+            return value
+        if self.dual_frontier != DUAL_FRONTIER_AUTO:
+            return self.dual_frontier
+        points = getattr(self, "_fit_points_", None)
+        if points is None:
+            raise RuntimeError(
+                "dual_frontier='auto' resolves against the fitted data size; "
+                "fit the estimator (or load a snapshot) first"
+            )
+        value = adaptive_dual_frontier(
+            points.shape[0], getattr(self, "leaf_size", 32)
+        )
+        self._dual_frontier_ = value
+        return value
 
     # ----------------------------------------------------------- re-clustering
 
@@ -591,6 +653,7 @@ class DensityPeaksBase(abc.ABC):
             leaf_size=tree.leaf_size,
             counter=WorkCounter(),
             dtype=tree.dtype_name,
+            kernel=tree.kernel_name,
         )
         return tree.range_count_dual_vs(query_tree, self.d_cut, strict=True)
 
@@ -683,7 +746,12 @@ class DensityPeaksBase(abc.ABC):
             "backend": self.backend,
             "seed": self.seed,
             "engine": self.engine,
-            "dual_frontier": self.dual_frontier,
+            # The resolved (integer) frontier once fitted, so snapshots of an
+            # "auto" fit replay with the identical decomposition and work
+            # counters; symbolic before fit.
+            "dual_frontier": getattr(self, "_dual_frontier_", None)
+            or self.dual_frontier,
+            "kernel": self.kernel,
         }
 
     def __repr__(self) -> str:

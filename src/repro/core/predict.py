@@ -16,8 +16,8 @@ training set).  The helpers here implement the two primitives:
   stored tree.
 
 Both primitives break exact distance ties by the smallest point index and
-both use the same ``diff``-then-``einsum`` squared-distance arithmetic as the
-batch kd-tree kernels, so tree and brute-force paths agree bit for bit.
+both use the canonical sequential squared-distance arithmetic of
+:mod:`repro.kernels`, so tree and brute-force paths agree bit for bit.
 
 When no fitted point is denser than the query (a brand-new global density
 peak), the target falls back to the plain nearest neighbour: a serving layer
@@ -28,6 +28,8 @@ cannot mint a new cluster, so the query joins the closest existing structure
 from __future__ import annotations
 
 import numpy as np
+
+from repro.kernels import pair_distances_sq
 
 __all__ = [
     "nearest_denser_targets",
@@ -112,9 +114,8 @@ def nearest_denser_targets(
 
 
 def _block_sq_distances(queries: np.ndarray, train_points: np.ndarray) -> np.ndarray:
-    """``(q, n)`` squared distances with the batch-kernel arithmetic."""
-    diff = queries[:, None, :] - train_points[None, :, :]
-    return np.einsum("qjd,qjd->qj", diff, diff)
+    """``(q, n)`` squared distances with the canonical kernel arithmetic."""
+    return pair_distances_sq(queries, train_points)
 
 
 def nearest_denser_bruteforce(

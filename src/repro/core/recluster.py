@@ -69,6 +69,7 @@ from repro.core.assignment import assign_clusters
 from repro.core.dependency_join import nearest_denser_join
 from repro.core.result import DPCResult, canonical_rho_raw
 from repro.index.kdtree import _block_pair_distances_sq
+from repro.kernels import squared_norms
 from repro.parallel.executor import ParallelExecutor
 from repro.utils.counters import WorkCounter
 from repro.utils.rng import draw_tiebreak_jitter, ensure_rng
@@ -188,13 +189,13 @@ def _pair_distances_sq64(
 ) -> np.ndarray:
     """Float64 squared distances of explicit point pairs.
 
-    Same ``diff``-then-``einsum`` contraction as the dependency join's
-    kernels (:func:`repro.utils.distance.point_to_points_sq` and the blocked
-    leaf kernels), so the values -- and the deltas derived from them -- are
+    Same canonical sequential accumulation as the dependency join's kernels
+    (:func:`repro.utils.distance.point_to_points_sq` and the blocked leaf
+    kernels), so the values -- and the deltas derived from them -- are
     bit-identical to the join's arithmetic.
     """
     diff = points[rows] - points[cols]
-    return np.einsum("pd,pd->p", diff, diff)
+    return squared_norms(diff)
 
 
 class ReclusterIndex:
@@ -384,7 +385,7 @@ class ReclusterIndex:
                 # range-extracted rows.
                 storage_pts = points.astype(values.dtype, copy=False)
                 diff = storage_pts[short][:, None, :] - storage_pts[knn_ids]
-                vals_aug = np.einsum("qjd,qjd->qj", diff, diff)
+                vals_aug = squared_norms(diff)
                 order = np.lexsort((knn_ids, vals_aug), axis=-1)
                 vals_aug = np.take_along_axis(vals_aug, order, axis=-1)
                 ids_aug = np.take_along_axis(knn_ids, order, axis=-1)

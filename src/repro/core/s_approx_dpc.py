@@ -90,7 +90,8 @@ class SApproxDPC(DensityPeaksBase):
         fallback_factor: float = 4.0,
         engine: str | None = None,
         dtype: str = "float64",
-        dual_frontier: int | None = None,
+        dual_frontier=None,
+        kernel: str | None = None,
     ):
         super().__init__(
             d_cut,
@@ -103,6 +104,7 @@ class SApproxDPC(DensityPeaksBase):
             record_costs=record_costs,
             engine=engine,
             dual_frontier=dual_frontier,
+            kernel=kernel,
         )
         self.epsilon = check_positive(epsilon, "epsilon")
         self.leaf_size = leaf_size
@@ -116,7 +118,11 @@ class SApproxDPC(DensityPeaksBase):
 
     def _build_index(self, points: np.ndarray) -> None:
         self._tree = KDTree(
-            points, leaf_size=self.leaf_size, counter=self._counter, dtype=self.dtype
+            points,
+            leaf_size=self.leaf_size,
+            counter=self._counter,
+            dtype=self.dtype,
+            kernel=self.kernel,
         )
         cell_side = self.epsilon * self.d_cut / np.sqrt(points.shape[1])
         self._grid = SampledGrid(points, cell_side)
@@ -177,6 +183,7 @@ class SApproxDPC(DensityPeaksBase):
                 leaf_size=self.leaf_size,
                 counter=WorkCounter(),
                 dtype=tree.dtype_name,
+                kernel=tree.kernel_name,
             )
             neighbor_lists = tree.range_search_dual_vs(
                 picked_tree, d_cut, strict=True
@@ -391,8 +398,9 @@ class SApproxDPC(DensityPeaksBase):
             counter=self._counter,
             query_indices=undecided_arr,
             candidate_indices=picked_indices,
+            tree=self._tree,
             leaf_size=self.leaf_size,
-            frontier_target=self.dual_frontier,
+            frontier_target=self.dual_frontier_,
             process_task_builder=self._process_task,
         )
         dependent[undecided_arr] = outcome.dependent

@@ -36,8 +36,9 @@ once per query, which removes the per-point Python recursion that dominates
 the scalar hot path.
 
 The batch methods apply exactly the same per-query pruning rules and
-identical per-pair arithmetic (``diff`` then a squared-norm ``einsum``) as
-the scalar ones, so their results are bit-for-bit equal; the property suite
+identical per-pair arithmetic (``diff`` then the canonical sequential
+squared-norm accumulation of :mod:`repro.kernels`) as the scalar ones, so
+their results are bit-for-bit equal; the property suite
 in ``tests/property/test_batch_equivalence.py`` locks that in.  Two
 deliberate, documented normalisations keep results order-independent:
 ``range_search_batch`` returns each query's hit indices in ascending order
@@ -69,11 +70,13 @@ the leaf-ordered point copy (:attr:`KDTree.points_ordered`), so the hot
 kernels never gather through the permutation.
 
 The dual methods return bit-for-bit the same counts/index sets as the batch
-methods: the blocked kernels use the identical ``diff``-then-``einsum``
-arithmetic, and the inclusion/exclusion tests are floating-point safe
-(monotonicity of IEEE subtraction/multiplication/addition guarantees every
-computed pair distance lies within the computed node-pair bounds, for
-``float64`` and ``float32`` storage alike).  Work counters differ by design:
+methods: every blocked kernel -- whichever kernel tier executes it (see
+:mod:`repro.kernels`) -- uses the identical canonical distance arithmetic,
+and the inclusion/exclusion tests are floating-point safe (monotonicity of
+IEEE subtraction/multiplication/addition guarantees every computed pair
+distance lies within the computed node-pair bounds, for ``float64`` and
+``float32`` storage alike, because the bounds reduce per-dimension terms in
+the same sequential order as the kernels).  Work counters differ by design:
 the whole point of the dual traversal is that credited blocks perform no
 distance calculations.
 """
@@ -81,12 +84,20 @@ distance calculations.
 from __future__ import annotations
 
 import heapq
+import math
 import os
 from dataclasses import dataclass, fields, replace
 from typing import Mapping, Optional
 
 import numpy as np
 
+from repro.kernels import (
+    KERNEL_TIERS,
+    get_kernel,
+    pair_distances_sq,
+    resolve_kernel,
+    squared_norms,
+)
 from repro.utils.counters import WorkCounter
 from repro.utils.distance import point_to_points_sq
 from repro.utils.validation import check_points, check_positive, check_positive_int
@@ -98,7 +109,9 @@ __all__ = [
     "STORAGE_DTYPES",
     "check_storage_dtype",
     "DUAL_FRONTIER_TARGET",
+    "DUAL_FRONTIER_AUTO",
     "DUAL_FRONTIER_ENV",
+    "adaptive_dual_frontier",
     "resolve_dual_frontier",
 ]
 
@@ -112,46 +125,86 @@ _NO_CHILD = -1
 #: boundary.
 STORAGE_DTYPES = ("float64", "float32")
 
-#: Number of node pairs :meth:`KDTree.dual_self_frontier` expands the
-#: self-join root pair into (and the number of query-subtree work units
-#: :meth:`KDTree.node_frontier` produces for the nearest-denser join).  The
-#: frontier is the canonical work-unit decomposition shared by every
-#: execution backend: serial runs process the same pairs a process-backend
-#: worker pool does, which keeps results *and* work counters bit-for-bit
-#: identical across backends and worker counts.
+#: Floor of the frontier size: the minimum number of node pairs
+#: :meth:`KDTree.dual_self_frontier` expands the self-join root pair into
+#: (and of query-subtree work units :meth:`KDTree.node_frontier` produces
+#: for the nearest-denser join).  The frontier is the canonical work-unit
+#: decomposition shared by every execution backend: serial runs process the
+#: same pairs a process-backend worker pool does, which keeps results *and*
+#: work counters bit-for-bit identical across backends and worker counts.
 DUAL_FRONTIER_TARGET = 64
 
-#: Environment variable overriding :data:`DUAL_FRONTIER_TARGET` when an
-#: estimator is built with ``dual_frontier=None``.  The resolved value is
-#: recorded in ``get_params()`` (and therefore in model snapshots), so a
-#: restored model reproduces the same frontier decomposition -- and the same
-#: work counters -- as the fit that produced it.
+#: Sentinel ``dual_frontier`` value (and the default): the frontier size is
+#: derived per fit from the data scale by :func:`adaptive_dual_frontier`.
+#: Estimators record the *resolved* integer in ``get_params()`` once fitted
+#: (and therefore in model snapshots), so restores replay the exact
+#: decomposition -- and work counters -- of the original fit.
+DUAL_FRONTIER_AUTO = "auto"
+
+#: Environment variable supplying the ``dual_frontier`` default when an
+#: estimator is built with ``dual_frontier=None``; accepts ``"auto"`` or a
+#: positive integer.  The resolved value is recorded in ``get_params()``
+#: (and therefore in model snapshots), so a restored model reproduces the
+#: same frontier decomposition -- and the same work counters -- as the fit
+#: that produced it.
 DUAL_FRONTIER_ENV = "REPRO_DUAL_FRONTIER"
 
 
-def resolve_dual_frontier(value: int | None) -> int:
+def resolve_dual_frontier(value) -> int | str:
     """Normalise a ``dual_frontier`` parameter.
 
     ``None`` reads :data:`DUAL_FRONTIER_ENV` and falls back to
-    :data:`DUAL_FRONTIER_TARGET`; any explicit value must be a positive
-    integer.  Resolution happens once, at estimator construction, so the
-    environment cannot silently change the decomposition between a fit and
-    a snapshot restore.
+    :data:`DUAL_FRONTIER_AUTO`; any explicit value must be ``"auto"`` or a
+    positive integer (non-positive and unparsable values raise a
+    ``ValueError`` naming the offending input).  Resolution to a concrete
+    integer happens at fit time (:func:`adaptive_dual_frontier` needs the
+    data scale); resolution of the *environment* happens once, at estimator
+    construction, so the environment cannot silently change the
+    decomposition between a fit and a snapshot restore.
     """
+    from_env = False
     if value is None:
         env = os.environ.get(DUAL_FRONTIER_ENV)
-        value = int(env) if env else DUAL_FRONTIER_TARGET
+        if not env:
+            return DUAL_FRONTIER_AUTO
+        value = env
+        from_env = True
+    if isinstance(value, str):
+        if value == DUAL_FRONTIER_AUTO:
+            return DUAL_FRONTIER_AUTO
+        source = f"{DUAL_FRONTIER_ENV}={value!r}" if from_env else repr(value)
+        try:
+            value = int(value)
+        except ValueError:
+            raise ValueError(
+                f"dual_frontier must be 'auto' or a positive integer, "
+                f"got {source}"
+            ) from None
     return check_positive_int(value, "dual_frontier")
+
+
+def adaptive_dual_frontier(n: int, leaf_size: int) -> int:
+    """Deterministic scale-aware frontier size for an ``n``-point tree.
+
+    Grows with the square root of the leaf count -- enough independent work
+    units to load-balance wide worker pools on large inputs without
+    flooding small fits with per-unit overhead -- clamped to
+    ``[DUAL_FRONTIER_TARGET, 4096]``.  A pure function of ``(n,
+    leaf_size)``, so every backend (and every worker rebuilding the
+    decomposition from shared memory) derives the identical frontier.
+    """
+    n = check_positive_int(n, "n")
+    leaf_size = check_positive_int(leaf_size, "leaf_size")
+    leaves = -(-n // leaf_size)
+    return max(DUAL_FRONTIER_TARGET, min(4096, 4 * math.isqrt(leaves)))
 
 #: Node pairs with both sides at or below this many points stop descending
 #: and run one blocked distance kernel over their contiguous point slices.
 #: Larger blocks trade a few redundant pair distances for fewer node-pair
 #: visits; at or below the leaf size the kernels bottom out on leaf buckets.
+#: (The mega-batch chunk size is the selected kernel tier's
+#: ``block_budget``; chunking never changes results or counters.)
 _DUAL_BLOCK = 32
-
-#: Maximum number of ``diff`` elements one mega-batched kernel evaluates at
-#: once; bounds the size of the padded temporaries so they stay cache-sized.
-_DUAL_BATCH_BUDGET = 1_000_000
 
 #: Region-size multipliers of the nearest-denser seeding pyramid: every
 #: query is first joined against its home block of ``_DUAL_BLOCK`` points,
@@ -199,23 +252,13 @@ def _group_boundaries(sorted_keys: np.ndarray):
 def _block_pair_distances_sq(q_block: np.ndarray, d_block: np.ndarray) -> np.ndarray:
     """Squared distances between ``(g, q, d)`` and ``(g, j, d)`` point blocks.
 
-    Bit-identical to ``einsum("gqjd,gqjd->gqj")`` over the broadcast
-    difference: for ``d <= 2`` the per-dimension accumulation produces the
-    same sequence of IEEE operations (verified by the property suite) while
-    avoiding the 4-D temporary, which roughly halves the memory traffic of
-    the hot self-join kernel.
+    Thin alias of the canonical numpy-tier kernel
+    (:func:`repro.kernels.pair_distances_sq`): sequential per-dimension
+    accumulation at every ``d``, no 4-D temporary.  Kept for driver-side
+    callers (the re-cluster index) that want the reference arithmetic
+    without tier dispatch.
     """
-    dim = q_block.shape[-1]
-    if dim <= 2:
-        d_sq = q_block[:, :, None, 0] - d_block[:, None, :, 0]
-        np.square(d_sq, out=d_sq)
-        if dim == 2:
-            diff1 = q_block[:, :, None, 1] - d_block[:, None, :, 1]
-            np.square(diff1, out=diff1)
-            d_sq += diff1
-        return d_sq
-    diff = q_block[:, :, None, :] - d_block[:, None, :, :]
-    return np.einsum("gqjd,gqjd->gqj", diff, diff)
+    return pair_distances_sq(q_block, d_block)
 
 
 def _as_density_vector(values, n: int, name: str) -> np.ndarray:
@@ -252,6 +295,43 @@ def _ragged_copy_indices(
         np.repeat(dest_base, lengths) + within,
         np.repeat(src_base, lengths) + within,
     )
+
+
+def _concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(starts[i], starts[i] + lengths[i])`` runs.
+
+    Built with one ragged gather (destination bases are the exclusive
+    cumulative lengths, so the source indices *are* the concatenation).
+    """
+    dest_base = np.cumsum(lengths) - lengths
+    return _ragged_copy_indices(dest_base, starts, lengths)[1]
+
+
+def _iter_padded_chunks(budget: int, dim: int, q_n: np.ndarray, g_width: np.ndarray):
+    """Yield ``(pos, end, q_pad, w_pad)`` mega-batch chunks over groups.
+
+    Groups arrive sorted by total partner width; a chunk greedily absorbs
+    groups while the padded ``(rows, q_pad, w_pad, dim)`` difference volume
+    stays within ``budget`` (always at least one group per chunk).  Chunk
+    boundaries never affect results or work counters -- each group's block
+    is self-contained and the counters are exact integer sums -- so kernel
+    tiers are free to choose different budgets.
+    """
+    n_groups = int(q_n.size)
+    pos = 0
+    while pos < n_groups:
+        q_pad = int(q_n[pos])
+        w_pad = int(g_width[pos])
+        end = pos + 1
+        while end < n_groups:
+            q_next = max(q_pad, int(q_n[end]))
+            w_next = max(w_pad, int(g_width[end]))
+            if (end - pos + 1) * q_next * w_next * dim > budget:
+                break
+            q_pad, w_pad = q_next, w_next
+            end += 1
+        yield pos, end, q_pad, w_pad
+        pos = end
 
 
 @dataclass(frozen=True)
@@ -503,6 +583,14 @@ class KDTree:
         half the memory and cache traffic, and every engine computes
         distances in float32 (results remain bit-for-bit consistent between
         the scalar, batch and dual engines at either precision).
+    kernel:
+        Kernel tier executing the blocked distance kernels:
+        ``"numpy"`` (always available), ``"numba"`` / ``"cupy"`` (optional,
+        compiled/device implementations of the same ABI) or ``"auto"``
+        (numba when installed, else numpy).  ``None`` (default) reads the
+        ``REPRO_KERNEL`` environment variable.  Every tier produces
+        bit-identical results and work counters (see :mod:`repro.kernels`
+        and ``docs/kernels.md``); the choice only affects speed.
 
     Notes
     -----
@@ -518,11 +606,14 @@ class KDTree:
         counter: WorkCounter | None = None,
         *,
         dtype: str = "float64",
+        kernel: str | None = None,
     ):
         self._source_points = check_points(points, name="points")
         self._dtype = check_storage_dtype(dtype)
         self._points = np.ascontiguousarray(self._source_points, dtype=self._dtype)
         self._leaf_size = check_positive_int(leaf_size, "leaf_size")
+        self._kernel_name = resolve_kernel(kernel)
+        self._kernel = get_kernel(self._kernel_name)
         self._n, self._dim = self._points.shape
         #: Work counter accumulating distance evaluations and node visits
         #: performed by queries on this tree.
@@ -566,6 +657,7 @@ class KDTree:
         leaf_size: int = 32,
         counter: WorkCounter | None = None,
         validate: bool = False,
+        kernel: str | None = None,
     ) -> "KDTree":
         """Wrap an existing flattened tree without rebuilding it.
 
@@ -585,6 +677,8 @@ class KDTree:
         tree._source_points = source
         tree._points = np.ascontiguousarray(source, dtype=tree._dtype)
         tree._leaf_size = check_positive_int(leaf_size, "leaf_size")
+        tree._kernel_name = resolve_kernel(kernel)
+        tree._kernel = get_kernel(tree._kernel_name)
         tree._n, tree._dim = tree._points.shape
         tree.counter = counter if counter is not None else WorkCounter()
         tree._arrays = arrays
@@ -620,6 +714,16 @@ class KDTree:
     def dtype_name(self) -> str:
         """Name of the point-storage dtype (``"float64"`` or ``"float32"``)."""
         return self._dtype.name
+
+    @property
+    def kernel_name(self) -> str:
+        """Name of the *effective* kernel tier executing the blocked kernels.
+
+        All tiers compute bit-identical results (see :mod:`repro.kernels`),
+        so this only matters for performance accounting; ``"auto"`` requests
+        resolve to a concrete tier at construction.
+        """
+        return self._kernel.name
 
     @property
     def points_ordered(self) -> np.ndarray:
@@ -947,12 +1051,12 @@ class KDTree:
     def _leaf_distances_sq(self, queries_sub: np.ndarray, idx: np.ndarray) -> np.ndarray:
         """Squared distances from every query in the subset to every leaf point.
 
-        Uses the same ``diff``-then-``einsum`` arithmetic as the scalar
-        :func:`repro.utils.distance.point_to_points_sq`, so every pair produces
-        the bit-identical squared distance in both code paths.
+        Dispatched through the tree's kernel tier; every tier uses the same
+        canonical sequential accumulation as the scalar
+        :func:`repro.utils.distance.point_to_points_sq`, so every pair
+        produces the bit-identical squared distance in both code paths.
         """
-        diff = queries_sub[:, None, :] - self._points[idx][None, :, :]
-        return np.einsum("qjd,qjd->qj", diff, diff)
+        return self._kernel.pair_distances_sq(queries_sub, self._points[idx])
 
     def _range_traverse_batch(self, queries, radius_sq, on_leaf) -> None:
         """Shared frontier traversal of the batch range queries.
@@ -1074,7 +1178,7 @@ class KDTree:
 
         For every query this collects the *squared* distances (and indices) of
         all indexed points within ``radius``, using the exact hit predicate
-        and ``diff``-then-``einsum`` arithmetic of :meth:`range_count_batch`.
+        and canonical blocked-kernel arithmetic of :meth:`range_count_batch`.
         Consequently, for any radius ``r <= radius``, the number of profile
         entries below the storage-dtype bound ``r*r`` equals
         ``range_count_batch([q], r)`` bit for bit -- this is the invariant the
@@ -1347,9 +1451,10 @@ class KDTree:
         ``a`` indexes this tree's nodes, ``b`` indexes ``other``'s.  The
         bounds are floating-point safe against the blocked kernels: each
         per-dimension gap/span is one IEEE subtraction, squared and summed
-        with the same ``einsum`` reduction the kernels use, so by
-        monotonicity every computed pair distance in the block lies inside
-        ``[min_sq, max_sq]`` -- in float64 and float32 storage alike.
+        with the same sequential ascending-dimension reduction every kernel
+        tier uses, so by monotonicity of IEEE round-to-nearest every
+        computed pair distance in the block lies inside ``[min_sq, max_sq]``
+        -- in float64 and float32 storage alike.
         """
         a_min = self._bbox_min_arr[a]
         a_max = self._bbox_max_arr[a]
@@ -1358,8 +1463,8 @@ class KDTree:
         gap = np.maximum(b_min - a_max, a_min - b_max)
         np.maximum(gap, 0.0, out=gap)
         span = np.maximum(b_max - a_min, a_max - b_min)
-        min_sq = np.einsum("md,md->m", gap, gap)
-        max_sq = np.einsum("md,md->m", span, span)
+        min_sq = squared_norms(gap)
+        max_sq = squared_norms(span)
         return min_sq, max_sq
 
     def _self_kernel_blocks(
@@ -1374,10 +1479,10 @@ class KDTree:
 
         All data blocks joined against the same query node are concatenated
         (contiguous slices of :attr:`points_ordered`) and answered with one
-        ``diff``-then-``einsum`` evaluation; the column sums then credit each
-        off-diagonal partner in the symmetric direction.  Per-pair arithmetic
-        is unchanged by the grouping -- each pair's distances occupy their
-        own columns of the group matrix.
+        kernel-tier ``count_blocks`` evaluation; the column sums then credit
+        each off-diagonal partner in the symmetric direction.  Per-pair
+        arithmetic is unchanged by the grouping -- each pair's distances
+        occupy their own columns of the group matrix.
         """
         order = np.argsort(kernel_a, kind="stable")
         ka = kernel_a[order]
@@ -1429,23 +1534,18 @@ class KDTree:
 
         # Mega-batch the groups: several groups are padded (queries and data
         # alike) with +inf rows into one (groups, q, j, d) block and answered
-        # by a single 4-D einsum -- bit-identical per group to the 3-D kernel
-        # (verified by the property suite) -- while the padded pair distances
-        # come out inf/nan and never satisfy the radius test.  Fills and
-        # credits run as ragged gathers/scatters, no per-group Python.
-        budget = _DUAL_BATCH_BUDGET
-        pos = 0
-        while pos < n_groups:
-            q_pad = int(q_n[pos])
-            w_pad = int(g_width[pos])
-            end = pos + 1
-            while end < n_groups:
-                q_next = max(q_pad, int(q_n[end]))
-                w_next = max(w_pad, int(g_width[end]))
-                if (end - pos + 1) * q_next * w_next * dim > budget:
-                    break
-                q_pad, w_pad = q_next, w_next
-                end += 1
+        # by a single kernel-tier call -- bit-identical per group to an
+        # unpadded evaluation (verified by the property suite) -- while the
+        # padded pair distances come out inf/nan and never satisfy the
+        # radius test.  Fills and credits run as ragged gathers/scatters, no
+        # per-group Python.  The radius bound is pre-cast to the storage
+        # dtype so every tier compares exactly as numpy's weak scalar
+        # promotion does in the scalar/batch engines.
+        kernel_tier = self._kernel
+        radius_cmp = ordered.dtype.type(radius_sq)
+        for pos, end, q_pad, w_pad in _iter_padded_chunks(
+            kernel_tier.block_budget, dim, q_n, g_width
+        ):
             rows = end - pos
             p0 = group_first[pos]
             p1 = group_first[end] if end < n_groups else n_pairs
@@ -1463,14 +1563,14 @@ class KDTree:
             d_block = np.full((rows * w_pad, dim), np.inf, dtype=ordered.dtype)
             d_block[dest_d] = ordered[src_d]
 
-            with np.errstate(invalid="ignore", over="ignore"):
-                d_sq = _block_pair_distances_sq(
-                    q_block.reshape(rows, q_pad, dim),
-                    d_block.reshape(rows, w_pad, dim),
-                )
-                hits = d_sq < radius_sq if strict else d_sq <= radius_sq
-            row_hits = np.count_nonzero(hits, axis=2).reshape(rows * q_pad)
-            col_hits = np.count_nonzero(hits, axis=1).reshape(rows * w_pad)
+            row_hits, col_hits = kernel_tier.count_blocks(
+                q_block.reshape(rows, q_pad, dim),
+                d_block.reshape(rows, w_pad, dim),
+                radius_cmp,
+                strict,
+            )
+            row_hits = row_hits.reshape(rows * q_pad)
+            col_hits = col_hits.reshape(rows * w_pad)
             # Row credits: query nodes are distinct, their position slices
             # disjoint, so a fancy-index add is safe.
             counts[src_q] += row_hits[dest_q]
@@ -1485,7 +1585,6 @@ class KDTree:
                     pair_w[p0:p1][nondiag],
                 )
                 np.add.at(counts, cred_src, col_hits[cred_dest])
-            pos = end
 
     def _dual_self_pairs(
         self, pairs, radius_sq: float, strict: bool, counts: np.ndarray
@@ -1687,23 +1786,94 @@ class KDTree:
                 self._stop_arr[b] - self._start_arr[b]
             )
 
-        def on_kernel_group(a: int, partners: np.ndarray) -> None:
-            sa, ea = qt._start_arr[a], qt._stop_arr[a]
-            data = self._gather_blocks(partners)
-            diff = qt.points_ordered[sa:ea, None, :] - data[None, :, :]
-            d_sq = np.einsum("qjd,qjd->qj", diff, diff)
-            hits = d_sq < radius_sq if strict else d_sq <= radius_sq
-            counts[sa:ea] += hits.sum(axis=1)
-            self.counter.add("distance_calcs", float(ea - sa) * float(data.shape[0]))
+        def on_kernel_groups(ka: np.ndarray, kb: np.ndarray) -> None:
+            self._count_vs_kernel_groups(qt, ka, kb, radius_sq, strict, counts)
 
         self._dual_vs_traverse(
             qt,
             lambda _a, min_sq: (min_sq >= radius_sq) if strict else (min_sq > radius_sq),
             lambda _a, max_sq: (max_sq < radius_sq) if strict else (max_sq <= radius_sq),
             on_included,
-            on_kernel_group,
+            on_kernel_groups,
         )
         return qt._scatter_counts(counts)
+
+    def _count_vs_kernel_groups(
+        self,
+        qt: "KDTree",
+        ka: np.ndarray,
+        kb: np.ndarray,
+        radius_sq: float,
+        strict: bool,
+        counts: np.ndarray,
+    ) -> None:
+        """Mega-batched radius-count kernels of the vs-join.
+
+        ``(ka, kb)`` are the deferred terminal kernel pairs, sorted by query
+        node ``ka``.  All data blocks joined against the same query node
+        form one group; groups are padded into shared block shapes and
+        answered by the kernel tier's ``count_blocks`` (only the query side
+        is credited -- the vs-join is asymmetric).  Per-pair arithmetic and
+        the total distance-calculation count are unchanged by the grouping.
+        """
+        if ka.size == 0:
+            return
+        d_start, d_stop = self._start_arr, self._stop_arr
+        q_start, q_stop = qt._start_arr, qt._stop_arr
+        group_first = np.flatnonzero(np.r_[True, ka[1:] != ka[:-1]])
+        groups_a = ka[group_first]
+        d_run_len = d_stop[kb] - d_start[kb]
+        d_lens = np.add.reduceat(d_run_len, group_first)
+        d_pos = _concat_ranges(d_start[kb], d_run_len)
+        q_lens = q_stop[groups_a] - q_start[groups_a]
+        q_pos = _concat_ranges(q_start[groups_a], q_lens)
+
+        self.counter.add(
+            "distance_calcs",
+            float(np.dot(q_lens.astype(np.float64), d_lens.astype(np.float64))),
+        )
+
+        ordered_q = qt.points_ordered
+        ordered_d = self.points_ordered
+        dim = self._dim
+        kernel_tier = self._kernel
+        radius_cmp = ordered_d.dtype.type(radius_sq)
+
+        # Width-sorted groups pad tightly; the offsets below address each
+        # group's slice of the concatenated position arrays.
+        q_off = np.cumsum(q_lens) - q_lens
+        d_off = np.cumsum(d_lens) - d_lens
+        g_order = np.argsort(d_lens, kind="stable")
+        q_lens, d_lens = q_lens[g_order], d_lens[g_order]
+        q_off, d_off = q_off[g_order], d_off[g_order]
+
+        for pos, end, q_pad, w_pad in _iter_padded_chunks(
+            kernel_tier.block_budget, dim, q_lens, d_lens
+        ):
+            rows = end - pos
+            dest_q, src_q = _ragged_copy_indices(
+                np.arange(rows, dtype=np.intp) * q_pad, q_off[pos:end], q_lens[pos:end]
+            )
+            q_sel = q_pos[src_q]
+            q_block = np.full((rows * q_pad, dim), np.inf, dtype=ordered_d.dtype)
+            q_block[dest_q] = ordered_q[q_sel]
+
+            dest_d, src_d = _ragged_copy_indices(
+                np.arange(rows, dtype=np.intp) * w_pad, d_off[pos:end], d_lens[pos:end]
+            )
+            d_block = np.full((rows * w_pad, dim), np.inf, dtype=ordered_d.dtype)
+            d_block[dest_d] = ordered_d[d_pos[src_d]]
+
+            row_hits, _ = kernel_tier.count_blocks(
+                q_block.reshape(rows, q_pad, dim),
+                d_block.reshape(rows, w_pad, dim),
+                radius_cmp,
+                strict,
+                with_col=False,
+            )
+            # Query nodes are distinct across groups, so their position
+            # sets are disjoint and a fancy-index add is safe.
+            counts[q_sel] += row_hits.reshape(rows * q_pad)[dest_q]
 
     def _gather_blocks(self, nodes: np.ndarray) -> np.ndarray:
         """Concatenate the contiguous ordered-point slices of ``nodes``."""
@@ -1715,16 +1885,17 @@ class KDTree:
         return np.concatenate([ordered[start[b] : stop[b]] for b in nodes])
 
     def _dual_vs_traverse(
-        self, qt: "KDTree", is_excluded, is_included, on_included, on_kernel_group
+        self, qt: "KDTree", is_excluded, is_included, on_included, on_kernel_groups
     ) -> None:
         """Breadth-first vectorised pair traversal of ``qt`` against ``self``.
 
         ``is_excluded(a_nodes, min_sq)`` / ``is_included(a_nodes, max_sq)``
         receive the level's query node ids and vectorised node-pair bounds
         (the ids matter for per-query radii); ``on_included(a, b)`` handles
-        one credited pair and ``on_kernel_group(a, partners)`` one query node
-        with every data node it reached, so implementations can answer the
-        whole group with a single blocked kernel.
+        one credited pair.  All terminal kernel pairs are deferred to the end
+        of the traversal and handed over in a single
+        ``on_kernel_groups(ka, kb)`` call, sorted by query node ``ka``, so
+        implementations can mega-batch every kernel into padded blocks.
         """
         if qt._n == 0 or self._n == 0:
             return
@@ -1764,9 +1935,7 @@ class KDTree:
             ka = np.concatenate(kernel_a_parts)
             kb = np.concatenate(kernel_b_parts)
             order = np.argsort(ka, kind="stable")
-            ka, kb = ka[order], kb[order]
-            for lo, hi in _group_boundaries(ka):
-                on_kernel_group(ka[lo], kb[lo:hi])
+            on_kernel_groups(ka[order], kb[order])
 
     def range_search_dual_vs(
         self, queries_tree: "KDTree", radius, strict: bool = True
@@ -1817,25 +1986,33 @@ class KDTree:
             hit_q.append(np.repeat(np.arange(sa, ea, dtype=np.intp), eb - sb))
             hit_p.append(np.tile(d_indices[sb:eb], ea - sa))
 
-        def on_kernel_group(a: int, partners: np.ndarray) -> None:
-            sa, ea = q_start[a], q_stop[a]
-            data = self._gather_blocks(partners)
-            data_idx = (
-                d_indices[d_start[partners[0]] : d_stop[partners[0]]]
-                if partners.size == 1
-                else np.concatenate(
-                    [d_indices[d_start[b] : d_stop[b]] for b in partners]
+        def on_kernel_groups(ka: np.ndarray, kb: np.ndarray) -> None:
+            # Hit *sets* are ragged (per-query radii), so groups are answered
+            # one query node at a time; the distances themselves still run
+            # through the kernel tier's blocked primitive.
+            for lo, hi in _group_boundaries(ka):
+                a, partners = ka[lo], kb[lo:hi]
+                sa, ea = q_start[a], q_stop[a]
+                data = self._gather_blocks(partners)
+                data_idx = (
+                    d_indices[d_start[partners[0]] : d_stop[partners[0]]]
+                    if partners.size == 1
+                    else np.concatenate(
+                        [d_indices[d_start[b] : d_stop[b]] for b in partners]
+                    )
                 )
-            )
-            diff = qt.points_ordered[sa:ea, None, :] - data[None, :, :]
-            d_sq = np.einsum("qjd,qjd->qj", diff, diff)
-            bound = r_sq_pos[sa:ea, None]
-            hits = d_sq < bound if strict else d_sq <= bound
-            self.counter.add("distance_calcs", float(ea - sa) * float(data.shape[0]))
-            rows, cols = np.nonzero(hits)
-            if rows.size:
-                hit_q.append(sa + rows.astype(np.intp))
-                hit_p.append(data_idx[cols])
+                d_sq = self._kernel.pair_distances_sq(
+                    qt.points_ordered[sa:ea], data
+                )
+                bound = r_sq_pos[sa:ea, None]
+                hits = d_sq < bound if strict else d_sq <= bound
+                self.counter.add(
+                    "distance_calcs", float(ea - sa) * float(data.shape[0])
+                )
+                rows, cols = np.nonzero(hits)
+                if rows.size:
+                    hit_q.append(sa + rows.astype(np.intp))
+                    hit_p.append(data_idx[cols])
 
         if strict:
             is_excluded = lambda a_nodes, min_sq: min_sq >= rmax[a_nodes]
@@ -1843,7 +2020,7 @@ class KDTree:
         else:
             is_excluded = lambda a_nodes, min_sq: min_sq > rmax[a_nodes]
             is_included = lambda a_nodes, max_sq: max_sq <= rmin[a_nodes]
-        self._dual_vs_traverse(qt, is_excluded, is_included, on_included, on_kernel_group)
+        self._dual_vs_traverse(qt, is_excluded, is_included, on_included, on_kernel_groups)
 
         results: list[np.ndarray] = [np.empty(0, dtype=np.intp) for _ in range(n_q)]
         if not hit_q:
@@ -1875,8 +2052,8 @@ class KDTree:
     #
     # Contract (shared with every other nearest-denser code path in the
     # library): candidates are compared by lexicographic (squared distance,
-    # point index), squared distances use the diff-then-einsum arithmetic of
-    # the batch kernels, and everything is computed in float64 regardless of
+    # point index), squared distances use the canonical sequential kernel
+    # arithmetic, and everything is computed in float64 regardless of
     # the tree's storage dtype -- so the scalar, batch and dual dependency
     # engines agree bit for bit even on duplicate-heavy data.
 
@@ -2044,66 +2221,100 @@ class KDTree:
             ]
         )
 
-    def _gather_blocks64(self, nodes: np.ndarray) -> np.ndarray:
-        """Float64 counterpart of :meth:`_gather_blocks`."""
-        start, stop = self._start_arr, self._stop_arr
-        ordered = self._pruning_ordered
-        if nodes.size == 1:
-            node = nodes[0]
-            return ordered[start[node] : stop[node]]
-        return np.concatenate([ordered[start[b] : stop[b]] for b in nodes])
-
-    def _gather_positions(self, nodes: np.ndarray) -> np.ndarray:
-        """Concatenated position ranges of the given data nodes."""
-        start, stop = self._start_arr, self._stop_arr
-        if nodes.size == 1:
-            node = nodes[0]
-            return np.arange(start[node], stop[node], dtype=np.intp)
-        return np.concatenate(
-            [np.arange(start[b], stop[b], dtype=np.intp) for b in nodes]
-        )
-
-    def _nn_merge_block(
+    def _nn_merge_groups(
         self,
-        q_lo: int,
-        q_block: np.ndarray,
-        rho_q_block: np.ndarray,
-        data: np.ndarray,
-        data_idx: np.ndarray,
-        data_rho: np.ndarray,
+        qt: "KDTree",
+        q_pos: np.ndarray,
+        q_lens: np.ndarray,
+        d_pos: np.ndarray,
+        d_lens: np.ndarray,
+        rho_pos: np.ndarray,
+        rho_q_pos: np.ndarray,
         best_sq: np.ndarray,
         best_idx: np.ndarray,
     ) -> None:
-        """Fold one ``|q| x |data|`` candidate block into the best arrays.
+        """Mega-batched nearest-denser candidate kernels.
 
-        ``q_lo`` is the first query *position* of the block (query positions
-        are contiguous); candidates are merged by lexicographic (squared
-        distance, data point index), so the outcome is independent of the
-        order in which blocks arrive.
+        ``q_pos`` / ``d_pos`` concatenate the query-tree / data-tree
+        positions of all groups; group ``g`` owns the next ``q_lens[g]``
+        queries and ``d_lens[g]`` candidates.  Groups are padded into shared
+        ``(g, q, d)`` x ``(g, j, d)`` block shapes (padded queries carry
+        ``rho == +inf``, padded candidates ``rho == -inf`` and sentinel
+        indices, so neither side can ever be selected) and answered by the
+        kernel tier's ``nn_blocks``, one call per budgeted chunk.
+        Candidates fold into the running best arrays by lexicographic
+        (squared distance, data point index), so the outcome is independent
+        of grouping, chunking and arrival order.  The groups' query position
+        sets must be pairwise disjoint (distinct query nodes, or routing
+        that sends each query to exactly one region), which makes the
+        fancy-index merge race-free.
         """
-        d_sq = _block_pair_distances_sq(q_block[None], data[None])[0]
+        q_lens = np.asarray(q_lens, dtype=np.intp)
+        d_lens = np.asarray(d_lens, dtype=np.intp)
+        # Logical (unpadded) pair count; exact because every addend is an
+        # integer well below 2**53.
         self.counter.add(
-            "distance_calcs", float(q_block.shape[0]) * float(data.shape[0])
+            "distance_calcs",
+            float(np.dot(q_lens.astype(np.float64), d_lens.astype(np.float64))),
         )
-        d_sq = np.where(data_rho[None, :] > rho_q_block[:, None], d_sq, np.inf)
-        cand_sq = d_sq.min(axis=1)
-        has = np.isfinite(cand_sq)
-        if not has.any():
-            return
-        # Lexicographic (distance, index) minimum per row: among the entries
-        # achieving the row minimum, take the smallest data point index.
-        cand_idx = np.where(
-            d_sq == cand_sq[:, None], data_idx[None, :], np.iinfo(np.intp).max
-        ).min(axis=1)
-        cur_sq = best_sq[q_lo : q_lo + q_block.shape[0]]
-        cur_idx = best_idx[q_lo : q_lo + q_block.shape[0]]
-        better = has & (
-            (cand_sq < cur_sq) | ((cand_sq == cur_sq) & (cand_idx < cur_idx))
-        )
-        rows = np.flatnonzero(better)
-        if rows.size:
-            best_sq[q_lo + rows] = cand_sq[rows]
-            best_idx[q_lo + rows] = cand_idx[rows]
+        q_ordered = qt._pruning_ordered
+        d_ordered = self._pruning_ordered
+        d_indices = self._indices
+        dim = self._dim
+        kernel_tier = self._kernel
+
+        # Width-sorted groups pad tightly; the offsets address each group's
+        # slice of the concatenated position arrays.
+        q_off = np.cumsum(q_lens) - q_lens
+        d_off = np.cumsum(d_lens) - d_lens
+        g_order = np.argsort(d_lens, kind="stable")
+        q_lens, d_lens = q_lens[g_order], d_lens[g_order]
+        q_off, d_off = q_off[g_order], d_off[g_order]
+
+        for pos, end, q_pad, w_pad in _iter_padded_chunks(
+            kernel_tier.block_budget, dim, q_lens, d_lens
+        ):
+            rows = end - pos
+            dest_q, src_q = _ragged_copy_indices(
+                np.arange(rows, dtype=np.intp) * q_pad, q_off[pos:end], q_lens[pos:end]
+            )
+            q_sel = q_pos[src_q]
+            q_block = np.full((rows * q_pad, dim), np.inf, dtype=np.float64)
+            q_block[dest_q] = q_ordered[q_sel]
+            rho_q_block = np.full(rows * q_pad, np.inf, dtype=np.float64)
+            rho_q_block[dest_q] = rho_q_pos[q_sel]
+
+            dest_d, src_d = _ragged_copy_indices(
+                np.arange(rows, dtype=np.intp) * w_pad, d_off[pos:end], d_lens[pos:end]
+            )
+            d_sel = d_pos[src_d]
+            d_block = np.full((rows * w_pad, dim), np.inf, dtype=np.float64)
+            d_block[dest_d] = d_ordered[d_sel]
+            rho_d_block = np.full(rows * w_pad, -np.inf, dtype=np.float64)
+            rho_d_block[dest_d] = rho_pos[d_sel]
+            idx_block = np.full(rows * w_pad, np.iinfo(np.intp).max, dtype=np.intp)
+            idx_block[dest_d] = d_indices[d_sel]
+
+            cand_sq, cand_idx = kernel_tier.nn_blocks(
+                q_block.reshape(rows, q_pad, dim),
+                rho_q_block.reshape(rows, q_pad),
+                d_block.reshape(rows, w_pad, dim),
+                rho_d_block.reshape(rows, w_pad),
+                idx_block.reshape(rows, w_pad),
+            )
+            cand_sq = cand_sq.reshape(rows * q_pad)[dest_q]
+            cand_idx = cand_idx.reshape(rows * q_pad)[dest_q]
+            cur_sq = best_sq[q_sel]
+            cur_idx = best_idx[q_sel]
+            # cand_idx is unspecified where cand_sq == inf, so mask on
+            # finiteness before the lexicographic comparison.
+            better = np.isfinite(cand_sq) & (
+                (cand_sq < cur_sq) | ((cand_sq == cur_sq) & (cand_idx < cur_idx))
+            )
+            hit = np.flatnonzero(better)
+            if hit.size:
+                best_sq[q_sel[hit]] = cand_sq[hit]
+                best_idx[q_sel[hit]] = cand_idx[hit]
 
     def _nn_seed_level(
         self,
@@ -2112,38 +2323,33 @@ class KDTree:
         max_size: int,
         rho_pos: np.ndarray,
         rho_q_pos: np.ndarray,
-        best_sq,
-        best_idx,
+        best_sq: np.ndarray,
+        best_idx: np.ndarray,
     ) -> None:
         """One seeding-pyramid level: join queries against their home region.
 
         Routes each query (given by query-tree position) down *this* tree to
         the smallest ancestor region of at most ``max_size`` points (or a
-        leaf) and merges that region's candidates.  Routing compares against
-        the storage-dtype split values, which only decides *which* region
-        seeds the query -- the merged distances are always the canonical
-        float64 values.
+        leaf); every terminal region becomes one kernel group of a single
+        mega-batched :meth:`_nn_merge_groups` call (each query reaches
+        exactly one region per level, so the groups' query sets are
+        disjoint).  Routing compares against the storage-dtype split values,
+        which only decides *which* region seeds the query -- the merged
+        distances are always the canonical float64 values.
         """
         q_ordered = qt._pruning_ordered
-        ordered = self._pruning_ordered
-        d_indices = self._indices
         start, stop = self._start_arr, self._stop_arr
         left, right = self._left_arr, self._right_arr
+        q_groups: list[np.ndarray] = []
+        region_lo: list[int] = []
+        region_len: list[int] = []
         stack: list[tuple[int, np.ndarray]] = [(self._root, qpos)]
         while stack:
             node, sub = stack.pop()
             if left[node] == _NO_CHILD or stop[node] - start[node] <= max_size:
-                lo, hi = int(start[node]), int(stop[node])
-                self._nn_merge_block(
-                    0,
-                    q_ordered[sub],
-                    rho_q_pos[sub],
-                    ordered[lo:hi],
-                    d_indices[lo:hi],
-                    rho_pos[lo:hi],
-                    _SliceView(best_sq, sub),
-                    _SliceView(best_idx, sub),
-                )
+                q_groups.append(sub)
+                region_lo.append(int(start[node]))
+                region_len.append(int(stop[node] - start[node]))
                 continue
             dim = self._split_dim_arr[node]
             diff = q_ordered[sub, dim] - np.float64(self._split_val_arr[node])
@@ -2152,6 +2358,18 @@ class KDTree:
                 stack.append((int(left[node]), sub[on_left]))
             if not on_left.all():
                 stack.append((int(right[node]), sub[~on_left]))
+        d_lens = np.asarray(region_len, dtype=np.intp)
+        self._nn_merge_groups(
+            qt,
+            np.concatenate(q_groups),
+            np.asarray([g.size for g in q_groups], dtype=np.intp),
+            _concat_ranges(np.asarray(region_lo, dtype=np.intp), d_lens),
+            d_lens,
+            rho_pos,
+            rho_q_pos,
+            best_sq,
+            best_idx,
+        )
 
     def nn_dual_vs(
         self,
@@ -2251,8 +2469,6 @@ class KDTree:
         q_left, q_right = qt._left_arr, qt._right_arr
         d_left, d_right = self._left_arr, self._right_arr
         d_start, d_stop = self._start_arr, self._stop_arr
-        q_ordered = qt._pruning_ordered
-        d_indices = self._indices
 
         covered = np.concatenate(
             [np.arange(q_start[a], q_stop[a], dtype=np.intp) for a in q_nodes]
@@ -2281,15 +2497,16 @@ class KDTree:
             )
             needs = needs[best_idx[needs] < 0]
         if needs.size:
-            self._nn_merge_block(
-                0,
-                q_ordered[needs],
-                rho_q_pos[needs],
-                self._pruning_ordered,
-                d_indices,
+            self._nn_merge_groups(
+                qt,
+                needs,
+                np.asarray([needs.size], dtype=np.intp),
+                np.arange(self._n, dtype=np.intp),
+                np.asarray([self._n], dtype=np.intp),
                 rho_pos,
-                _SliceView(best_sq, needs),
-                _SliceView(best_idx, needs),
+                rho_q_pos,
+                best_sq,
+                best_idx,
             )
 
         # ---- simultaneous pair traversal.
@@ -2312,7 +2529,7 @@ class KDTree:
                 b_min[b_nodes] - a_max[a_nodes], a_min[a_nodes] - b_max[b_nodes]
             )
             np.maximum(gap, 0.0, out=gap)
-            min_sq = np.einsum("md,md->m", gap, gap)
+            min_sq = squared_norms(gap)
 
             # Per-query-node pruning bound: the largest current best squared
             # distance of any contained, non-hopeless query.  Non-strict
@@ -2329,25 +2546,29 @@ class KDTree:
             live = ~pruned
             kernel = live & q_terminal[a_nodes] & d_terminal[b_nodes]
             if kernel.any():
+                # One mega-batched merge for the whole wavefront: the pruning
+                # bound above was computed before any of these kernels, and
+                # groups (distinct query nodes) touch disjoint query position
+                # slices, so batching cannot change any result bit.
                 ka = a_nodes[kernel]
                 kb = b_nodes[kernel]
                 order = np.lexsort((kb, ka))
                 ka, kb = ka[order], kb[order]
-                for lo, hi in _group_boundaries(ka):
-                    a = int(ka[lo])
-                    partners = kb[lo:hi]
-                    sa, ea = int(q_start[a]), int(q_stop[a])
-                    data_pos = self._gather_positions(partners)
-                    self._nn_merge_block(
-                        sa,
-                        q_ordered[sa:ea],
-                        rho_q_pos[sa:ea],
-                        self._gather_blocks64(partners),
-                        d_indices[data_pos],
-                        rho_pos[data_pos],
-                        best_sq,
-                        best_idx,
-                    )
+                group_first = np.flatnonzero(np.r_[True, ka[1:] != ka[:-1]])
+                groups_a = ka[group_first]
+                d_run_len = d_stop[kb] - d_start[kb]
+                q_lens = q_stop[groups_a] - q_start[groups_a]
+                self._nn_merge_groups(
+                    qt,
+                    _concat_ranges(q_start[groups_a], q_lens),
+                    q_lens,
+                    _concat_ranges(d_start[kb], d_run_len),
+                    np.add.reduceat(d_run_len, group_first),
+                    rho_pos,
+                    rho_q_pos,
+                    best_sq,
+                    best_idx,
+                )
             descend = live & ~kernel
             if not descend.any():
                 break
@@ -2384,29 +2605,6 @@ class KDTree:
         the globally densest point).
         """
         return self.nn_dual_vs(self, rho, rho, q_nodes=q_nodes)
-
-
-class _SliceView:
-    """Fancy-indexed writable view used by the seeding merges.
-
-    :meth:`KDTree._nn_merge_block` updates contiguous slices
-    ``best[q_lo + rows]``; the seeding passes instead update scattered
-    position subsets.  Wrapping the base array with its position map lets the
-    same merge code serve both: reads and writes at offset ``i`` resolve to
-    ``base[positions[i]]``.
-    """
-
-    __slots__ = ("_base", "_positions")
-
-    def __init__(self, base: np.ndarray, positions: np.ndarray):
-        self._base = base
-        self._positions = positions
-
-    def __getitem__(self, key):
-        return self._base[self._positions[key]]
-
-    def __setitem__(self, key, value):
-        self._base[self._positions[key]] = value
 
 
 class _IncNode:
@@ -2541,8 +2739,8 @@ class IncrementalKDTree:
 
         Returns ``(-1, inf)`` when the tree is empty.  Exact distance ties
         resolve to the smallest point index and per-pair squared distances
-        use the same ``diff``-then-``einsum`` arithmetic as the batch and
-        dual kernels (see :func:`repro.utils.distance.point_to_points_sq`),
+        use the same canonical sequential arithmetic as the batch and dual
+        kernels (see :func:`repro.utils.distance.point_to_points_sq`),
         so Ex-DPC's incremental dependency phase agrees bit for bit with the
         unified nearest-denser join of the other engines.
         """

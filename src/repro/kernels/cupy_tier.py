@@ -1,0 +1,90 @@
+"""CuPy kernel tier: the blocked ABI evaluated on a CUDA device.
+
+Optional -- this module is only imported when ``kernel="cupy"`` is
+requested explicitly (never by ``"auto"``: host<->device transfer only
+pays off on workloads large enough for the caller to opt in).  The tier
+mirrors the numpy tier op for op; CUDA's IEEE-754 add/multiply round to
+nearest exactly like the CPU's, and the accumulation order is the same
+canonical ascending-dimension sequence, so results are bit-identical.
+
+Work units arrive pre-chunked by the kd-tree's frontier/budget
+decomposition: one ``count_blocks``/``nn_blocks`` call is one
+host-to-device round trip over a padded block of at most
+``block_budget`` difference elements, so the transfer is amortised over
+the full blocked evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import cupy as cp
+
+name = "cupy"
+
+#: Device-sized work units: much larger than the CPU tiers' budgets so each
+#: host<->device round trip carries enough arithmetic to amortise itself.
+block_budget = 64_000_000
+
+_INTP_MAX = np.iinfo(np.intp).max
+
+from repro.kernels.numpy_tier import squared_norms  # noqa: E402,F401
+
+
+def _pair_distances_sq_device(q: "cp.ndarray", d: "cp.ndarray") -> "cp.ndarray":
+    qe = q[..., :, None, :]
+    de = d[..., None, :, :]
+    out = qe[..., 0] - de[..., 0]
+    cp.square(out, out=out)
+    for k in range(1, q.shape[-1]):
+        plane = qe[..., k] - de[..., k]
+        cp.square(plane, out=plane)
+        out += plane
+    return out
+
+
+def pair_distances_sq(q_block: np.ndarray, d_block: np.ndarray) -> np.ndarray:
+    """``(..., q, j)`` squared distances (see the numpy tier's docstring)."""
+    out = _pair_distances_sq_device(cp.asarray(q_block), cp.asarray(d_block))
+    return cp.asnumpy(out)
+
+
+def count_blocks(
+    q_block: np.ndarray,
+    d_block: np.ndarray,
+    radius_sq,
+    strict: bool,
+    with_col: bool = True,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Radius-test hit counts (see the numpy tier's docstring)."""
+    d_sq = _pair_distances_sq_device(cp.asarray(q_block), cp.asarray(d_block))
+    bound = d_sq.dtype.type(radius_sq)
+    hits = d_sq < bound if strict else d_sq <= bound
+    row_hits = cp.asnumpy(cp.count_nonzero(hits, axis=2)).astype(np.intp)
+    col_hits = (
+        cp.asnumpy(cp.count_nonzero(hits, axis=1)).astype(np.intp)
+        if with_col
+        else None
+    )
+    return row_hits, col_hits
+
+
+def nn_blocks(
+    q_block: np.ndarray,
+    rho_q: np.ndarray,
+    d_block: np.ndarray,
+    d_rho: np.ndarray,
+    d_idx: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Nearest strictly-denser candidates (see the numpy tier's docstring)."""
+    d_sq = _pair_distances_sq_device(cp.asarray(q_block), cp.asarray(d_block))
+    rho_q_d = cp.asarray(rho_q)
+    d_rho_d = cp.asarray(d_rho)
+    d_sq = cp.where(d_rho_d[:, None, :] > rho_q_d[:, :, None], d_sq, cp.inf)
+    cand_sq = d_sq.min(axis=2)
+    cand_idx = cp.where(
+        d_sq == cand_sq[:, :, None], cp.asarray(d_idx)[:, None, :], _INTP_MAX
+    ).min(axis=2)
+    return (
+        cp.asnumpy(cand_sq).astype(np.float64, copy=False),
+        cp.asnumpy(cand_idx).astype(np.intp, copy=False),
+    )

@@ -1,0 +1,147 @@
+"""Numba kernel tier: JIT-compiled blocked distance loops.
+
+Optional -- this module is only imported when the tier is selected (and
+numba is installed).  The compiled loops replicate the numpy tier's
+canonical sequential ascending-dimension accumulation in the blocks'
+element dtype, so results are bit-identical to every other tier, at every
+dimensionality, including the radius-comparison dtype (float32 blocks
+compare float32 sums against the float32-rounded bound exactly as numpy's
+weak scalar promotion does).
+
+The per-element work of a blocked kernel is tiny, so the JIT's win is
+eliminating the broadcast temporaries and the per-plane memory passes of
+the numpy tier; a larger ``block_budget`` amortises call overhead because
+the loops never materialise the padded difference planes at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+name = "numba"
+
+#: Larger than the numpy tier's budget: the compiled loops only ever hold
+#: one scalar accumulator per (query, data) pair, so the padded blocks --
+#: coordinates in, counts/candidates out -- are the whole footprint.
+block_budget = 8_000_000
+
+_INTP_MAX = np.iinfo(np.intp).max
+
+from repro.kernels.numpy_tier import squared_norms  # noqa: E402,F401
+
+
+@njit(cache=True)
+def _pair_distances_sq_3d(q_block, d_block, out):
+    groups, n_q, dim = q_block.shape
+    n_j = d_block.shape[1]
+    for g in range(groups):
+        for qi in range(n_q):
+            for ji in range(n_j):
+                diff = q_block[g, qi, 0] - d_block[g, ji, 0]
+                acc = diff * diff
+                for k in range(1, dim):
+                    diff = q_block[g, qi, k] - d_block[g, ji, k]
+                    acc += diff * diff
+                out[g, qi, ji] = acc
+
+
+def pair_distances_sq(q_block: np.ndarray, d_block: np.ndarray) -> np.ndarray:
+    """``(..., q, j)`` squared distances (see the numpy tier's docstring)."""
+    q = np.ascontiguousarray(q_block)
+    d = np.ascontiguousarray(d_block)
+    squeeze = q.ndim == 2
+    if squeeze:
+        q = q[None]
+        d = d[None]
+    out = np.empty(q.shape[:-1] + (d.shape[-2],), dtype=q.dtype)
+    _pair_distances_sq_3d(q, d, out)
+    return out[0] if squeeze else out
+
+
+@njit(cache=True)
+def _count_blocks(q_block, d_block, radius_sq, strict, with_col, row_hits, col_hits):
+    groups, n_q, dim = q_block.shape
+    n_j = d_block.shape[1]
+    for g in range(groups):
+        for qi in range(n_q):
+            count = 0
+            for ji in range(n_j):
+                diff = q_block[g, qi, 0] - d_block[g, ji, 0]
+                acc = diff * diff
+                for k in range(1, dim):
+                    diff = q_block[g, qi, k] - d_block[g, ji, k]
+                    acc += diff * diff
+                hit = acc < radius_sq if strict else acc <= radius_sq
+                if hit:
+                    count += 1
+                    if with_col:
+                        col_hits[g, ji] += 1
+            row_hits[g, qi] = count
+
+
+def count_blocks(
+    q_block: np.ndarray,
+    d_block: np.ndarray,
+    radius_sq,
+    strict: bool,
+    with_col: bool = True,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Radius-test hit counts (see the numpy tier's docstring)."""
+    q = np.ascontiguousarray(q_block)
+    d = np.ascontiguousarray(d_block)
+    row_hits = np.empty(q.shape[:2], dtype=np.intp)
+    col_hits = np.zeros(d.shape[:2], dtype=np.intp)
+    # The comparison must run in the caller's chosen dtype: cast the bound
+    # exactly as numpy's weak promotion would before handing it to the loop.
+    _count_blocks(
+        q, d, q.dtype.type(radius_sq), strict, with_col, row_hits, col_hits
+    )
+    return row_hits, (col_hits if with_col else None)
+
+
+@njit(cache=True)
+def _nn_blocks(q_block, rho_q, d_block, d_rho, d_idx, cand_sq, cand_idx):
+    groups, n_q, dim = q_block.shape
+    n_j = d_block.shape[1]
+    for g in range(groups):
+        for qi in range(n_q):
+            best = np.inf
+            best_idx = _INTP_MAX
+            bound = rho_q[g, qi]
+            for ji in range(n_j):
+                if d_rho[g, ji] > bound:
+                    diff = q_block[g, qi, 0] - d_block[g, ji, 0]
+                    acc = diff * diff
+                    for k in range(1, dim):
+                        diff = q_block[g, qi, k] - d_block[g, ji, k]
+                        acc += diff * diff
+                    if acc < best or (acc == best and d_idx[g, ji] < best_idx):
+                        best = acc
+                        best_idx = d_idx[g, ji]
+            cand_sq[g, qi] = best
+            cand_idx[g, qi] = best_idx
+
+
+def nn_blocks(
+    q_block: np.ndarray,
+    rho_q: np.ndarray,
+    d_block: np.ndarray,
+    d_rho: np.ndarray,
+    d_idx: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Nearest strictly-denser candidates (see the numpy tier's docstring)."""
+    q = np.ascontiguousarray(q_block)
+    d = np.ascontiguousarray(d_block)
+    cand_sq = np.empty(q.shape[:2], dtype=np.float64)
+    cand_idx = np.empty(q.shape[:2], dtype=np.intp)
+    _nn_blocks(
+        q,
+        np.ascontiguousarray(rho_q),
+        d,
+        np.ascontiguousarray(d_rho),
+        np.ascontiguousarray(d_idx),
+        cand_sq,
+        cand_idx,
+    )
+    return cand_sq, cand_idx

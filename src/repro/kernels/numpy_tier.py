@@ -1,0 +1,112 @@
+"""Pure-numpy kernel tier: the canonical reference implementation.
+
+Always available; every other tier must reproduce this tier's results bit
+for bit (property-tested by ``tests/property/test_kernel_equivalence.py``).
+Distances accumulate per dimension in ascending order -- see the package
+docstring for why that order, not ``einsum``'s, is the canonical one --
+using in-place squares on the broadcast difference planes, so no 4-D
+``(g, q, j, d)`` temporary is ever materialised at any dimensionality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+name = "numpy"
+
+#: Maximum number of padded ``(g, q, j, d)`` difference elements one
+#: mega-batched kernel call evaluates; bounds the blocked temporaries so
+#: they stay cache-sized.  Chunking never changes results or work counters
+#: (groups are self-contained and the counters are exact integer sums), so
+#: tiers are free to pick the budget that suits their execution model.
+block_budget = 1_000_000
+
+_INTP_MAX = np.iinfo(np.intp).max
+
+
+def squared_norms(diff: np.ndarray) -> np.ndarray:
+    """Squared norms over the last axis, accumulated in ascending order."""
+    out = diff[..., 0] * diff[..., 0]
+    for k in range(1, diff.shape[-1]):
+        plane = diff[..., k] * diff[..., k]
+        out += plane
+    return out
+
+
+def pair_distances_sq(q_block: np.ndarray, d_block: np.ndarray) -> np.ndarray:
+    """``(..., q, j)`` squared distances between two point blocks.
+
+    ``q_block`` is ``(..., q, d)`` and ``d_block`` ``(..., j, d)`` with
+    matching leading axes; the arithmetic runs in the blocks' element dtype.
+    """
+    q = q_block[..., :, None, :]
+    d = d_block[..., None, :, :]
+    out = np.subtract(q[..., 0], d[..., 0])
+    np.square(out, out=out)
+    if q_block.shape[-1] > 1:
+        # One reusable scratch plane: large blocks hit the allocator's
+        # mmap path, so a fresh temporary per dimension costs more than
+        # the arithmetic it feeds at d >= 3.
+        plane = np.empty_like(out)
+        for k in range(1, q_block.shape[-1]):
+            np.subtract(q[..., k], d[..., k], out=plane)
+            np.square(plane, out=plane)
+            out += plane
+    return out
+
+
+def count_blocks(
+    q_block: np.ndarray,
+    d_block: np.ndarray,
+    radius_sq,
+    strict: bool,
+    with_col: bool = True,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Radius-test hit counts over padded ``(g, q, d)`` x ``(g, j, d)`` blocks.
+
+    ``radius_sq`` must already carry the comparison dtype the caller wants
+    (a float32 tree compares float32 distances against the float32-rounded
+    bound, matching numpy's weak scalar promotion in the scalar/batch
+    engines).  Padded rows hold ``+inf`` coordinates, so their distances
+    come out ``inf``/``nan`` and never pass the test; the ``errstate``
+    silences the corresponding IEEE flags.
+    """
+    with np.errstate(invalid="ignore", over="ignore"):
+        d_sq = pair_distances_sq(q_block, d_block)
+        hits = d_sq < radius_sq if strict else d_sq <= radius_sq
+    row_hits = np.count_nonzero(hits, axis=2)
+    col_hits = np.count_nonzero(hits, axis=1) if with_col else None
+    return row_hits, col_hits
+
+
+def nn_blocks(
+    q_block: np.ndarray,
+    rho_q: np.ndarray,
+    d_block: np.ndarray,
+    d_rho: np.ndarray,
+    d_idx: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Nearest strictly-denser candidate per query row of padded blocks.
+
+    ``q_block`` is ``(g, q, d)`` with per-row densities ``rho_q`` of shape
+    ``(g, q)``; ``d_block`` is ``(g, j, d)`` with densities ``d_rho`` and
+    point indices ``d_idx`` of shape ``(g, j)``.  Returns ``(cand_sq,
+    cand_idx)`` of shape ``(g, q)``: the lexicographic ``(squared distance,
+    index)`` minimum over the eligible (strictly denser) candidates of each
+    row.  Rows with no eligible candidate return ``cand_sq == inf``;
+    their ``cand_idx`` is unspecified and must be masked by the caller
+    (tiers differ there and nowhere else).  Padding contract: padded query
+    rows carry ``rho_q == +inf`` (nothing is denser), padded data rows
+    ``d_rho == -inf`` (never eligible) -- their ``+inf`` coordinates and
+    sentinel indices are therefore never selected.
+    """
+    with np.errstate(invalid="ignore", over="ignore"):
+        d_sq = pair_distances_sq(q_block, d_block)
+        d_sq = np.where(d_rho[:, None, :] > rho_q[:, :, None], d_sq, np.inf)
+    cand_sq = d_sq.min(axis=2)
+    cand_idx = np.where(
+        d_sq == cand_sq[:, :, None], d_idx[:, None, :], _INTP_MAX
+    ).min(axis=2)
+    # float32 minima convert exactly; candidates are always reported in
+    # float64 so the lexicographic merges downstream are dtype-uniform.
+    return cand_sq.astype(np.float64, copy=False), cand_idx

@@ -36,6 +36,7 @@ from typing import Any, Callable, Optional
 
 import numpy as np
 
+from repro.kernels import KERNEL_TIERS
 from repro.parallel.shm import BundleSpec, SharedArrayBundle
 from repro.utils.counters import WorkCounter
 
@@ -122,6 +123,14 @@ def pack_tree_arrays(tree) -> dict[str, np.ndarray]:
     mapping = {"points": tree.source_points}
     mapping.update(tree.arrays.to_mapping(prefix=_TREE_PREFIX))
     mapping[_TREE_PREFIX + "leaf_size"] = np.asarray([tree.leaf_size], dtype=np.intp)
+    # Ship the driver's *effective* kernel tier (as an index into
+    # KERNEL_TIERS) so workers run the exact tier the driver resolved --
+    # never re-resolving "auto" against a possibly different worker
+    # environment.  All tiers are bit-identical, but counters and bench tags
+    # must name one tier truthfully.
+    mapping[_TREE_PREFIX + "kernel"] = np.asarray(
+        [KERNEL_TIERS.index(tree.kernel_name)], dtype=np.intp
+    )
     return mapping
 
 
@@ -146,8 +155,13 @@ class _WorkerContext:
 
             arrays = KDTreeArrays.from_mapping(self.arrays, prefix=_TREE_PREFIX)
             leaf_size = int(self.arrays[_TREE_PREFIX + "leaf_size"][0])
+            kernel = KERNEL_TIERS[int(self.arrays[_TREE_PREFIX + "kernel"][0])]
             self._tree = KDTree.from_arrays(
-                self.points, arrays, leaf_size=leaf_size, counter=WorkCounter()
+                self.points,
+                arrays,
+                leaf_size=leaf_size,
+                counter=WorkCounter(),
+                kernel=kernel,
             )
         return self._tree
 

@@ -66,7 +66,11 @@ __all__ = ["MODEL_FORMAT_VERSION", "SNAPSHOT_ALGORITHMS", "save_model", "load_mo
 #: answer :meth:`~repro.core.framework.DensityPeaksBase.recluster` without
 #: re-deriving either.  :func:`load_model` reads *every* version back to 1:
 #: v1 tree bounding boxes are rebuilt on load, and pre-v4 snapshots simply
-#: restore without a cached re-cluster index.
+#: restore without a cached re-cluster index.  The ``kernel`` tier name and
+#: the (possibly resolved) ``dual_frontier`` ride in the params record --
+#: constructor filtering restores them without a format bump, and
+#: ``kernel="auto"`` stays symbolic so snapshots are portable across
+#: machines with different accelerators (tiers are bit-identical).
 MODEL_FORMAT_VERSION = 4
 
 _TREE_PREFIX = "tree."

@@ -54,6 +54,7 @@ from repro.core.dependency_join import repair_nearest_denser
 from repro.core.ex_dpc import ExDPC
 from repro.core.result import DPCResult, canonical_rho_raw
 from repro.index.kdtree import IncrementalKDTree, KDTree
+from repro.kernels import pair_distances_sq, resolve_kernel
 from repro.utils.counters import WorkCounter
 from repro.utils.rng import ensure_rng, random_tiebreak
 from repro.utils.validation import check_points, check_positive, check_positive_int
@@ -106,6 +107,17 @@ class StreamingDPC:
         dual-tree self-join and :meth:`predict` joins new points against the
         window tree with one simultaneous traversal -- results are
         bit-for-bit identical on every engine.
+    dual_frontier:
+        Work-unit decomposition of the dual joins (``"auto"``, an int, or
+        ``None`` to read ``REPRO_DUAL_FRONTIER``).  ``"auto"`` stays
+        symbolic and is resolved against the window size at each rebuild,
+        deterministically, so replays of one stream agree.
+    kernel:
+        Blocked kernel tier of every distance evaluation (``"auto"``,
+        ``"numpy"``, ``"numba"``, ``"cupy"``; ``None`` reads
+        ``REPRO_KERNEL``).  Tiers are bit-identical, so the stream's
+        incremental state is portable across machines with different
+        accelerators -- see ``docs/kernels.md``.
 
     Attributes
     ----------
@@ -132,7 +144,8 @@ class StreamingDPC:
         refit_equivalence: bool = False,
         repair_chunk: int = 256,
         engine: str | None = None,
-        dual_frontier: int | None = None,
+        dual_frontier=None,
+        kernel: str | None = None,
     ):
         from repro.core.framework import resolve_engine
         from repro.index.kdtree import resolve_dual_frontier
@@ -141,7 +154,10 @@ class StreamingDPC:
         # Resolved once, here: every amortized rebuild must use the same
         # frontier decomposition, or work counters would drift between
         # rebuilds of one stream if the environment changed underneath.
+        # ``"auto"`` stays symbolic -- the wrapped estimator resolves it
+        # against the window size at each rebuild (deterministic in n).
         self.dual_frontier = resolve_dual_frontier(dual_frontier)
+        self.kernel = resolve_kernel(kernel)
         self.d_cut = check_positive(d_cut, "d_cut")
         if window_size is not None:
             window_size = check_positive_int(window_size, "window_size")
@@ -194,6 +210,7 @@ class StreamingDPC:
             record_costs=False,
             engine=self.engine,
             dual_frontier=self.dual_frontier,
+            kernel=self.kernel,
         )
 
     def _effective_engine(self) -> str:
@@ -341,7 +358,10 @@ class StreamingDPC:
         estimator._fit_points_ = points
         estimator._counter = WorkCounter()
         estimator._tree = KDTree(
-            points, leaf_size=self.leaf_size, counter=estimator._counter
+            points,
+            leaf_size=self.leaf_size,
+            counter=estimator._counter,
+            kernel=self.kernel,
         )
         rho_raw = self._rho_raw[:n].copy()
         dependent_raw = self._dependent[:n].copy()
@@ -524,8 +544,7 @@ class StreamingDPC:
             delta_sq = np.square(delta_old)
             for start in range(0, changed.size, self.repair_chunk):
                 block = changed[start : start + self.repair_chunk]
-                diff = points[block][:, None, :] - points[None, :, :]
-                d_sq = np.einsum("qjd,qjd->qj", diff, diff)
+                d_sq = pair_distances_sq(points[block], points)
                 self._counter.add("distance_calcs", float(block.size) * float(n))
                 cond = (new_rho[block][:, None] > new_rho[None, :]) & (
                     d_sq <= delta_sq[None, :]
@@ -548,6 +567,7 @@ class StreamingDPC:
                 engine=self._effective_engine(),
                 counter=self._counter,
                 leaf_size=self.leaf_size,
+                kernel=self.kernel,
             )
             self._dependent[repair] = targets
             self._delta[repair] = distances

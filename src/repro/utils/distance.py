@@ -48,7 +48,10 @@ def point_to_points_sq(point: np.ndarray, points: np.ndarray) -> np.ndarray:
 
     Floating-point inputs keep their dtype (so float32 kd-tree storage is
     compared with float32 arithmetic, matching the batch and dual engines
-    bit for bit); anything else is promoted to float64.
+    bit for bit); anything else is promoted to float64.  This is the scalar
+    form of the library's canonical distance arithmetic: squares accumulate
+    per dimension in ascending order (see :mod:`repro.kernels`), so every
+    engine and kernel tier reproduces these exact bits.
     """
     point = np.asarray(point)
     points = np.asarray(points)
@@ -61,7 +64,10 @@ def point_to_points_sq(point: np.ndarray, points: np.ndarray) -> np.ndarray:
     if points.ndim == 1:
         points = points.reshape(1, -1)
     diff = points - point
-    return np.einsum("ij,ij->i", diff, diff)
+    out = diff[:, 0] * diff[:, 0]
+    for k in range(1, diff.shape[1]):
+        out += diff[:, k] * diff[:, k]
+    return out
 
 
 def point_to_points(point: np.ndarray, points: np.ndarray) -> np.ndarray:

@@ -10,8 +10,9 @@ from repro.core.dependency_join import PartitionedDependencySearcher
 from repro.core.framework import effective_engine, resolve_engine
 from repro.core.predict import nearest_denser_bruteforce
 from repro.index.kdtree import (
+    DUAL_FRONTIER_AUTO,
     DUAL_FRONTIER_ENV,
-    DUAL_FRONTIER_TARGET,
+    adaptive_dual_frontier,
     KDTree,
     KDTreeArrays,
     resolve_dual_frontier,
@@ -88,7 +89,25 @@ class TestDensityBounds:
 class TestResolveDualFrontier:
     def test_default(self, monkeypatch):
         monkeypatch.delenv(DUAL_FRONTIER_ENV, raising=False)
-        assert resolve_dual_frontier(None) == DUAL_FRONTIER_TARGET
+        assert resolve_dual_frontier(None) == DUAL_FRONTIER_AUTO
+
+    def test_env_auto_and_bad_values(self, monkeypatch):
+        monkeypatch.setenv(DUAL_FRONTIER_ENV, "auto")
+        assert resolve_dual_frontier(None) == DUAL_FRONTIER_AUTO
+        monkeypatch.setenv(DUAL_FRONTIER_ENV, "banana")
+        with pytest.raises(ValueError, match="REPRO_DUAL_FRONTIER"):
+            resolve_dual_frontier(None)
+        monkeypatch.setenv(DUAL_FRONTIER_ENV, "-3")
+        with pytest.raises(ValueError):
+            resolve_dual_frontier(None)
+
+    def test_adaptive_heuristic(self):
+        # Deterministic, scale-aware, clamped to [64, 4096].
+        assert adaptive_dual_frontier(10, 32) == 64
+        assert adaptive_dual_frontier(100_000, 32) > 64
+        assert adaptive_dual_frontier(10**9, 1) == 4096
+        # Pure function of (n, leaf_size): replays are identical.
+        assert adaptive_dual_frontier(5_000, 8) == adaptive_dual_frontier(5_000, 8)
 
     def test_env_override(self, monkeypatch):
         monkeypatch.setenv(DUAL_FRONTIER_ENV, "17")
@@ -134,7 +153,11 @@ class TestAutoEngine:
     def test_effective_engine_by_dimension(self):
         assert effective_engine("auto", 1) == "dual"
         assert effective_engine("auto", 2) == "dual"
-        assert effective_engine("auto", 3) == "batch"
+        # The blocked kernel tier made dual win the combined workload at
+        # every measured dimension (d <= 5); above it, batch until measured.
+        assert effective_engine("auto", 3) == "dual"
+        assert effective_engine("auto", 5) == "dual"
+        assert effective_engine("auto", 6) == "batch"
         assert effective_engine("scalar", 2) == "scalar"
 
     def test_auto_fit_matches_concrete_engines(self, cloud):
@@ -150,7 +173,11 @@ class TestAutoEngine:
         wide = rng.uniform(0.0, 50.0, size=(80, 4))
         auto4 = ApproxDPC(d_cut=15.0, n_clusters=2, engine="auto")
         auto4.fit(wide)
-        assert auto4.engine_ == "batch"
+        assert auto4.engine_ == "dual"  # d=4 now inside the dual window
+        wider = rng.uniform(0.0, 50.0, size=(80, 6))
+        auto6 = ApproxDPC(d_cut=25.0, n_clusters=2, engine="auto")
+        auto6.fit(wider)
+        assert auto6.engine_ == "batch"  # d=6 beyond the measured sweep
 
     def test_auto_round_trips_through_snapshots(self, tmp_path, cloud):
         points, _ = cloud
