@@ -1,0 +1,294 @@
+"""Coalesced serving vs sequential predicts: the batching payoff.
+
+The asyncio predict server (:mod:`repro.serve`) exists so that many small
+concurrent predict requests do **not** each pay the fixed per-call costs of
+``model.predict`` (executor setup, tree plumbing, Python dispatch).  This
+bench measures exactly that trade: it fits a small Ex-DPC model, snapshots
+it, serves it through an in-process :class:`~repro.serve.server.PredictServer`
+over a real TCP socket, and fires a burst of concurrent requests through one
+:class:`~repro.serve.server.PredictClient` connection twice --
+
+* **sequential**: each request awaited before the next is sent (no
+  concurrency, so the coalescer sees batches of one), and
+* **coalesced**: all requests in flight at once (``asyncio.gather``), so the
+  coalescing window merges them into a handful of kernel invocations.
+
+The acceptance criterion is coalesced throughput at least **3x** the
+sequential throughput at 64 concurrent requests, with every returned label
+bit-equal to a direct ``model.predict`` on the same points.  The run appends
+``phase="serve"`` rows (p50/p99 latency, throughput, batching stats) to the
+repo-root perf-trajectory file via ``merge_trajectory``.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+    PYTHONPATH=src python benchmarks/bench_serve.py --check \\
+        --json serve-smoke.json --bench-json BENCH_density.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench import merge_trajectory, print_table
+from repro.core.ex_dpc import ExDPC
+from repro.serve import ModelRegistry, PredictClient, PredictServer
+from repro.stream.snapshot import save_model
+
+DEFAULT_N = 2000
+DEFAULT_DIM = 2
+DEFAULT_REQUESTS = 64
+DEFAULT_POINTS_PER_REQUEST = 8
+EXTENT = 100.0
+MIN_SPEEDUP = 3.0
+
+
+def make_model(n: int, dim: int, seed: int) -> tuple[ExDPC, np.ndarray]:
+    """Fit a small Ex-DPC model on clustered synthetic data."""
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.2 * EXTENT, 0.8 * EXTENT, size=(4, dim))
+    points = np.concatenate(
+        [center + rng.normal(0.0, 0.04 * EXTENT, size=(n // 4, dim)) for center in centers]
+    )
+    model = ExDPC(0.08 * EXTENT, rho_min=2, n_clusters=4, seed=seed)
+    model.fit(points)
+    return model, points
+
+
+async def run_burst(
+    client: PredictClient,
+    name: str,
+    batches: list[np.ndarray],
+    *,
+    sequential: bool,
+) -> tuple[list[np.ndarray], list[float], float]:
+    """Fire one burst; returns (labels per request, latencies, wall seconds)."""
+    latencies: list[float] = []
+
+    async def one(points: np.ndarray) -> np.ndarray:
+        start = time.perf_counter()
+        labels = await client.predict(name, points)
+        latencies.append(time.perf_counter() - start)
+        return labels
+
+    start = time.perf_counter()
+    if sequential:
+        results = [await one(points) for points in batches]
+    else:
+        results = list(await asyncio.gather(*(one(points) for points in batches)))
+    wall = time.perf_counter() - start
+    return results, latencies, wall
+
+
+async def run_serve_bench(
+    model_path: Path,
+    queries: np.ndarray,
+    requests: int,
+    points_per_request: int,
+    window_ms: float,
+) -> dict:
+    """Serve the snapshot and measure sequential vs coalesced bursts."""
+    registry = ModelRegistry(max_models=2, mmap=True)
+    registry.register("bench", model_path)
+    server = PredictServer(
+        registry, window_seconds=window_ms / 1000.0, max_batch=requests
+    )
+    host, port = await server.start()
+    client = await PredictClient.connect(host, port)
+    try:
+        batches = [
+            queries[i * points_per_request : (i + 1) * points_per_request]
+            for i in range(requests)
+        ]
+        # Warm-up: first request pays the snapshot load; keep it out of timings.
+        await client.predict("bench", batches[0])
+
+        seq_labels, seq_lat, seq_wall = await run_burst(
+            client, "bench", batches, sequential=True
+        )
+        coal_labels, coal_lat, coal_wall = await run_burst(
+            client, "bench", batches, sequential=False
+        )
+        stats = await client.stats()
+    finally:
+        await client.close()
+        await server.close()
+
+    return {
+        "sequential": {
+            "wall_s": seq_wall,
+            "throughput_rps": requests / seq_wall,
+            "p50_latency_ms": float(np.percentile(seq_lat, 50)) * 1e3,
+            "p99_latency_ms": float(np.percentile(seq_lat, 99)) * 1e3,
+            "labels": np.concatenate(seq_labels),
+        },
+        "coalesced": {
+            "wall_s": coal_wall,
+            "throughput_rps": requests / coal_wall,
+            "p50_latency_ms": float(np.percentile(coal_lat, 50)) * 1e3,
+            "p99_latency_ms": float(np.percentile(coal_lat, 99)) * 1e3,
+            "labels": np.concatenate(coal_labels),
+        },
+        "server_stats": stats,
+    }
+
+
+def run_bench(
+    n: int = DEFAULT_N,
+    dim: int = DEFAULT_DIM,
+    requests: int = DEFAULT_REQUESTS,
+    points_per_request: int = DEFAULT_POINTS_PER_REQUEST,
+    window_ms: float = 2.0,
+    seed: int = 0,
+) -> dict:
+    """Fit, snapshot, serve and measure; returns the JSON payload."""
+    model, points = make_model(n, dim, seed)
+    rng = np.random.default_rng(seed + 1)
+    queries = points[rng.integers(0, points.shape[0], size=requests * points_per_request)]
+    queries = queries + rng.normal(0.0, 0.005 * EXTENT, size=queries.shape)
+    expected = model.predict(queries)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        model_path = Path(tmp) / "bench_model.npz"
+        save_model(model, model_path)
+        measured = asyncio.run(
+            run_serve_bench(model_path, queries, requests, points_per_request, window_ms)
+        )
+
+    labels_ok = bool(
+        np.array_equal(measured["sequential"].pop("labels"), expected)
+        and np.array_equal(measured["coalesced"].pop("labels"), expected)
+    )
+    speedup = (
+        measured["coalesced"]["throughput_rps"]
+        / measured["sequential"]["throughput_rps"]
+    )
+    coalescer = measured["server_stats"]["models"]["bench"]
+    return {
+        "bench": "serve",
+        "n": n,
+        "dim": dim,
+        "requests": requests,
+        "points_per_request": points_per_request,
+        "window_ms": window_ms,
+        "labels_match_direct_predict": labels_ok,
+        "coalesced_speedup": speedup,
+        "max_requests_per_batch": coalescer["max_requests_per_batch"],
+        "batches": coalescer["batches"],
+        **{mode: measured[mode] for mode in ("sequential", "coalesced")},
+    }
+
+
+def serve_trajectory(payload: dict) -> dict:
+    """``phase -> key -> record`` rows for ``merge_trajectory``."""
+    rows = {}
+    for mode in ("sequential", "coalesced"):
+        record = payload[mode]
+        rows[mode] = {
+            "requests": payload["requests"],
+            "points_per_request": payload["points_per_request"],
+            "throughput_rps": record["throughput_rps"],
+            "p50_latency_ms": record["p50_latency_ms"],
+            "p99_latency_ms": record["p99_latency_ms"],
+        }
+    rows["coalesced"]["speedup_vs_sequential"] = payload["coalesced_speedup"]
+    rows["coalesced"]["max_requests_per_batch"] = payload["max_requests_per_batch"]
+    return {"serve": rows}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=DEFAULT_N, help="training points")
+    parser.add_argument("--dim", type=int, default=DEFAULT_DIM, help="dimensions")
+    parser.add_argument(
+        "--requests", type=int, default=DEFAULT_REQUESTS, help="requests per burst"
+    )
+    parser.add_argument(
+        "--points-per-request",
+        type=int,
+        default=DEFAULT_POINTS_PER_REQUEST,
+        help="query points per request",
+    )
+    parser.add_argument(
+        "--window-ms", type=float, default=2.0, help="coalescing window (ms)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"exit nonzero unless labels match and speedup >= {MIN_SPEEDUP}x",
+    )
+    parser.add_argument("--json", default=None, help="write the payload as JSON here")
+    parser.add_argument(
+        "--bench-json",
+        default=None,
+        metavar="PATH",
+        help="merge phase='serve' rows into this perf-trajectory file",
+    )
+    args = parser.parse_args()
+
+    payload = run_bench(
+        n=args.n,
+        dim=args.dim,
+        requests=args.requests,
+        points_per_request=args.points_per_request,
+        window_ms=args.window_ms,
+        seed=args.seed,
+    )
+
+    print_table(
+        f"serving: {args.requests} requests x {args.points_per_request} points",
+        [
+            {
+                "mode": mode,
+                "throughput (req/s)": payload[mode]["throughput_rps"],
+                "p50 latency (ms)": payload[mode]["p50_latency_ms"],
+                "p99 latency (ms)": payload[mode]["p99_latency_ms"],
+            }
+            for mode in ("sequential", "coalesced")
+        ],
+    )
+    print(
+        f"coalesced speedup      : {payload['coalesced_speedup']:.1f}x "
+        f"(largest batch merged {payload['max_requests_per_batch']} requests)"
+    )
+    print(
+        "labels vs direct predict: "
+        + ("bit-equal" if payload["labels_match_direct_predict"] else "MISMATCH")
+    )
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"payload written to {args.json}")
+    if args.bench_json:
+        merge_trajectory(args.bench_json, serve_trajectory(payload))
+        print(f"serve trajectory merged into {args.bench_json}")
+
+    if args.check:
+        failures = []
+        if not payload["labels_match_direct_predict"]:
+            failures.append("served labels differ from direct model.predict")
+        if payload["coalesced_speedup"] < MIN_SPEEDUP:
+            failures.append(
+                f"coalesced speedup {payload['coalesced_speedup']:.2f}x "
+                f"< required {MIN_SPEEDUP}x"
+            )
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}", file=sys.stderr)
+            return 1
+        print(f"checks passed (speedup >= {MIN_SPEEDUP}x, labels bit-equal)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

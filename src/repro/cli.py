@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Six subcommands cover the everyday workflows of the library::
+Seven subcommands cover the everyday workflows of the library::
 
     python -m repro.cli cluster data.csv --algorithm approx-dpc --d-cut 2000 \\
         --n-clusters 13 --output labels.csv --save-model model.npz
     python -m repro.cli recluster model.npz --d-cut 1500 --n-clusters 13 \\
         --output labels.csv
     python -m repro.cli predict model.npz new_points.csv --output labels.csv
+    python -m repro.cli serve --model syn=model.npz --port 7878
     python -m repro.cli stream data.csv --d-cut 2000 --n-clusters 13 \\
         --window 5000 --batch 500
     python -m repro.cli generate syn --sampling-rate 0.1 --output syn.csv
@@ -18,7 +19,9 @@ optionally a reusable model snapshot; ``recluster`` re-answers a saved
 Ex-DPC snapshot at new ``(d_cut, rho_min, delta_min / n_clusters)`` without
 refitting -- bit-identical to a cold fit at those parameters (see
 ``docs/recluster.md``); ``predict`` assigns new points with a saved snapshot
-(the fit-once / serve-anywhere recipe of ``docs/streaming.md``); ``stream``
+(the fit-once / serve-anywhere recipe of ``docs/streaming.md``); ``serve``
+runs the asyncio coalescing predict server over one or more saved snapshots
+or shard manifests (see ``docs/serving.md``); ``stream``
 replays a point file through the sliding-window
 :class:`repro.stream.StreamingDPC`; ``generate`` materialises one of the
 benchmark datasets; ``info`` lists the available algorithms and datasets
@@ -194,6 +197,47 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["serial", "thread", "process"],
         default=None,
         help="execution backend for the predict phases",
+    )
+
+    serve = subparsers.add_parser(
+        "serve", help="serve predict requests from saved models over TCP"
+    )
+    serve.add_argument(
+        "--model",
+        action="append",
+        required=True,
+        metavar="NAME=PATH",
+        help="register a model under NAME; PATH is a .npz snapshot or a "
+        "shard-manifest directory (repeatable)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=0, help="bind port (0: pick a free port)"
+    )
+    serve.add_argument(
+        "--window-ms",
+        type=float,
+        default=2.0,
+        help="coalescing window in milliseconds (default: 2.0)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=256,
+        help="maximum requests merged into one kernel invocation",
+    )
+    serve.add_argument(
+        "--max-models",
+        type=int,
+        default=4,
+        help="models resident at once (LRU eviction beyond it)",
+    )
+    serve.add_argument(
+        "--no-mmap",
+        action="store_true",
+        help="read snapshot arrays into private memory instead of mmapping",
     )
 
     stream = subparsers.add_parser(
@@ -414,6 +458,43 @@ def _run_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ModelRegistry, PredictServer
+
+    registry = ModelRegistry(max_models=args.max_models, mmap=not args.no_mmap)
+    for spec in args.model:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            print(f"error: --model expects NAME=PATH, got {spec!r}", file=sys.stderr)
+            return 2
+        try:
+            registry.register(name, path)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    server = PredictServer(
+        registry,
+        host=args.host,
+        port=args.port,
+        window_seconds=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+    )
+
+    async def _serve() -> None:
+        host, port = await server.start()
+        print(f"serving {', '.join(registry.names())} on {host}:{port}", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
 def _run_stream(args: argparse.Namespace) -> int:
     from repro.stream import StreamingDPC
 
@@ -508,6 +589,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_recluster(args)
     if args.command == "predict":
         return _run_predict(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "stream":
         return _run_stream(args)
     if args.command == "generate":

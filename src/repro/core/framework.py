@@ -29,6 +29,7 @@ import numpy as np
 from repro.core.assignment import NOISE_LABEL, assign_clusters, propagate_labels
 from repro.core.dependency_join import attach_targets
 from repro.core.predict import (
+    float32_density_recheck,
     nearest_denser_bruteforce,
     predict_density_bruteforce,
 )
@@ -518,7 +519,7 @@ class DensityPeaksBase(abc.ABC):
             )
         return self.result_
 
-    def predict(self, points) -> np.ndarray:
+    def predict(self, points, *, float32_recheck: bool = False) -> np.ndarray:
         """Assign out-of-sample ``points`` to the fitted clusters.
 
         Each query point ``q`` follows the same rule ``fit`` applies to every
@@ -548,6 +549,19 @@ class DensityPeaksBase(abc.ABC):
         in :meth:`fit` (the process backend ships the fitted kd-tree and
         densities to workers through shared memory; index-free estimators
         fall back to threads).
+
+        ``float32_recheck=True`` applies the serving float32 policy on
+        float32-storage models: the density pass still runs the float32
+        kernels, but queries with a fitted point within a few float32 ulps
+        of ``d_cut`` get their density recomputed with the exact float64
+        arithmetic over the original coordinates
+        (:func:`repro.core.predict.float32_density_recheck`), so the density
+        -- and therefore the noise test and attachment eligibility -- match
+        the float64 counts for every query inside the documented accuracy
+        envelope (``docs/performance.md``).  The flag is a no-op on float64
+        models; it is off by default because the fitted labels themselves
+        are defined by the float32 counts, and re-checking the training
+        matrix could legitimately diverge from ``labels_`` at the cutoff.
         """
         result = self.check_is_fitted()
         dim = self._fit_points_.shape[1]
@@ -568,6 +582,11 @@ class DensityPeaksBase(abc.ABC):
         executor = ParallelExecutor(self.n_jobs, backend=self.backend)
         try:
             rho_q = self._predict_density(queries, executor)
+            if float32_recheck and getattr(self, "dtype", "float64") == "float32":
+                exact, uncertain = float32_density_recheck(
+                    self._fit_points_, queries, self.d_cut, counter=self._counter
+                )
+                rho_q = np.where(uncertain, exact.astype(np.float64), rho_q)
             targets = self._predict_attach(queries, rho_q, executor)
         finally:
             executor.close()

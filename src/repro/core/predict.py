@@ -32,6 +32,7 @@ import numpy as np
 from repro.kernels import pair_distances_sq
 
 __all__ = [
+    "float32_density_recheck",
     "nearest_denser_targets",
     "nearest_denser_bruteforce",
     "predict_density_bruteforce",
@@ -167,6 +168,51 @@ def nearest_denser_bruteforce(
     if return_distance:
         return targets, np.sqrt(target_sq)
     return targets
+
+
+def float32_density_recheck(
+    train_points,
+    queries,
+    d_cut: float,
+    *,
+    ulps: int = 8,
+    counter=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Float64 density re-check of the serving float32 policy.
+
+    A float32 kernel can misclassify a (query, train) pair against the
+    ``dist < d_cut`` predicate only when the pair's true distance lies within
+    a few float32 ulps of ``d_cut`` (the relative error of the storage cast,
+    the squared-distance accumulation and the rounded cutoff add up to
+    roughly ``(d + 4) / 2`` ulps; ``ulps=8`` covers every dimensionality the
+    paper uses with margin).  This scans the full-precision coordinates once
+    and returns ``(exact_counts, uncertain_mask)``: the exact float64 strict
+    count of every query, and the mask of queries holding at least one train
+    point inside the ``d_cut +- ulps`` band.  Callers keep the float32 count
+    where the mask is false (provably equal to the float64 count outside the
+    band) and substitute the exact count where it is true; see
+    ``docs/performance.md`` for the resulting accuracy envelope.
+    """
+    train_points = np.asarray(train_points, dtype=np.float64)
+    queries = np.asarray(queries, dtype=np.float64)
+    d_cut = float(d_cut)
+    band = float(ulps) * float(np.spacing(np.float32(d_cut)))
+    lo_sq = max(d_cut - band, 0.0) ** 2
+    hi_sq = (d_cut + band) ** 2
+    d_cut_sq = d_cut * d_cut
+    n_q = queries.shape[0]
+    exact = np.zeros(n_q, dtype=np.intp)
+    uncertain = np.zeros(n_q, dtype=bool)
+    for start in range(0, n_q, _BRUTE_CHUNK):
+        stop = min(start + _BRUTE_CHUNK, n_q)
+        d_sq = _block_sq_distances(queries[start:stop], train_points)
+        if counter is not None:
+            counter.add(
+                "distance_calcs", float(stop - start) * float(train_points.shape[0])
+            )
+        exact[start:stop] = (d_sq < d_cut_sq).sum(axis=1)
+        uncertain[start:stop] = ((d_sq > lo_sq) & (d_sq < hi_sq)).any(axis=1)
+    return exact, uncertain
 
 
 def predict_density_bruteforce(

@@ -1,0 +1,7 @@
+"""Serving tier: model registry, request coalescing, asyncio predict server."""
+
+from repro.serve.coalesce import RequestCoalescer
+from repro.serve.registry import ModelRegistry
+from repro.serve.server import PredictClient, PredictServer
+
+__all__ = ["ModelRegistry", "PredictClient", "PredictServer", "RequestCoalescer"]

@@ -1,0 +1,115 @@
+"""Request coalescing: many concurrent predicts, one kernel invocation.
+
+A predict call on a handful of points pays fixed costs that dwarf the
+arithmetic -- executor setup, tree/bundle plumbing, Python dispatch.  Under
+concurrency those costs multiply.  The coalescer turns the concurrency
+itself into batching: requests arriving within a short window are
+concatenated into one query matrix and answered by a *single*
+``model.predict`` call (one density pass and one attachment pass through
+the fitted kernels -- under the process backend literally one
+``kernel_predict_density`` / ``kernel_predict_attach`` task set), then the
+label array is sliced back per request.  Correctness is free: ``predict``
+is row-independent, so the batched labels equal the per-request ones
+exactly.
+
+``benchmarks/bench_serve.py`` measures the effect (>= 3x throughput at 64
+concurrent requests vs sequential per-request predicts).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+__all__ = ["RequestCoalescer"]
+
+
+class RequestCoalescer:
+    """Batches concurrent :meth:`predict` awaits for one fitted model.
+
+    Parameters
+    ----------
+    model:
+        A fitted estimator (``model.predict(points)`` -> labels).
+    window_seconds:
+        How long the first request of a batch waits for company.  Zero
+        still coalesces whatever piles up while the previous batch is in
+        flight (the event-loop backlog), which is where most batching comes
+        from under load.
+    max_batch:
+        Maximum *requests* merged into one kernel invocation.
+    predict_kwargs:
+        Extra keyword arguments forwarded to every ``model.predict`` call
+        (the server uses this for the float32 re-check policy).
+    """
+
+    def __init__(
+        self,
+        model,
+        *,
+        window_seconds: float = 0.002,
+        max_batch: int = 256,
+        predict_kwargs: dict | None = None,
+    ):
+        self.model = model
+        self.window_seconds = float(window_seconds)
+        self.max_batch = int(max_batch)
+        self.predict_kwargs = dict(predict_kwargs or {})
+        self._pending: list[tuple[np.ndarray, asyncio.Future]] = []
+        self._flusher: asyncio.Task | None = None
+        self.stats = {
+            "requests": 0,
+            "batches": 0,
+            "batched_points": 0,
+            "max_requests_per_batch": 0,
+        }
+
+    async def predict(self, points) -> np.ndarray:
+        """Labels for ``points``; concurrent callers share one kernel pass."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim == 1:
+            points = points.reshape(1, -1)
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((points, future))
+        self.stats["requests"] += 1
+        if self._flusher is None or self._flusher.done():
+            self._flusher = loop.create_task(self._flush_after_window())
+        return await future
+
+    async def _flush_after_window(self) -> None:
+        if self.window_seconds > 0:
+            await asyncio.sleep(self.window_seconds)
+        else:
+            # Yield once so requests queued in the same loop tick join in.
+            await asyncio.sleep(0)
+        while self._pending:
+            batch = self._pending[: self.max_batch]
+            del self._pending[: self.max_batch]
+            await self._run_batch(batch)
+
+    async def _run_batch(self, batch: list[tuple[np.ndarray, asyncio.Future]]) -> None:
+        loop = asyncio.get_running_loop()
+        matrices = [points for points, _ in batch]
+        stacked = np.concatenate(matrices, axis=0)
+        self.stats["batches"] += 1
+        self.stats["batched_points"] += int(stacked.shape[0])
+        self.stats["max_requests_per_batch"] = max(
+            self.stats["max_requests_per_batch"], len(batch)
+        )
+        try:
+            labels = await loop.run_in_executor(
+                None, lambda: self.model.predict(stacked, **self.predict_kwargs)
+            )
+        except Exception as error:  # noqa: BLE001 - fan the failure out
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        offset = 0
+        for points, future in batch:
+            count = points.shape[0]
+            if not future.done():
+                future.set_result(labels[offset : offset + count])
+            offset += count

@@ -1,0 +1,119 @@
+"""Multi-model registry with LRU-bounded mmap management.
+
+The predict server can front many fitted models, but each loaded model pins
+memory (mmap'd snapshot pages, rebuilt shard trees, label caches).  The
+registry keeps at most ``max_models`` loaded at once, evicting the least
+recently *used* one; registered-but-evicted models reload transparently on
+the next request.  Loading is format-dispatched:
+
+* a ``.npz`` path -- a model snapshot
+  (:func:`repro.stream.snapshot.load_model`, any format version 1..4),
+* a directory -- a shard manifest (:func:`repro.shard.manifest.load_sharded`),
+
+both with ``mmap=True`` by default so replicas on one host share physical
+pages through the page cache.
+
+Thread safety: every public method may be called from any thread (the
+asyncio server loads through an executor thread, tests hammer it from
+thread pools).  The lock serialises cache bookkeeping *and* loads -- two
+concurrent first requests for one model must not both pay the load.
+Returned models are read-only after load and safe for concurrent
+``predict`` calls (each call owns its executor).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from pathlib import Path
+
+__all__ = ["ModelRegistry"]
+
+
+class ModelRegistry:
+    """Named model store with LRU-bounded loading.
+
+    Parameters
+    ----------
+    max_models:
+        Maximum number of models resident at once (LRU eviction beyond it).
+    mmap:
+        Memory-map snapshot/manifest arrays instead of reading them into
+        private memory (uncompressed archives only -- which is everything
+        :func:`~repro.stream.snapshot.save_model` and
+        :func:`~repro.shard.manifest.save_sharded` write).
+    """
+
+    def __init__(self, max_models: int = 4, *, mmap: bool = True):
+        if int(max_models) < 1:
+            raise ValueError(f"max_models must be >= 1, got {max_models}")
+        self.max_models = int(max_models)
+        self.mmap = bool(mmap)
+        self._paths: dict[str, Path] = {}
+        self._cache: OrderedDict[str, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self._stats = {"hits": 0, "misses": 0, "evictions": 0, "load_seconds": 0.0}
+
+    def register(self, name: str, path) -> None:
+        """Register ``name`` -> ``path`` (no load until first :meth:`get`)."""
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"model path not found: {path}")
+        with self._lock:
+            previous = self._paths.get(name)
+            self._paths[name] = path
+            if previous is not None and previous != path:
+                self._cache.pop(name, None)  # stale copy must not serve
+
+    def names(self) -> list[str]:
+        """Registered model names (loaded or not), sorted."""
+        with self._lock:
+            return sorted(self._paths)
+
+    def loaded(self) -> list[str]:
+        """Currently resident model names, least recently used first."""
+        with self._lock:
+            return list(self._cache)
+
+    def stats(self) -> dict:
+        """Hit/miss/eviction counters plus residency snapshot."""
+        with self._lock:
+            return {
+                **self._stats,
+                "resident": len(self._cache),
+                "registered": len(self._paths),
+            }
+
+    def get(self, name: str):
+        """Return the loaded model for ``name``, loading/evicting as needed."""
+        with self._lock:
+            path = self._paths.get(name)
+            if path is None:
+                raise KeyError(
+                    f"model {name!r} is not registered "
+                    f"(registered: {sorted(self._paths)})"
+                )
+            model = self._cache.get(name)
+            if model is not None:
+                self._cache.move_to_end(name)
+                self._stats["hits"] += 1
+                return model
+            self._stats["misses"] += 1
+            start = time.perf_counter()
+            model = self._load(path)
+            self._stats["load_seconds"] += time.perf_counter() - start
+            self._cache[name] = model
+            while len(self._cache) > self.max_models:
+                self._cache.popitem(last=False)
+                self._stats["evictions"] += 1
+            return model
+
+    def _load(self, path: Path):
+        if path.is_dir():
+            from repro.shard.manifest import load_sharded
+
+            return load_sharded(path, mmap=self.mmap)
+        from repro.stream.snapshot import load_model
+
+        return load_model(path, mmap=self.mmap)

@@ -1,0 +1,288 @@
+"""Asyncio predict server: newline-delimited JSON over TCP.
+
+One :class:`PredictServer` fronts a :class:`~repro.serve.registry.ModelRegistry`
+and a :class:`~repro.serve.coalesce.RequestCoalescer` per model.  The wire
+protocol is one JSON object per line in both directions:
+
+Requests::
+
+    {"id": 1, "op": "predict", "model": "syn", "points": [[x, y], ...]}
+    {"id": 2, "op": "stats"}
+    {"id": 3, "op": "models"}
+    {"id": 4, "op": "ping"}
+
+Responses echo ``id`` and carry either the payload (``labels`` /
+``stats`` / ``models`` / ``pong``) or ``error``.  Requests on one
+connection are handled concurrently (each spawns a task), so a client can
+pipeline: that concurrency is exactly what the coalescer converts into
+batched kernel invocations.
+
+Serving float32 policy: models fitted with ``dtype="float32"`` are served
+with ``predict(..., float32_recheck=True)`` -- float32 kernels plus the
+float64 re-check of queries within a few ulps of ``d_cut`` (see
+``docs/performance.md``).
+
+:class:`PredictClient` is the matching asyncio client used by the tests,
+``benchmarks/bench_serve.py`` and the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+
+from repro.serve.coalesce import RequestCoalescer
+from repro.serve.registry import ModelRegistry
+
+__all__ = ["PredictClient", "PredictServer"]
+
+#: Upper bound on one request line (guards the reader against runaway input).
+_MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+class PredictServer:
+    """Coalescing predict server over a model registry.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.serve.registry.ModelRegistry` to serve from.
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`address`).
+    window_seconds:
+        Coalescing window per model (see
+        :class:`~repro.serve.coalesce.RequestCoalescer`).
+    max_batch:
+        Maximum requests merged into one kernel invocation.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        window_seconds: float = 0.002,
+        max_batch: int = 256,
+    ):
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self.window_seconds = float(window_seconds)
+        self.max_batch = int(max_batch)
+        self._coalescers: dict[str, RequestCoalescer] = {}
+        self._server: asyncio.base_events.Server | None = None
+
+    # ---------------------------------------------------------------- lifecycle
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting connections; returns ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=_MAX_LINE_BYTES,
+        )
+        return self.address
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (``start`` must have been called)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        """Stop accepting connections and close the listening socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------ serving
+
+    async def _coalescer_for(self, name: str) -> RequestCoalescer:
+        loop = asyncio.get_running_loop()
+        # Resolve the model *before* touching the coalescer cache: registry
+        # loads can fault in snapshots from disk, so they run in a worker
+        # thread (the registry lock makes concurrent first requests load
+        # exactly once), and the dict check below must not straddle that
+        # await or racing requests would each install their own coalescer.
+        model = await loop.run_in_executor(None, self.registry.get, name)
+        coalescer = self._coalescers.get(name)
+        if coalescer is None or coalescer.model is not model:
+            # First request, or the registry evicted and reloaded the model:
+            # (re)bind a coalescer so evicted snapshots are not kept pinned.
+            predict_kwargs = (
+                {"float32_recheck": True}
+                if getattr(model, "dtype", "float64") == "float32"
+                else {}
+            )
+            coalescer = RequestCoalescer(
+                model,
+                window_seconds=self.window_seconds,
+                max_batch=self.max_batch,
+                predict_kwargs=predict_kwargs,
+            )
+            self._coalescers[name] = coalescer
+        return coalescer
+
+    def _stats(self) -> dict:
+        return {
+            "registry": self.registry.stats(),
+            "models": {
+                name: dict(coalescer.stats)
+                for name, coalescer in sorted(self._coalescers.items())
+            },
+        }
+
+    async def _dispatch(self, request: dict) -> dict:
+        op = request.get("op", "predict")
+        if op == "ping":
+            return {"pong": True}
+        if op == "stats":
+            return {"stats": self._stats()}
+        if op == "models":
+            return {"models": self.registry.names()}
+        if op == "predict":
+            name = request.get("model")
+            if not name:
+                raise ValueError("predict request needs a 'model' name")
+            points = np.asarray(request.get("points"), dtype=np.float64)
+            if points.ndim != 2 or points.shape[0] == 0:
+                raise ValueError("'points' must be a non-empty 2-D array")
+            coalescer = await self._coalescer_for(name)
+            labels = await coalescer.predict(points)
+            return {"labels": np.asarray(labels, dtype=np.int64).tolist()}
+        raise ValueError(f"unknown op {op!r}")
+
+    async def _answer(self, writer: asyncio.StreamWriter, request: dict) -> None:
+        response: dict = {"id": request.get("id")}
+        try:
+            response.update(await self._dispatch(request))
+        except Exception as error:  # noqa: BLE001 - wire errors to the client
+            response["error"] = f"{type(error).__name__}: {error}"
+        data = (json.dumps(response) + "\n").encode()
+        try:
+            writer.write(data)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; nothing to deliver
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as error:
+                    await self._answer(
+                        writer, {"id": None, "op": "error", "_bad": str(error)}
+                    )
+                    continue
+                # Handle each request in its own task so pipelined requests
+                # overlap -- overlapping is what feeds the coalescer.
+                task = asyncio.create_task(self._answer(writer, request))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass  # teardown-time cancellation: the socket is closing anyway
+
+
+class PredictClient:
+    """Asyncio client speaking the predict-server protocol.
+
+    Supports concurrent :meth:`predict` calls over one connection: requests
+    carry increasing ids and a single reader task resolves responses by id.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+        self._pending: dict[int, asyncio.Future] = {}
+        self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "PredictClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=_MAX_LINE_BYTES
+        )
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                response = json.loads(line)
+                future = self._pending.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (asyncio.CancelledError, ConnectionResetError):
+            pass
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(ConnectionError("server closed connection"))
+            self._pending.clear()
+
+    async def request(self, payload: dict) -> dict:
+        """Send one request object and await its response (raises on error)."""
+        self._next_id += 1
+        request_id = self._next_id
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        self._writer.write((json.dumps({**payload, "id": request_id}) + "\n").encode())
+        await self._writer.drain()
+        response = await future
+        if "error" in response:
+            raise RuntimeError(response["error"])
+        return response
+
+    async def predict(self, model: str, points) -> np.ndarray:
+        """Labels for ``points`` from ``model`` (concurrent calls coalesce)."""
+        points = np.asarray(points, dtype=np.float64)
+        response = await self.request(
+            {"op": "predict", "model": model, "points": points.tolist()}
+        )
+        return np.asarray(response["labels"], dtype=np.int64)
+
+    async def stats(self) -> dict:
+        """Server-side registry + coalescer statistics."""
+        return (await self.request({"op": "stats"}))["stats"]
+
+    async def close(self) -> None:
+        """Close the connection and stop the reader task."""
+        self._reader_task.cancel()
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass

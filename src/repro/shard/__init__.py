@@ -1,0 +1,15 @@
+"""Sharded out-of-core fit: kd-plane partitions, halo exchange, manifests."""
+
+from repro.shard.fit import ShardedDPC
+from repro.shard.manifest import load_sharded, save_sharded
+from repro.shard.partition import ShardPlan, halo_slack, plan_shards, separating_plane
+
+__all__ = [
+    "ShardedDPC",
+    "ShardPlan",
+    "halo_slack",
+    "load_sharded",
+    "plan_shards",
+    "save_sharded",
+    "separating_plane",
+]

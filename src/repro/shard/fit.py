@@ -1,0 +1,517 @@
+"""Sharded out-of-core fit: per-shard shared memory + halo exchange.
+
+:class:`ShardedDPC` runs the exact Ex-DPC lifecycle over ``n_shards``
+disjoint shards cut along the kd-tree's own top split planes
+(:func:`repro.shard.partition.plan_shards`) so that no process ever maps
+more than one shard's shared-memory segment:
+
+1. **Density** -- each shard runs its own dual/batch/scalar self-count over
+   its own kd-tree, executed through a *per-shard* executor and (under the
+   process backend) a per-shard :class:`~repro.parallel.shm.SharedArrayBundle`
+   that is unlinked before the next shard starts, so peak per-process shared
+   memory is bounded by the largest shard, not by ``n``.  Cross-border pairs
+   are then repaired by *halo exchange*: for every ordered shard pair the
+   querying shard's slab of points within ``d_cut`` of the separating plane
+   (:func:`repro.shard.partition.slab_indices`) is counted against the
+   partner's slab with the same canonical strict range-count kernel, and the
+   integer credits are added.  Counting is a pure per-pair function of the
+   storage-dtype coordinates, so the credited densities equal the
+   single-tree counts bit for bit.
+2. **Dependencies** -- each shard resolves its local nearest-denser join
+   (:func:`repro.core.dependency_join.nearest_denser_join` over the shard
+   tree, same engine dispatch as Ex-DPC), then a cross-shard pass joins each
+   shard's still-improvable points against every partner tree
+   (:meth:`~repro.index.kdtree.KDTree.nn_dual_vs`), pruned by the partner's
+   ``rho_max`` aggregate and a float-safe bounding-box test.  All merges
+   compare canonical float64 squared distances recomputed from the original
+   coordinates (never the sqrt'd outputs), with exact ties resolved to the
+   smallest global index -- the shared join contract -- so the final
+   ``(rho_, delta_, labels_)`` is bit-identical to a single-shard fit.
+
+The equivalence is property-tested across ``n_shards x engine x dtype`` in
+``tests/property/test_shard_equivalence.py``.  Work counters differ from the
+single-tree fit only by documented shard-accounting deltas (halo pairs are
+counted from both sides, per-shard tree builds replace one big build); see
+``docs/sharding.md``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.core.dependency_join import nearest_denser_join
+from repro.core.ex_dpc import ExDPC
+from repro.core.predict import nearest_denser_targets
+from repro.index.kdtree import KDTree
+from repro.kernels import pair_distances_sq, squared_norms
+from repro.parallel.backends import (
+    ChunkTask,
+    kernel_dual_self_count,
+    kernel_range_count,
+    pack_tree_arrays,
+)
+from repro.parallel.executor import ParallelExecutor
+from repro.parallel.shm import SharedArrayBundle
+from repro.shard.partition import (
+    ShardPlan,
+    plan_shards,
+    separating_plane,
+    slab_indices,
+)
+from repro.utils.counters import WorkCounter
+
+__all__ = ["ShardedDPC"]
+
+
+def _elementwise_sq(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Canonical squared distance of aligned point pairs (rows of a vs b).
+
+    Calls the blocked kernel on ``(m, 1, d) x (m, 1, d)`` blocks so every
+    pair runs the exact sequential accumulation the tree kernels use; the
+    result dtype follows the operand dtype (float64 here unless the caller
+    passes storage-dtype coordinates).
+    """
+    if a.shape[0] == 0:
+        return np.zeros(0, dtype=np.float64)
+    return pair_distances_sq(a[:, None, :], b[:, None, :])[:, 0, 0]
+
+
+class ShardedDPC(ExDPC):
+    """Ex-DPC over kd-plane shards with halo exchange (out-of-core fit).
+
+    Parameters are those of :class:`repro.core.ex_dpc.ExDPC` plus:
+
+    n_shards:
+        Number of shards (a power of two, at most ``n``).  ``1`` degenerates
+        to a single-tree fit over one shard.  Each shard's density and
+        dependency phases run over their own kd-tree, executor and (process
+        backend) shared-memory segment, so the peak per-process footprint is
+        bounded by the largest shard rather than the full dataset.
+
+    Results are bit-identical to ``ExDPC`` at the same parameters whenever
+    both fit in memory; re-clustering is unsupported (the per-shard neighbor
+    profiles are never materialised globally).
+    """
+
+    algorithm_name = "Sharded-Ex-DPC"
+    supports_recluster = False
+
+    def __init__(self, d_cut: float, *, n_shards: int = 2, **kwargs):
+        super().__init__(d_cut, **kwargs)
+        self.n_shards = int(n_shards)
+
+    def get_params(self):
+        params = super().get_params()
+        params["n_shards"] = self.n_shards
+        return params
+
+    # ------------------------------------------------------------------ index
+
+    def _build_index(self, points: np.ndarray) -> None:
+        self._plan: ShardPlan = plan_shards(points, self.n_shards)
+        self._shard_trees = [
+            KDTree(
+                points[members],
+                leaf_size=self.leaf_size,
+                counter=self._counter,
+                dtype=self.dtype,
+                kernel=self.kernel,
+            )
+            for members in self._plan.members
+        ]
+        # Single full-dataset tree intentionally absent: nothing in the
+        # sharded fit (or predict) may touch an O(n) index.
+        self._tree = None
+        # Float64 per-shard bounding boxes of the cross-shard pruning test.
+        self._shard_bbox = [
+            (points[m].min(axis=0), points[m].max(axis=0))
+            for m in self._plan.members
+        ]
+        self.shard_stats_ = {
+            "n_shards": self._plan.n_shards,
+            "shard_sizes": self._plan.shard_sizes.tolist(),
+            "shm_peak_bytes": 0,
+            "halo_exported_points": 0,
+            "halo_credits": 0,
+        }
+
+    def _index_memory_bytes(self) -> int:
+        trees = getattr(self, "_shard_trees", None)
+        if not trees:
+            return 0
+        return int(sum(tree.memory_bytes() for tree in trees))
+
+    def _shared_arrays(self):
+        # The base-class fit-wide bundle would map the whole dataset at once;
+        # sharded phases build their own per-shard bundles instead.
+        return None
+
+    def _predict_tree(self):
+        return None
+
+    # ---------------------------------------------------- per-shard execution
+
+    @contextmanager
+    def _shard_runtime(self, tree: KDTree):
+        """Executor + process-task builder scoped to one shard.
+
+        Thread/serial backends reuse the fit-wide executor (no shared
+        memory involved).  The process backend gets a *fresh* pool and a
+        lazily created per-shard segment: worker processes cache attached
+        segments for the life of their pool, so reusing one pool across
+        shards would accumulate every shard's mapping and defeat the
+        out-of-core bound.  Pool and segment are torn down before the next
+        shard starts.
+        """
+        fit_executor = getattr(self, "_executor", None)
+        if fit_executor is not None and fit_executor.backend != "process":
+            yield fit_executor, lambda kernel, payload=None, payload_fn=None: None
+            return
+
+        executor = ParallelExecutor(self.n_jobs, backend=self.backend)
+        bundle_box: list[SharedArrayBundle | None] = [None]
+
+        def builder(kernel, payload=None, payload_fn=None):
+            if bundle_box[0] is None:
+                bundle_box[0] = SharedArrayBundle.create(pack_tree_arrays(tree))
+                stats = getattr(self, "shard_stats_", None)
+                if stats is not None:
+                    stats["shm_peak_bytes"] = max(
+                        stats["shm_peak_bytes"], bundle_box[0].nbytes
+                    )
+            return ChunkTask(
+                kernel=kernel,
+                spec=bundle_box[0].spec,
+                payload=payload or {},
+                payload_fn=payload_fn,
+                counter=self._counter,
+            )
+
+        try:
+            yield executor, builder
+        finally:
+            executor.close()
+            if bundle_box[0] is not None:
+                bundle_box[0].close()
+                bundle_box[0].unlink()
+
+    # ---------------------------------------------------------------- density
+
+    def _shard_self_counts(self, tree: KDTree, shard_points: np.ndarray) -> np.ndarray:
+        """One shard's strict self-counts, mirroring Ex-DPC's engine dispatch."""
+        count = shard_points.shape[0]
+        with self._shard_runtime(tree) as (executor, task_builder):
+            if self.engine_ == "dual":
+                pairs, base = tree.dual_self_frontier(
+                    self.d_cut, strict=True, target_pairs=self.dual_frontier_
+                )
+                task = task_builder(
+                    kernel_dual_self_count,
+                    payload_fn=lambda chunk: {
+                        "d_cut": self.d_cut,
+                        "pairs": pairs[chunk],
+                    },
+                )
+
+                def count_pair_chunk(chunk: np.ndarray) -> np.ndarray:
+                    return tree.range_count_dual_pairs(
+                        pairs[chunk], self.d_cut, strict=True
+                    )
+
+                contributions = executor.map_index_chunks(
+                    count_pair_chunk, len(pairs), task=task
+                )
+                rho = base.astype(np.float64)
+                for contribution in contributions:
+                    rho += contribution
+                return rho
+            if self.engine_ == "batch":
+                task = task_builder(kernel_range_count, {"d_cut": self.d_cut})
+
+                def density_of_chunk(chunk: np.ndarray) -> np.ndarray:
+                    return tree.range_count_batch(
+                        shard_points[chunk], self.d_cut, strict=True
+                    )
+
+                counts = executor.map_index_chunks(
+                    density_of_chunk, count, task=task
+                )
+                return np.concatenate(counts).astype(np.float64)
+
+            def density_of(index: int) -> int:
+                return tree.range_count(shard_points[index], self.d_cut, strict=True)
+
+            return np.asarray(
+                executor.map(density_of, list(range(count))), dtype=np.float64
+            )
+
+    def _compute_local_density(self, points: np.ndarray) -> np.ndarray:
+        plan = self._plan
+        n = points.shape[0]
+        rho = np.zeros(n, dtype=np.float64)
+        for shard, tree in enumerate(self._shard_trees):
+            members = plan.members[shard]
+            rho[members] = self._shard_self_counts(tree, points[members])
+
+        # Halo exchange: for every ordered pair (a, b), credit a's boundary
+        # slab with its strict counts against b's slab.  Slab membership is
+        # a candidate filter only -- the counting kernel below applies the
+        # exact storage-dtype predicate -- so credits equal the single-tree
+        # cross-shard contributions bit for bit.
+        exported = 0
+        credits_total = 0.0
+        for a in range(plan.n_shards):
+            tree_a = self._shard_trees[a]
+            members_a = plan.members[a]
+            for b in range(plan.n_shards):
+                if b == a:
+                    continue
+                axis, value, a_on_left = separating_plane(plan, a, b)
+                slab_a = slab_indices(
+                    tree_a.points[:, axis].astype(np.float64),
+                    value,
+                    a_on_left,
+                    self.d_cut,
+                    self.dtype,
+                )
+                if slab_a.size == 0:
+                    continue
+                tree_b = self._shard_trees[b]
+                slab_b = slab_indices(
+                    tree_b.points[:, axis].astype(np.float64),
+                    value,
+                    not a_on_left,
+                    self.d_cut,
+                    self.dtype,
+                )
+                if slab_b.size == 0:
+                    continue
+                exported += int(slab_b.size)
+                halo_tree = KDTree(
+                    points[plan.members[b][slab_b]],
+                    leaf_size=self.leaf_size,
+                    counter=self._counter,
+                    dtype=self.dtype,
+                    kernel=self.kernel,
+                )
+                credits = halo_tree.range_count_batch(
+                    points[members_a[slab_a]], self.d_cut, strict=True
+                )
+                credits_total += float(credits.sum())
+                rho[members_a[slab_a]] += credits
+
+        self.shard_stats_["halo_exported_points"] = exported
+        self.shard_stats_["halo_credits"] = int(credits_total)
+        traversal = float(n ** (1.0 - 1.0 / points.shape[1]))
+        self._record_phase("local_density", "dynamic", rho + traversal)
+        return rho
+
+    # ------------------------------------------------------------ dependencies
+
+    def _compute_dependencies(
+        self, points: np.ndarray, rho: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        plan = self._plan
+        n = points.shape[0]
+        best_idx = np.full(n, -1, dtype=np.intp)
+        best_sq = np.full(n, np.inf, dtype=np.float64)
+        cost_chunks: list[np.ndarray] = []
+
+        # Local pass: exact nearest-denser join within each shard, through
+        # the estimator's engine and the shard's own executor/segment.
+        for shard, tree in enumerate(self._shard_trees):
+            members = plan.members[shard]
+            with self._shard_runtime(tree) as (executor, task_builder):
+                outcome = nearest_denser_join(
+                    points[members],
+                    rho[members],
+                    engine=self.engine_,
+                    executor=executor,
+                    counter=self._counter,
+                    tree=tree,
+                    leaf_size=self.leaf_size,
+                    frontier_target=self.dual_frontier_,
+                    process_task_builder=task_builder,
+                )
+            found = np.flatnonzero(outcome.dependent >= 0)
+            if found.size:
+                winners_q = members[found]
+                winners_t = members[outcome.dependent[found]]
+                best_idx[winners_q] = winners_t
+                # Merge on the canonical float64 squared distance, never on
+                # the join's sqrt'd delta: sqrt can collapse distinct
+                # squared distances and corrupt the cross-shard lex merge.
+                best_sq[winners_q] = _elementwise_sq(
+                    points[winners_q], points[winners_t]
+                )
+            cost_chunks.append(np.asarray(outcome.cost_estimates, dtype=np.float64))
+
+        # Cross-shard pass, seeded by per-shard rho_max aggregates: a shard's
+        # point joins partner b only if b holds a denser point at all and
+        # b's bounding box can still beat (or index-tie) the current best.
+        rho_max = np.asarray([float(rho[m].max()) for m in plan.members])
+        for a in range(plan.n_shards):
+            members_a = plan.members[a]
+            for b in range(plan.n_shards):
+                if b == a:
+                    continue
+                sub = members_a[rho[members_a] < rho_max[b]]
+                if sub.size == 0:
+                    continue
+                bbox_min, bbox_max = self._shard_bbox[b]
+                gap = np.maximum(
+                    np.maximum(bbox_min[None, :] - points[sub], points[sub] - bbox_max[None, :]),
+                    0.0,
+                )
+                # squared_norms rounds no higher than the canonical pair
+                # distance, so pruning on strictly-greater is float-safe; a
+                # box tying the current best is kept because a smaller
+                # global index inside it could still win the lex tie.
+                reach = squared_norms(gap)
+                sub = sub[reach <= best_sq[sub]]
+                if sub.size == 0:
+                    continue
+                members_b = plan.members[b]
+                query_tree = KDTree(
+                    points[sub],
+                    leaf_size=self.leaf_size,
+                    counter=WorkCounter(),
+                    kernel=self._shard_trees[b].kernel_name,
+                )
+                cand, _ = self._shard_trees[b].nn_dual_vs(
+                    query_tree, rho[members_b], rho[sub]
+                )
+                found = np.flatnonzero(cand >= 0)
+                if found.size == 0:
+                    continue
+                queries_g = sub[found]
+                targets_g = members_b[cand[found]]
+                cand_sq = _elementwise_sq(points[queries_g], points[targets_g])
+                current_sq = best_sq[queries_g]
+                better = (cand_sq < current_sq) | (
+                    (cand_sq == current_sq) & (targets_g < best_idx[queries_g])
+                )
+                winners = queries_g[better]
+                best_idx[winners] = targets_g[better]
+                best_sq[winners] = cand_sq[better]
+
+        self._record_phase(
+            "dependency",
+            "dynamic",
+            np.concatenate(cost_chunks) if cost_chunks else np.zeros(0),
+        )
+        return best_idx, np.sqrt(best_sq), np.ones(n, dtype=bool)
+
+    # ----------------------------------------------------------------- predict
+
+    def _predict_density(self, queries: np.ndarray, executor) -> np.ndarray:
+        plan = self._plan
+        n_q = queries.shape[0]
+        if n_q == 0:
+            return np.zeros(0, dtype=np.float64)
+        counts = np.zeros(n_q, dtype=np.float64)
+        if self.engine_ == "dual":
+            query_tree = KDTree(
+                queries,
+                leaf_size=self.leaf_size,
+                counter=WorkCounter(),
+                dtype=self.dtype,
+                kernel=self._shard_trees[0].kernel_name,
+            )
+            for tree in self._shard_trees:
+                counts += tree.range_count_dual_vs(
+                    query_tree, self.d_cut, strict=True
+                ).astype(np.float64)
+            return counts
+        d_cut = self.d_cut
+        for tree in self._shard_trees:
+            def count_chunk(chunk: np.ndarray, tree=tree) -> np.ndarray:
+                return tree.range_count_batch(queries[chunk], d_cut, strict=True)
+
+            shard_counts = executor.map_index_chunks(count_chunk, n_q)
+            counts += np.concatenate(shard_counts).astype(np.float64)
+        return counts
+
+    def _predict_attach(
+        self, queries: np.ndarray, rho_q: np.ndarray, executor
+    ) -> np.ndarray:
+        plan = self._plan
+        rho_train = np.asarray(self.result_.rho_, dtype=np.float64)
+        n_q = queries.shape[0]
+        if n_q == 0:
+            return np.empty(0, dtype=np.intp)
+        best_idx = np.full(n_q, -1, dtype=np.intp)
+        best_sq = np.full(n_q, np.inf, dtype=np.float64)
+
+        def merge(rows: np.ndarray, cand_idx: np.ndarray, cand_sq: np.ndarray) -> None:
+            better = (cand_sq < best_sq[rows]) | (
+                (cand_sq == best_sq[rows]) & (cand_idx < best_idx[rows])
+            )
+            hit = rows[better]
+            best_idx[hit] = cand_idx[better]
+            best_sq[hit] = cand_sq[better]
+
+        if self.engine_ == "dual":
+            # One float64 query tree joined against every shard; the merge
+            # key is the canonical float64 distance, exactly the quantity
+            # the single-tree dual attach ranks by.
+            query_tree = KDTree(
+                queries,
+                leaf_size=self.leaf_size,
+                counter=WorkCounter(),
+                kernel=self._shard_trees[0].kernel_name,
+            )
+            for shard, tree in enumerate(self._shard_trees):
+                members = plan.members[shard]
+                idx, _ = tree.nn_dual_vs(query_tree, rho_train[members], rho_q)
+                found = np.flatnonzero(idx >= 0)
+                if found.size == 0:
+                    continue
+                targets_g = members[idx[found]]
+                cand_sq = _elementwise_sq(
+                    queries[found], self._fit_points_[targets_g]
+                )
+                merge(found, targets_g, cand_sq)
+        else:
+            # Batch/scalar rank by the *storage-dtype* squared distance (the
+            # kNN frontier's own key), so the merge recomputes it in storage
+            # precision per winning pair and holds it exactly in float64.
+            for shard, tree in enumerate(self._shard_trees):
+                members = plan.members[shard]
+                targets = nearest_denser_targets(
+                    tree, rho_train[members], queries, rho_q, attach_fallback=False
+                )
+                found = np.flatnonzero(targets >= 0)
+                if found.size == 0:
+                    continue
+                stored_q = tree._check_query_batch(queries[found])
+                stored_t = tree.points[targets[found]]
+                cand_sq = _elementwise_sq(stored_q, stored_t).astype(np.float64)
+                merge(found, members[targets[found]], cand_sq)
+
+        # Queries denser than every fitted point attach to their plain
+        # nearest neighbour (storage-dtype lex), merged across shards on
+        # (squared distance, global index) like the single-tree fallback.
+        unresolved = np.flatnonzero(best_idx < 0)
+        if unresolved.size:
+            nn_idx = np.full(unresolved.size, -1, dtype=np.intp)
+            nn_sq = np.full(unresolved.size, np.inf, dtype=np.float64)
+            for shard, tree in enumerate(self._shard_trees):
+                members = plan.members[shard]
+                local_idx, local_sq = tree._knn_batch_impl(
+                    tree._check_query_batch(queries[unresolved]), 1, None, None
+                )
+                found = local_idx[:, 0] >= 0
+                cand_idx = members[local_idx[found, 0]]
+                cand_sq = local_sq[found, 0]
+                rows = np.flatnonzero(found)
+                better = (cand_sq < nn_sq[rows]) | (
+                    (cand_sq == nn_sq[rows]) & (cand_idx < nn_idx[rows])
+                )
+                hit = rows[better]
+                nn_idx[hit] = cand_idx[better]
+                nn_sq[hit] = cand_sq[better]
+            best_idx[unresolved] = nn_idx
+        return best_idx

@@ -1,0 +1,186 @@
+"""Shard plans: kd-style top-level partitions with exact halo geometry.
+
+A :class:`ShardPlan` partitions a point set into ``n_shards`` (a power of
+two) disjoint shards by recursively applying the kd-tree's own split rule
+(:func:`repro.index.kdtree._build_tree_arrays`: widest-spread dimension,
+median by ``argpartition``) for ``log2(n_shards)`` levels.  The resulting
+planes are exactly the top levels a single kd-tree over the full set would
+build, so the sharded fit decomposes along the same geometry the in-memory
+index uses.
+
+Exact halo geometry
+-------------------
+Any two distinct shards ``A`` and ``B`` are separated by exactly one plane:
+the axis-aligned split at their lowest common ancestor in the plan's binary
+tree.  If ``A`` lies under the left child every point ``a`` of ``A``
+satisfies ``a[axis] <= value`` and every point ``b`` of ``B`` satisfies
+``b[axis] >= value``, hence
+
+    dist(a, b) >= |a[axis] - b[axis]| >= (value - a[axis]) + (b[axis] - value)
+
+so only points within ``d_cut`` of the separating plane can contribute
+strict (``dist < d_cut``) density to the other side.  The *halo slab* of a
+shard with respect to a partner is therefore the set of its points within
+``d_cut`` (plus a small float-safety slack, see :func:`halo_slack`) of the
+separating plane, measured on the storage-dtype coordinates the distance
+kernels actually consume.  Slab membership is only a candidate filter --
+credits are always counted with the exact canonical kernels -- so the slack
+can only add work, never change a count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_points, check_positive_int
+
+__all__ = ["ShardPlan", "plan_shards", "halo_slack", "separating_plane"]
+
+
+def _check_n_shards(n_shards: int, n_points: int) -> int:
+    n_shards = check_positive_int(n_shards, "n_shards")
+    if n_shards & (n_shards - 1):
+        raise ValueError(
+            f"n_shards must be a power of two (the plan splits a binary "
+            f"tree level per factor of two), got {n_shards}"
+        )
+    if n_shards > n_points:
+        raise ValueError(
+            f"n_shards ({n_shards}) must not exceed the number of points "
+            f"({n_points}); every shard must be non-empty"
+        )
+    return n_shards
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The result of :func:`plan_shards` (immutable).
+
+    ``axes`` / ``values`` hold the ``n_shards - 1`` internal split planes in
+    binary-heap order (node ``i`` has children ``2i + 1`` and ``2i + 2``;
+    shard ``k`` is the leaf reached by reading ``k``'s bits most-significant
+    first, ``0`` = left).  ``members[k]`` lists shard ``k``'s global point
+    indices sorted ascending, so a kd-tree over ``points[members[k]]``
+    breaks exact distance ties by the same order the global tree would.
+    """
+
+    n_shards: int
+    depth: int
+    axes: np.ndarray
+    values: np.ndarray
+    members: tuple[np.ndarray, ...]
+
+    @property
+    def shard_sizes(self) -> np.ndarray:
+        """Number of points in each shard."""
+        return np.asarray([m.size for m in self.members], dtype=np.intp)
+
+    def assignments(self, n_points: int) -> np.ndarray:
+        """Per-point shard id (inverse of :attr:`members`)."""
+        out = np.empty(n_points, dtype=np.intp)
+        for shard, idx in enumerate(self.members):
+            out[idx] = shard
+        return out
+
+
+def plan_shards(points, n_shards: int) -> ShardPlan:
+    """Partition ``points`` into ``n_shards`` shards along kd split planes.
+
+    Reuses the kd-tree build rule level by level: split on the
+    widest-spread dimension at the ``argpartition`` median, left side takes
+    coordinates ``<= split_value`` and the right side ``>= split_value``.
+    Deterministic in ``(points, n_shards)``; ``n_shards=1`` yields the
+    trivial single-shard plan.
+    """
+    points = check_points(points, min_points=1, name="points")
+    n = points.shape[0]
+    n_shards = _check_n_shards(n_shards, n)
+    depth = n_shards.bit_length() - 1
+
+    axes = np.full(max(n_shards - 1, 1), -1, dtype=np.intp)[: n_shards - 1]
+    values = np.zeros(n_shards - 1, dtype=np.float64)
+    members: list[np.ndarray | None] = [None] * n_shards
+
+    def build(node: int, level: int, subset: np.ndarray, leaf_base: int) -> None:
+        if level == 0:
+            # Ascending order: the shard-local index order (the kd-tree
+            # tie-break order) coincides with the global one.
+            members[leaf_base] = np.sort(subset)
+            return
+        coords = points[subset]
+        spreads = coords.max(axis=0) - coords.min(axis=0)
+        dim = int(np.argmax(spreads))
+        mid = subset.size // 2
+        order = np.argpartition(coords[:, dim], mid)
+        subset = subset[order]
+        value = float(points[subset[mid], dim])
+        axes[node] = dim
+        values[node] = value
+        build(2 * node + 1, level - 1, subset[:mid], leaf_base)
+        build(2 * node + 2, level - 1, subset[mid:], leaf_base + (1 << (level - 1)))
+
+    build(0, depth, np.arange(n, dtype=np.intp), 0)
+    return ShardPlan(
+        n_shards=n_shards,
+        depth=depth,
+        axes=axes,
+        values=values,
+        members=tuple(members),  # type: ignore[arg-type]
+    )
+
+
+def separating_plane(plan: ShardPlan, shard_a: int, shard_b: int) -> tuple[int, float, bool]:
+    """The unique plane separating two distinct shards.
+
+    Returns ``(axis, value, a_on_left)``: every point of ``shard_a`` lies on
+    the ``<= value`` side along ``axis`` when ``a_on_left`` is true (and on
+    the ``>= value`` side otherwise), with ``shard_b`` on the opposite side.
+    """
+    if shard_a == shard_b:
+        raise ValueError("shards must be distinct")
+    differing = shard_a ^ shard_b
+    bits = differing.bit_length()
+    level = plan.depth - bits  # 0-based level of the lowest common ancestor
+    prefix = shard_a >> bits
+    node = (1 << level) - 1 + prefix
+    a_on_left = ((shard_a >> (bits - 1)) & 1) == 0
+    return int(plan.axes[node]), float(plan.values[node]), a_on_left
+
+
+def halo_slack(d_cut: float, dtype) -> float:
+    """Float-safety slack added to the halo slab width.
+
+    A pair straddling the separating plane is counted by the storage-dtype
+    kernels when its computed squared distance falls below the
+    storage-rounded ``d_cut**2``.  The computed value can under-round the
+    true squared distance by a few relative ulps (one per subtraction,
+    square and accumulation step), so excluding a point from the slab is
+    only sound when its plane distance exceeds ``d_cut`` by that margin.
+    ``16 * eps`` relative is an order of magnitude more than the worst case
+    at the paper's dimensionalities; the slack only admits a handful of
+    extra candidates, which the exact counting kernel then rejects.
+    """
+    return 16.0 * float(np.finfo(np.dtype(dtype)).eps) * float(d_cut)
+
+
+def slab_indices(
+    coords_axis: np.ndarray,
+    value: float,
+    on_left: bool,
+    d_cut: float,
+    dtype,
+) -> np.ndarray:
+    """Positions (into ``coords_axis``) of the points inside a halo slab.
+
+    ``coords_axis`` must hold the *storage-dtype* coordinates along the
+    separating axis (cast to float64 for exact comparison) and ``value`` is
+    cast to the same storage dtype: storage rounding is monotone, so the
+    cast plane still exactly separates the two sides.
+    """
+    dtype = np.dtype(dtype)
+    value_stored = float(np.asarray(value, dtype=dtype))
+    bound = float(d_cut) + halo_slack(d_cut, dtype)
+    gap = (value_stored - coords_axis) if on_left else (coords_axis - value_stored)
+    return np.flatnonzero(gap < bound)

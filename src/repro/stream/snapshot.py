@@ -49,7 +49,13 @@ from repro.core.s_approx_dpc import SApproxDPC
 from repro.index.kdtree import KDTree, KDTreeArrays
 from repro.utils.counters import WorkCounter
 
-__all__ = ["MODEL_FORMAT_VERSION", "SNAPSHOT_ALGORITHMS", "save_model", "load_model"]
+__all__ = [
+    "MODEL_FORMAT_VERSION",
+    "SNAPSHOT_ALGORITHMS",
+    "load_model",
+    "load_npz_arrays",
+    "save_model",
+]
 
 #: Snapshot format version; bump on any incompatible layout change.
 #: Version 2 added the per-node bounding boxes of the dual-tree engine
@@ -181,6 +187,22 @@ def save_model(model, path) -> Path:
     return path
 
 
+def load_npz_arrays(path, *, mmap: bool = False) -> dict[str, np.ndarray]:
+    """Read every member of an ``.npz`` archive, optionally memory-mapped.
+
+    With ``mmap=True`` the archive must be uncompressed (``np.savez``) and
+    the arrays are mapped straight out of the file through
+    :func:`_load_npz_memmap` -- replicas on the same host then share one
+    physical copy via the page cache.  Shared by model snapshots, the
+    sharded-fit manifests and the serving registry.
+    """
+    path = Path(path)
+    if mmap:
+        return _load_npz_memmap(path)
+    with np.load(path, allow_pickle=False) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
 def load_model(path, *, mmap: bool = False):
     """Restore a fitted estimator from a snapshot written by :func:`save_model`.
 
@@ -203,11 +225,7 @@ def load_model(path, *, mmap: bool = False):
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(f"model snapshot not found: {path}")
-    if mmap:
-        data = _load_npz_memmap(path)
-    else:
-        with np.load(path, allow_pickle=False) as archive:
-            data = {name: archive[name] for name in archive.files}
+    data = load_npz_arrays(path, mmap=mmap)
 
     if "meta" not in data:
         raise ValueError(f"{path} is not a model snapshot (no 'meta' record)")

@@ -17,7 +17,7 @@ and cold code paths, which is outside the documented guarantee.
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.core import ExDPC
@@ -168,7 +168,14 @@ class TestPredictProperty:
             ),
         ):
             model = builder()
-            result = model.fit(points)
+            try:
+                result = model.fit(points)
+            except ValueError as exc:
+                # Degenerate draws (high rho_min on sparse data) can leave no
+                # point above both thresholds; the predict contract is vacuous
+                # there, so skip the example rather than fail the property.
+                assume("no cluster centers selected" not in str(exc))
+                raise
             np.testing.assert_array_equal(
                 model.predict(points),
                 result.labels_,

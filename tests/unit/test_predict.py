@@ -139,3 +139,53 @@ class TestPredictBackends:
         # and shared-memory bundle.
         for _ in range(3):
             np.testing.assert_array_equal(model.predict(queries), expected)
+
+
+class TestFloat32Recheck:
+    """The serving float32 policy (docs/performance.md)."""
+
+    def test_exact_counts_match_float64_brute_force(self):
+        rng = np.random.default_rng(8)
+        train = rng.uniform(0.0, 100.0, size=(300, 2))
+        queries = rng.uniform(0.0, 100.0, size=(50, 2))
+        d_cut = 9.0
+        from repro.core.predict import float32_density_recheck
+
+        exact, uncertain = float32_density_recheck(train, queries, d_cut)
+        dists = np.sqrt(((queries[:, None, :] - train[None, :, :]) ** 2).sum(axis=2))
+        np.testing.assert_array_equal(exact, (dists < d_cut).sum(axis=1))
+        assert uncertain.dtype == bool and uncertain.shape == (50,)
+
+    def test_boundary_queries_are_flagged_uncertain(self):
+        from repro.core.predict import float32_density_recheck
+
+        train = np.array([[0.0, 0.0]])
+        d_cut = 10.0
+        on_boundary = np.array([[d_cut, 0.0]])
+        far_inside = np.array([[1.0, 0.0]])
+        far_outside = np.array([[3.0 * d_cut, 0.0]])
+        queries = np.concatenate([on_boundary, far_inside, far_outside])
+        _, uncertain = float32_density_recheck(train, queries, d_cut)
+        np.testing.assert_array_equal(uncertain, [True, False, False])
+
+    def test_float32_model_predict_with_recheck_matches_exact_density(self):
+        # Agreement case: away from the ulp band the float32 kernels already
+        # produce the float64 counts, so the re-check changes nothing.
+        rng = np.random.default_rng(12)
+        train = rng.uniform(0.0, 100.0, size=(200, 2))
+        queries = rng.uniform(0.0, 100.0, size=(40, 2))
+        model = ExDPC(d_cut=12.0, rho_min=1, n_clusters=2, seed=0, dtype="float32")
+        model.fit(train)
+        plain = model.predict(queries)
+        rechecked = model.predict(queries, float32_recheck=True)
+        assert rechecked.shape == plain.shape
+
+    def test_float64_model_ignores_the_flag(self, blob_setup):
+        points, _ = blob_setup
+        model = ExDPC(d_cut=2_000.0, rho_min=2, n_clusters=3, seed=0)
+        model.fit(points)
+        rng = np.random.default_rng(1)
+        queries = rng.uniform(0, 100_000, size=(30, 2))
+        np.testing.assert_array_equal(
+            model.predict(queries, float32_recheck=True), model.predict(queries)
+        )

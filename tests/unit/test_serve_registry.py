@@ -1,0 +1,160 @@
+"""Unit tests for the serving model registry (LRU eviction, mmap loading)."""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.serve import ModelRegistry
+from repro.shard import ShardedDPC, save_sharded
+from repro.stream.snapshot import save_model
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "fixtures" / "snapshots"
+GOLDEN_VERSIONS = (1, 2, 3, 4)
+
+
+@pytest.fixture(scope="module")
+def golden_labels():
+    return np.load(GOLDEN_DIR / "golden_labels.npy")
+
+
+def make_registry(max_models: int = 4, *, mmap: bool = True) -> ModelRegistry:
+    registry = ModelRegistry(max_models=max_models, mmap=mmap)
+    for version in GOLDEN_VERSIONS:
+        registry.register(f"v{version}", GOLDEN_DIR / f"golden_v{version}.npz")
+    return registry
+
+
+class TestRegistration:
+    def test_missing_path_rejected_at_register_time(self, tmp_path):
+        registry = ModelRegistry()
+        with pytest.raises(FileNotFoundError):
+            registry.register("ghost", tmp_path / "ghost.npz")
+
+    def test_unregistered_name_rejected_at_get_time(self):
+        registry = make_registry()
+        with pytest.raises(KeyError, match="not registered"):
+            registry.get("ghost")
+
+    def test_names_lists_registered_not_loaded(self):
+        registry = make_registry()
+        assert registry.names() == ["v1", "v2", "v3", "v4"]
+        assert registry.loaded() == []
+
+    def test_invalid_max_models_rejected(self):
+        with pytest.raises(ValueError, match="max_models"):
+            ModelRegistry(max_models=0)
+
+    def test_reregister_new_path_drops_stale_copy(self, tmp_path):
+        registry = ModelRegistry()
+        registry.register("m", GOLDEN_DIR / "golden_v4.npz")
+        registry.get("m")
+        assert registry.loaded() == ["m"]
+        registry.register("m", GOLDEN_DIR / "golden_v3.npz")
+        assert registry.loaded() == []  # the v4 copy must not serve for v3
+        registry.get("m")
+        assert registry.stats()["misses"] == 2
+
+
+class TestLRU:
+    def test_eviction_order_is_least_recently_used(self):
+        registry = make_registry(max_models=2)
+        registry.get("v1")
+        registry.get("v2")
+        assert registry.loaded() == ["v1", "v2"]
+        registry.get("v3")  # evicts v1
+        assert registry.loaded() == ["v2", "v3"]
+        registry.get("v2")  # refreshes v2's recency
+        registry.get("v4")  # so v3 (now the LRU) is the one evicted
+        assert registry.loaded() == ["v2", "v4"]
+        stats = registry.stats()
+        assert stats["evictions"] == 2
+        assert stats["hits"] == 1
+        assert stats["misses"] == 4
+
+    def test_evicted_model_reloads_transparently(self, golden_labels):
+        registry = make_registry(max_models=1)
+        registry.get("v1")
+        registry.get("v2")
+        assert registry.loaded() == ["v2"]
+        model = registry.get("v1")  # reload after eviction
+        np.testing.assert_array_equal(model.result_.labels_, golden_labels)
+        assert registry.stats()["evictions"] == 2
+
+    def test_repeat_get_returns_same_object(self):
+        registry = make_registry()
+        assert registry.get("v4") is registry.get("v4")
+
+
+class TestSnapshotLoading:
+    @pytest.mark.parametrize("version", GOLDEN_VERSIONS)
+    @pytest.mark.parametrize("mmap", [False, True], ids=["load", "mmap"])
+    def test_every_golden_version_serves(self, version, mmap, golden_labels):
+        registry = make_registry(mmap=mmap)
+        model = registry.get(f"v{version}")
+        np.testing.assert_array_equal(model.result_.labels_, golden_labels)
+        np.testing.assert_array_equal(
+            model.predict(model._fit_points_), golden_labels
+        )
+
+    def test_shard_manifest_directories_load(self, tmp_path):
+        rng = np.random.default_rng(9)
+        points = rng.uniform(0.0, 100.0, size=(96, 2))
+        model = ShardedDPC(12.0, n_shards=2, rho_min=1, n_clusters=2, seed=0)
+        model.fit(points)
+        save_sharded(model, tmp_path / "manifest")
+        registry = ModelRegistry(mmap=True)
+        registry.register("sharded", tmp_path / "manifest")
+        restored = registry.get("sharded")
+        np.testing.assert_array_equal(
+            restored.predict(points), model.result_.labels_
+        )
+
+    def test_mixed_formats_coexist(self, tmp_path):
+        rng = np.random.default_rng(9)
+        points = rng.uniform(0.0, 100.0, size=(96, 2))
+        sharded = ShardedDPC(12.0, n_shards=2, rho_min=1, n_clusters=2, seed=0)
+        sharded.fit(points)
+        save_sharded(sharded, tmp_path / "manifest")
+        save_model(sharded_to_single(points), tmp_path / "single.npz")
+        registry = ModelRegistry()
+        registry.register("sharded", tmp_path / "manifest")
+        registry.register("single", tmp_path / "single.npz")
+        assert registry.get("sharded").algorithm_name == "Sharded-Ex-DPC"
+        assert registry.get("single").algorithm_name == "Ex-DPC"
+
+
+def sharded_to_single(points):
+    from repro.core import ExDPC
+
+    model = ExDPC(12.0, rho_min=1, n_clusters=2, seed=0)
+    model.fit(points)
+    return model
+
+
+class TestConcurrentReaders:
+    def test_concurrent_gets_under_eviction_pressure(self, golden_labels):
+        # max_models=2 over four registered goldens: every worker's get may
+        # race loads, hits and evictions; every model served must still carry
+        # the golden labels, and mmap'd arrays must read correctly while
+        # other threads evict their registry entries.
+        registry = make_registry(max_models=2, mmap=True)
+        rng = np.random.default_rng(0)
+        names = [f"v{rng.integers(1, 5)}" for _ in range(48)]
+
+        def hammer(name: str) -> bool:
+            model = registry.get(name)
+            labels = model.predict(model._fit_points_[:16])
+            return np.array_equal(labels, golden_labels[:16]) and np.array_equal(
+                model.result_.labels_, golden_labels
+            )
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(hammer, names))
+        assert all(results)
+        stats = registry.stats()
+        assert stats["hits"] + stats["misses"] == len(names)
+        assert stats["resident"] <= 2

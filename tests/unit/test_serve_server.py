@@ -1,0 +1,179 @@
+"""Unit tests for the coalescing predict server and its asyncio client."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import ExDPC
+from repro.serve import ModelRegistry, PredictClient, PredictServer, RequestCoalescer
+from repro.stream.snapshot import save_model
+
+
+@pytest.fixture(scope="module")
+def fitted(small_blobs):
+    points, _ = small_blobs
+    model = ExDPC(2_000.0, rho_min=2, n_clusters=3, seed=0)
+    model.fit(points)
+    return model, points
+
+
+@pytest.fixture(scope="module")
+def snapshot(fitted, tmp_path_factory):
+    model, _ = fitted
+    path = tmp_path_factory.mktemp("serve") / "model.npz"
+    save_model(model, path)
+    return path
+
+
+def serve(snapshot_path, coroutine, **server_kwargs):
+    """Run ``coroutine(server, client)`` against a served snapshot."""
+
+    async def main():
+        registry = ModelRegistry(mmap=True)
+        registry.register("m", snapshot_path)
+        server = PredictServer(registry, **server_kwargs)
+        host, port = await server.start()
+        client = await PredictClient.connect(host, port)
+        try:
+            return await coroutine(server, client)
+        finally:
+            await client.close()
+            await server.close()
+
+    return asyncio.run(main())
+
+
+class TestServer:
+    def test_concurrent_burst_coalesces_and_matches_direct_predict(
+        self, fitted, snapshot
+    ):
+        model, points = fitted
+        rng = np.random.default_rng(4)
+        queries = points[rng.integers(0, points.shape[0], size=128)]
+        batches = [queries[i * 4 : (i + 1) * 4] for i in range(32)]
+        expected = model.predict(queries)
+
+        async def burst(server, client):
+            await client.request({"op": "ping"})  # warm the connection
+            results = await asyncio.gather(
+                *(client.predict("m", batch) for batch in batches)
+            )
+            return np.concatenate(results), await client.stats()
+
+        labels, stats = serve(snapshot, burst, window_seconds=0.02)
+        np.testing.assert_array_equal(labels, expected)
+        coalescer = stats["models"]["m"]
+        assert coalescer["requests"] == 32
+        assert coalescer["batches"] < coalescer["requests"]
+        assert coalescer["max_requests_per_batch"] > 1
+        assert stats["registry"]["resident"] == 1
+
+    def test_sequential_requests_still_answer(self, fitted, snapshot):
+        model, points = fitted
+
+        async def sequential(server, client):
+            results = []
+            for row in points[:6]:
+                results.append(await client.predict("m", row[None, :]))
+            return np.concatenate(results)
+
+        labels = serve(snapshot, sequential)
+        np.testing.assert_array_equal(labels, model.predict(points[:6]))
+
+    def test_models_and_ping_ops(self, snapshot):
+        async def ops(server, client):
+            pong = await client.request({"op": "ping"})
+            models = await client.request({"op": "models"})
+            return pong, models
+
+        pong, models = serve(snapshot, ops)
+        assert pong["pong"] is True
+        assert models["models"] == ["m"]
+
+    def test_unknown_model_is_a_wire_error(self, snapshot):
+        async def bad(server, client):
+            with pytest.raises(RuntimeError, match="not registered"):
+                await client.predict("ghost", [[0.0, 0.0]])
+            # The connection survives the error.
+            return await client.request({"op": "ping"})
+
+        assert serve(snapshot, bad)["pong"] is True
+
+    def test_malformed_points_is_a_wire_error(self, snapshot):
+        async def bad(server, client):
+            with pytest.raises(RuntimeError, match="non-empty 2-D"):
+                await client.request({"op": "predict", "model": "m", "points": []})
+            with pytest.raises(RuntimeError, match="unknown op"):
+                await client.request({"op": "frobnicate"})
+            return True
+
+        assert serve(snapshot, bad)
+
+    def test_float32_model_served_with_recheck_policy(self, small_blobs, tmp_path):
+        points, _ = small_blobs
+        model = ExDPC(2_000.0, rho_min=2, n_clusters=3, seed=0, dtype="float32")
+        model.fit(points)
+        path = save_model(model, tmp_path / "f32.npz")
+        expected = model.predict(points[:50], float32_recheck=True)
+
+        async def burst(server, client):
+            labels = await client.predict("m", points[:50])
+            coalescer = server._coalescers["m"]
+            return labels, coalescer.predict_kwargs
+
+        labels, predict_kwargs = serve(path, burst)
+        np.testing.assert_array_equal(labels, expected)
+        assert predict_kwargs == {"float32_recheck": True}
+
+    def test_float64_model_served_without_recheck(self, snapshot):
+        async def probe(server, client):
+            await client.predict("m", [[0.0, 0.0]])
+            return server._coalescers["m"].predict_kwargs
+
+        assert serve(snapshot, probe) == {}
+
+
+class TestCoalescer:
+    def test_batch_exceptions_fan_out(self, fitted):
+        class Exploding:
+            def predict(self, points):
+                raise RuntimeError("boom")
+
+        async def main():
+            coalescer = RequestCoalescer(Exploding(), window_seconds=0.01)
+            futures = [coalescer.predict([[0.0, 0.0]]) for _ in range(3)]
+            results = await asyncio.gather(*futures, return_exceptions=True)
+            return results, coalescer.stats
+
+        results, stats = asyncio.run(main())
+        assert all(isinstance(result, RuntimeError) for result in results)
+        assert stats["requests"] == 3
+        assert stats["batches"] == 1
+
+    def test_max_batch_splits_oversized_windows(self, fitted):
+        model, points = fitted
+
+        async def main():
+            coalescer = RequestCoalescer(model, window_seconds=0.01, max_batch=4)
+            futures = [coalescer.predict(points[i : i + 1]) for i in range(10)]
+            labels = await asyncio.gather(*futures)
+            return np.concatenate(labels), coalescer.stats
+
+        labels, stats = asyncio.run(main())
+        np.testing.assert_array_equal(labels, model.predict(points[:10]))
+        assert stats["batches"] >= 3
+        assert stats["max_requests_per_batch"] <= 4
+
+    def test_single_row_requests_are_promoted_to_matrices(self, fitted):
+        model, points = fitted
+
+        async def main():
+            coalescer = RequestCoalescer(model, window_seconds=0.0)
+            return await coalescer.predict(points[0])
+
+        labels = asyncio.run(main())
+        assert labels.shape == (1,)
+        np.testing.assert_array_equal(labels, model.predict(points[:1]))
