@@ -235,6 +235,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="models resident at once (LRU eviction beyond it)",
     )
     serve.add_argument(
+        "--max-pending-batches",
+        type=int,
+        default=1,
+        help="coalesced batches in flight per model before backpressure "
+        "(overflow queues, it is never dropped)",
+    )
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="server processes behind a round-robin front (1: serve in "
+        "process; N>1: fork N replicas sharing mmap'd snapshots)",
+    )
+    serve.add_argument(
+        "--health-check",
+        action="store_true",
+        help="start, run a warm health probe against every replica, print "
+        "the report as JSON, and exit (0 iff all healthy)",
+    )
+    serve.add_argument(
         "--no-mmap",
         action="store_true",
         help="read snapshot arrays into private memory instead of mmapping",
@@ -460,15 +480,58 @@ def _run_predict(args: argparse.Namespace) -> int:
 
 def _run_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import json
 
-    from repro.serve import ModelRegistry, PredictServer
+    from repro.serve import ModelRegistry, PredictClient, PredictServer, ReplicaFront
 
-    registry = ModelRegistry(max_models=args.max_models, mmap=not args.no_mmap)
+    specs: list[tuple[str, str]] = []
     for spec in args.model:
         name, sep, path = spec.partition("=")
         if not sep or not name or not path:
             print(f"error: --model expects NAME=PATH, got {spec!r}", file=sys.stderr)
             return 2
+        specs.append((name, path))
+
+    if args.replicas > 1:
+        front = ReplicaFront(
+            specs,
+            replicas=args.replicas,
+            host=args.host,
+            port=args.port,
+            window_seconds=args.window_ms / 1000.0,
+            max_batch=args.max_batch,
+            max_pending_batches=args.max_pending_batches,
+            max_models=args.max_models,
+            mmap=not args.no_mmap,
+        )
+
+        async def _serve_front() -> int:
+            host, port = await front.start()
+            names = ", ".join(name for name, _ in specs)
+            print(
+                f"serving {names} on {host}:{port} "
+                f"({args.replicas} replicas on ports {front.replica_ports})",
+                flush=True,
+            )
+            if args.health_check:
+                report = await front.health(specs[0][0])
+                print(json.dumps(report, sort_keys=True, indent=2), flush=True)
+                await front.close()
+                return 0 if report["healthy"] else 1
+            try:
+                await front.serve_forever()
+            finally:
+                await front.close()
+            return 0
+
+        try:
+            return asyncio.run(_serve_front())
+        except KeyboardInterrupt:
+            print("shutting down")
+            return 0
+
+    registry = ModelRegistry(max_models=args.max_models, mmap=not args.no_mmap)
+    for name, path in specs:
         try:
             registry.register(name, path)
         except FileNotFoundError as exc:
@@ -481,15 +544,25 @@ def _run_serve(args: argparse.Namespace) -> int:
         port=args.port,
         window_seconds=args.window_ms / 1000.0,
         max_batch=args.max_batch,
+        max_pending_batches=args.max_pending_batches,
     )
 
-    async def _serve() -> None:
+    async def _serve() -> int:
         host, port = await server.start()
         print(f"serving {', '.join(registry.names())} on {host}:{port}", flush=True)
+        if args.health_check:
+            client = await PredictClient.connect(host, port)
+            report = await client.health(specs[0][0])
+            report.pop("id", None)
+            print(json.dumps(report, sort_keys=True, indent=2), flush=True)
+            await client.close()
+            await server.close()
+            return 0 if report.get("healthy") else 1
         await server.serve_forever()
+        return 0
 
     try:
-        asyncio.run(_serve())
+        return asyncio.run(_serve())
     except KeyboardInterrupt:
         print("shutting down")
     return 0

@@ -282,6 +282,16 @@ class DensityPeaksBase(abc.ABC):
         """Approximate memory footprint of the algorithm's index structures."""
         return 0
 
+    def _check_fit_points(self, points) -> np.ndarray:
+        """Validate and canonicalise the fit input (hook for subclasses).
+
+        The default materialises a contiguous float64 matrix via
+        :func:`~repro.utils.validation.check_points`.  Out-of-core estimators
+        (the sharded streaming fit) override this to keep an already
+        chunk-validated memmap as-is instead of copying it into RAM.
+        """
+        return check_points(points, min_points=2, name="points")
+
     # -------------------------------------------------------------- public API
 
     def fit(self, points) -> DPCResult:
@@ -289,7 +299,7 @@ class DensityPeaksBase(abc.ABC):
 
         The result is also stored on the estimator as ``self.result_``.
         """
-        points = check_points(points, min_points=2, name="points")
+        points = self._check_fit_points(points)
         # Invalidate fitted state up front: _build_index replaces the index in
         # place, so a refit that fails mid-way must leave the estimator
         # *unfitted* (predict refuses) rather than a silent mix of the old
@@ -326,6 +336,20 @@ class DensityPeaksBase(abc.ABC):
             self._build_index(points)
             timings["index_build"] = time.perf_counter() - start
 
+            # Tie-break densities so dependent points are well-defined (§3).
+            # The jitter is kept on the estimator (and in model snapshots):
+            # re-clustering at a different d_cut re-applies the *same* jitter
+            # to the new integer counts, which is what keeps its tie-broken
+            # densities -- and therefore its dependency forest -- bit-identical
+            # to a cold fit at that d_cut.  Drawn *before* the density phase
+            # (it depends only on n and the rng, and this is the rng's first
+            # draw, so the values are unchanged): the shard pipeline overlaps
+            # the dependency stages with density work and reads the jitter
+            # through `_tiebreak_jitter_` to tie-break per-shard densities
+            # exactly as this method will.
+            jitter = draw_tiebreak_jitter((points.shape[0],), rng)
+            self._tiebreak_jitter_ = jitter
+
             start = time.perf_counter()
             work_before = self._counter.get("distance_calcs")
             rho_raw = np.asarray(self._compute_local_density(points), dtype=np.float64)
@@ -336,13 +360,6 @@ class DensityPeaksBase(abc.ABC):
             if rho_raw.shape[0] != points.shape[0]:
                 raise RuntimeError("local density array has the wrong length")
 
-            # Tie-break densities so dependent points are well-defined (§3).
-            # The jitter is kept on the estimator (and in model snapshots):
-            # re-clustering at a different d_cut re-applies the *same* jitter
-            # to the new integer counts, which is what keeps its tie-broken
-            # densities -- and therefore its dependency forest -- bit-identical
-            # to a cold fit at that d_cut.
-            jitter = draw_tiebreak_jitter(rho_raw.shape, rng)
             rho = rho_raw + jitter
 
             # Attach the per-node density maxima the nearest-denser join
@@ -519,7 +536,7 @@ class DensityPeaksBase(abc.ABC):
             )
         return self.result_
 
-    def predict(self, points, *, float32_recheck: bool = False) -> np.ndarray:
+    def predict(self, points, *, float32_recheck: bool | None = None) -> np.ndarray:
         """Assign out-of-sample ``points`` to the fitted clusters.
 
         Each query point ``q`` follows the same rule ``fit`` applies to every
@@ -550,7 +567,7 @@ class DensityPeaksBase(abc.ABC):
         densities to workers through shared memory; index-free estimators
         fall back to threads).
 
-        ``float32_recheck=True`` applies the serving float32 policy on
+        ``float32_recheck`` controls the float32 serving policy on
         float32-storage models: the density pass still runs the float32
         kernels, but queries with a fitted point within a few float32 ulps
         of ``d_cut`` get their density recomputed with the exact float64
@@ -559,10 +576,20 @@ class DensityPeaksBase(abc.ABC):
         -- and therefore the noise test and attachment eligibility -- match
         the float64 counts for every query inside the documented accuracy
         envelope (``docs/performance.md``).  The flag is a no-op on float64
-        models; it is off by default because the fitted labels themselves
-        are defined by the float32 counts, and re-checking the training
-        matrix could legitimately diverge from ``labels_`` at the cutoff.
+        models.
+
+        .. note:: **Changed default.** The re-check used to be opt-in (the
+           predict server enabled it; the library default was off).  It is
+           now the library-wide default for float32 models
+           (``float32_recheck=None`` resolves to ``True`` when the model's
+           storage dtype is float32).  Pass ``float32_recheck=False`` to
+           restore the raw float32 counts -- note the fitted labels
+           themselves are defined by the float32 counts, so re-checking the
+           training matrix can legitimately diverge from ``labels_`` for
+           queries at the cutoff.
         """
+        if float32_recheck is None:
+            float32_recheck = getattr(self, "dtype", "float64") == "float32"
         result = self.check_is_fitted()
         dim = self._fit_points_.shape[1]
         queries = np.asarray(points, dtype=np.float64)

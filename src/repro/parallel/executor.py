@@ -38,7 +38,7 @@ pool busy while chunk costs are skewed.  See ``docs/parallel.md`` and
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
@@ -115,6 +115,7 @@ class ParallelExecutor:
         self._n_jobs = resolve_n_jobs(n_jobs)
         self._backend = resolve_backend(backend)
         self._pool: ProcessPoolExecutor | None = None
+        self._thread_pool: ThreadPoolExecutor | None = None
         # Shared-memory bundle attached by DensityPeaksBase.predict for the
         # process backend.  It lives on the executor (one per predict call)
         # rather than on the estimator so concurrent predicts each own --
@@ -219,6 +220,22 @@ class ParallelExecutor:
             results.append(value)
         return results
 
+    # ------------------------------------------------------------- submit API
+
+    def submit(self, func: Callable[..., R], *args, **kwargs) -> "Future[R]":
+        """Schedule ``func(*args, **kwargs)`` and return its future.
+
+        Runs on a lazily created persistent *thread* pool regardless of the
+        backend: the shard pipeline uses this to overlap whole stages (each
+        stage does its own chunk-level fan-out through ``map``/
+        ``map_index_chunks``, including process tasks), and stage closures
+        cannot cross a process boundary anyway.  The pool is torn down by
+        :meth:`close`.
+        """
+        if self._thread_pool is None:
+            self._thread_pool = ThreadPoolExecutor(max_workers=max(1, self._n_jobs))
+        return self._thread_pool.submit(func, *args, **kwargs)
+
     # -------------------------------------------------------------- lifecycle
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -241,6 +258,9 @@ class ParallelExecutor:
         Pool first, bundle second: no worker may still map the segment when
         the owner closes and unlinks it.
         """
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=True)
+            self._thread_pool = None
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None

@@ -25,6 +25,7 @@ from __future__ import annotations
 import contextlib
 import secrets
 import sys
+import threading
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Mapping
@@ -92,12 +93,26 @@ class BundleSpec:
 
 
 class SharedArrayBundle:
-    """A named mapping of numpy arrays backed by one shared-memory segment."""
+    """A named mapping of numpy arrays backed by one shared-memory segment.
+
+    The class keeps process-wide accounting of the bytes held by *owned*
+    (created, not yet unlinked) segments: :meth:`live_bytes` is the current
+    total, :meth:`peak_bytes` the high-water mark since the last
+    :meth:`reset_peak_bytes`.  The shard pipeline's memory-budget tests read
+    these to prove the scheduler never admits more concurrent segments than
+    ``memory_budget_bytes`` allows (attached segments map the same physical
+    pages and are not double-counted).
+    """
+
+    _accounting_lock = threading.Lock()
+    _live_bytes = 0
+    _peak_bytes = 0
 
     def __init__(self, shm: shared_memory.SharedMemory, spec: BundleSpec, owner: bool):
         self._shm = shm
         self._spec = spec
         self._owner = owner
+        self._accounted = owner
         self._closed = False
         self._arrays: dict[str, np.ndarray] = {}
         for entry in spec.entries:
@@ -150,6 +165,9 @@ class SharedArrayBundle:
                 offset=entry.offset,
             )
             dest[...] = source
+        with cls._accounting_lock:
+            cls._live_bytes += total
+            cls._peak_bytes = max(cls._peak_bytes, cls._live_bytes)
         return cls(shm, spec, owner=True)
 
     @classmethod
@@ -189,6 +207,26 @@ class SharedArrayBundle:
         """Size of the backing segment; the cost is paid once, not per worker."""
         return int(self._spec.total_bytes)
 
+    # ------------------------------------------------------------- accounting
+
+    @classmethod
+    def live_bytes(cls) -> int:
+        """Total bytes of owned segments created but not yet unlinked."""
+        with cls._accounting_lock:
+            return cls._live_bytes
+
+    @classmethod
+    def peak_bytes(cls) -> int:
+        """High-water mark of :meth:`live_bytes` since the last reset."""
+        with cls._accounting_lock:
+            return cls._peak_bytes
+
+    @classmethod
+    def reset_peak_bytes(cls) -> None:
+        """Reset the high-water mark to the current live total (test hook)."""
+        with cls._accounting_lock:
+            cls._peak_bytes = cls._live_bytes
+
     # --------------------------------------------------------------- teardown
 
     def close(self) -> None:
@@ -208,6 +246,10 @@ class SharedArrayBundle:
         """
         if not self._owner:
             return
+        if self._accounted:
+            self._accounted = False
+            with type(self)._accounting_lock:
+                type(self)._live_bytes -= self._spec.total_bytes
         try:
             self._shm.unlink()
         except FileNotFoundError:  # pragma: no cover - double unlink

@@ -1,7 +1,14 @@
-"""Serving tier: model registry, request coalescing, asyncio predict server."""
+"""Serving tier: registry, coalescing, asyncio predict server, replica front."""
 
 from repro.serve.coalesce import RequestCoalescer
+from repro.serve.front import ReplicaFront
 from repro.serve.registry import ModelRegistry
 from repro.serve.server import PredictClient, PredictServer
 
-__all__ = ["ModelRegistry", "PredictClient", "PredictServer", "RequestCoalescer"]
+__all__ = [
+    "ModelRegistry",
+    "PredictClient",
+    "PredictServer",
+    "ReplicaFront",
+    "RequestCoalescer",
+]

@@ -12,6 +12,11 @@ label array is sliced back per request.  Correctness is free: ``predict``
 is row-independent, so the batched labels equal the per-request ones
 exactly.
 
+Batches in flight are bounded by ``max_pending_batches`` (default one, the
+strictly serial pipeline).  When the bound is hit the dispatcher waits for a
+batch to complete before starting the next; overflow requests keep queueing
+-- and keep coalescing with new arrivals -- rather than being dropped.
+
 ``benchmarks/bench_serve.py`` measures the effect (>= 3x throughput at 64
 concurrent requests vs sequential per-request predicts).
 """
@@ -39,9 +44,19 @@ class RequestCoalescer:
         from under load.
     max_batch:
         Maximum *requests* merged into one kernel invocation.
+    max_pending_batches:
+        Maximum batches allowed in flight at once (default ``1``, the
+        strictly serial behaviour).  Raising it overlaps kernel passes --
+        useful when ``predict`` releases the GIL -- while still bounding
+        them: once the limit is reached the dispatcher *waits* for a batch
+        to finish before launching the next, and overflow requests simply
+        keep queueing (they are never dropped or rejected; memory is the
+        caller's contract via ``max_batch`` times this limit).
     predict_kwargs:
         Extra keyword arguments forwarded to every ``model.predict`` call
-        (the server uses this for the float32 re-check policy).
+        (a hook for serving policies; the float32 boundary re-check needs no
+        entry here anymore -- it is the library-wide predict default for
+        float32 models).
     """
 
     def __init__(
@@ -50,19 +65,28 @@ class RequestCoalescer:
         *,
         window_seconds: float = 0.002,
         max_batch: int = 256,
+        max_pending_batches: int = 1,
         predict_kwargs: dict | None = None,
     ):
         self.model = model
         self.window_seconds = float(window_seconds)
         self.max_batch = int(max_batch)
+        if int(max_pending_batches) < 1:
+            raise ValueError(
+                f"max_pending_batches must be >= 1, got {max_pending_batches}"
+            )
+        self.max_pending_batches = int(max_pending_batches)
         self.predict_kwargs = dict(predict_kwargs or {})
         self._pending: list[tuple[np.ndarray, asyncio.Future]] = []
         self._flusher: asyncio.Task | None = None
+        self._in_flight: set[asyncio.Task] = set()
         self.stats = {
             "requests": 0,
             "batches": 0,
             "batched_points": 0,
             "max_requests_per_batch": 0,
+            "peak_pending_batches": 0,
+            "backpressure_waits": 0,
         }
 
     async def predict(self, points) -> np.ndarray:
@@ -84,10 +108,27 @@ class RequestCoalescer:
         else:
             # Yield once so requests queued in the same loop tick join in.
             await asyncio.sleep(0)
+        loop = asyncio.get_running_loop()
         while self._pending:
+            # Backpressure: with the batch-concurrency limit reached, wait
+            # for an in-flight batch instead of dispatching another.  The
+            # overflow stays queued in ``_pending`` (and keeps coalescing
+            # with newly arriving requests) -- nothing is ever dropped.
+            while len(self._in_flight) >= self.max_pending_batches:
+                self.stats["backpressure_waits"] += 1
+                await asyncio.wait(
+                    set(self._in_flight), return_when=asyncio.FIRST_COMPLETED
+                )
             batch = self._pending[: self.max_batch]
             del self._pending[: self.max_batch]
-            await self._run_batch(batch)
+            task = loop.create_task(self._run_batch(batch))
+            self._in_flight.add(task)
+            task.add_done_callback(self._in_flight.discard)
+            self.stats["peak_pending_batches"] = max(
+                self.stats["peak_pending_batches"], len(self._in_flight)
+            )
+        # Leftover in-flight batches resolve their futures on their own; a
+        # new flusher task is created by the next predict() that finds none.
 
     async def _run_batch(self, batch: list[tuple[np.ndarray, asyncio.Future]]) -> None:
         loop = asyncio.get_running_loop()

@@ -10,17 +10,26 @@ Requests::
     {"id": 2, "op": "stats"}
     {"id": 3, "op": "models"}
     {"id": 4, "op": "ping"}
+    {"id": 5, "op": "health"}
+    {"id": 6, "op": "health", "model": "syn"}
 
 Responses echo ``id`` and carry either the payload (``labels`` /
-``stats`` / ``models`` / ``pong``) or ``error``.  Requests on one
-connection are handled concurrently (each spawns a task), so a client can
-pipeline: that concurrency is exactly what the coalescer converts into
+``stats`` / ``models`` / ``pong`` / ``healthy``) or ``error``.  Requests on
+one connection are handled concurrently (each spawns a task), so a client
+can pipeline: that concurrency is exactly what the coalescer converts into
 batched kernel invocations.
 
+``health`` reports liveness (pid, registered and resident models); with a
+``model`` name it is a *warm-up probe*: the named snapshot is loaded and its
+coalescer bound before the reply, so a replica front can route traffic only
+to replicas that answered a warm health probe
+(:class:`repro.serve.front.ReplicaFront`).
+
 Serving float32 policy: models fitted with ``dtype="float32"`` are served
-with ``predict(..., float32_recheck=True)`` -- float32 kernels plus the
-float64 re-check of queries within a few ulps of ``d_cut`` (see
-``docs/performance.md``).
+with the float64 boundary re-check, which is the library-wide
+``predict`` default for float32 models -- the server passes no override
+(see ``docs/performance.md``; opt out by calling the model directly with
+``float32_recheck=False``).
 
 :class:`PredictClient` is the matching asyncio client used by the tests,
 ``benchmarks/bench_serve.py`` and the CI smoke job.
@@ -30,6 +39,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 
 import numpy as np
 
@@ -56,6 +66,9 @@ class PredictServer:
         :class:`~repro.serve.coalesce.RequestCoalescer`).
     max_batch:
         Maximum requests merged into one kernel invocation.
+    max_pending_batches:
+        Batches allowed in flight per model before the coalescer applies
+        backpressure (overflow queues, it is never dropped).
     """
 
     def __init__(
@@ -66,12 +79,14 @@ class PredictServer:
         port: int = 0,
         window_seconds: float = 0.002,
         max_batch: int = 256,
+        max_pending_batches: int = 1,
     ):
         self.registry = registry
         self.host = host
         self.port = port
         self.window_seconds = float(window_seconds)
         self.max_batch = int(max_batch)
+        self.max_pending_batches = int(max_pending_batches)
         self._coalescers: dict[str, RequestCoalescer] = {}
         self._server: asyncio.base_events.Server | None = None
 
@@ -124,16 +139,13 @@ class PredictServer:
         if coalescer is None or coalescer.model is not model:
             # First request, or the registry evicted and reloaded the model:
             # (re)bind a coalescer so evicted snapshots are not kept pinned.
-            predict_kwargs = (
-                {"float32_recheck": True}
-                if getattr(model, "dtype", "float64") == "float32"
-                else {}
-            )
+            # No float32 override: the boundary re-check is predict()'s own
+            # default for float32-storage models.
             coalescer = RequestCoalescer(
                 model,
                 window_seconds=self.window_seconds,
                 max_batch=self.max_batch,
-                predict_kwargs=predict_kwargs,
+                max_pending_batches=self.max_pending_batches,
             )
             self._coalescers[name] = coalescer
         return coalescer
@@ -151,6 +163,19 @@ class PredictServer:
         op = request.get("op", "predict")
         if op == "ping":
             return {"pong": True}
+        if op == "health":
+            # With a model name this is a warm-up probe: resolving the
+            # coalescer loads the snapshot, so a healthy answer means the
+            # replica can serve that model without a first-request stall.
+            name = request.get("model")
+            if name:
+                await self._coalescer_for(name)
+            return {
+                "healthy": True,
+                "pid": os.getpid(),
+                "models": self.registry.names(),
+                "loaded": self.registry.loaded(),
+            }
         if op == "stats":
             return {"stats": self._stats()}
         if op == "models":
@@ -277,6 +302,13 @@ class PredictClient:
     async def stats(self) -> dict:
         """Server-side registry + coalescer statistics."""
         return (await self.request({"op": "stats"}))["stats"]
+
+    async def health(self, model: str | None = None) -> dict:
+        """Liveness probe; with ``model`` also a warm-up (loads the snapshot)."""
+        payload: dict = {"op": "health"}
+        if model is not None:
+            payload["model"] = model
+        return await self.request(payload)
 
     async def close(self) -> None:
         """Close the connection and stop the reader task."""

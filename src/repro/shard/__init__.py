@@ -1,15 +1,39 @@
 """Sharded out-of-core fit: kd-plane partitions, halo exchange, manifests."""
 
 from repro.shard.fit import ShardedDPC
-from repro.shard.manifest import load_sharded, save_sharded
-from repro.shard.partition import ShardPlan, halo_slack, plan_shards, separating_plane
+from repro.shard.manifest import (
+    load_sharded,
+    read_shard_archive,
+    save_sharded,
+    write_shard_archive,
+)
+from repro.shard.partition import (
+    ShardPlan,
+    halo_slack,
+    plan_shards,
+    plan_shards_streaming,
+    separating_plane,
+)
+from repro.shard.pipeline import (
+    PipelineOutputs,
+    ShardPipeline,
+    estimate_shard_bytes,
+    minimum_budget_bytes,
+)
 
 __all__ = [
+    "PipelineOutputs",
+    "ShardPipeline",
     "ShardedDPC",
     "ShardPlan",
+    "estimate_shard_bytes",
     "halo_slack",
     "load_sharded",
+    "minimum_budget_bytes",
     "plan_shards",
+    "plan_shards_streaming",
+    "read_shard_archive",
     "save_sharded",
     "separating_plane",
+    "write_shard_archive",
 ]

@@ -28,7 +28,24 @@ more than one shard's shared-memory segment:
    smallest global index -- the shared join contract -- so the final
    ``(rho_, delta_, labels_)`` is bit-identical to a single-shard fit.
 
-The equivalence is property-tested across ``n_shards x engine x dtype`` in
+Both phases are expressed as per-shard / per-pair *building blocks*
+(:meth:`~ShardedDPC._shard_self_counts`, :meth:`~ShardedDPC._halo_pair`,
+:meth:`~ShardedDPC._local_join`, :meth:`~ShardedDPC._cross_pass_shard`) whose
+outputs combine commutatively, so two drivers share them verbatim:
+
+* the **sequential** driver below (one shard at a time, the PR 9 behavior);
+* the **pipelined** driver (:class:`repro.shard.pipeline.ShardPipeline`),
+  enabled by ``pipeline=True`` / ``memory_budget_bytes`` / streaming input,
+  which overlaps stages of different shards under a global memory budget and
+  optionally spills finished shard trees to disk (mmapped back on demand).
+
+Streaming input: ``fit`` also accepts a path to a ``.npy``/``.npz`` file
+(memory-mapped, never fully materialised) or an *iterator* of ``(m, d)``
+chunks (spooled once to a float64 memmap), with the shard plan computed by
+:func:`repro.shard.partition.plan_shards_streaming`.
+
+The equivalence is property-tested across ``n_shards x engine x dtype`` (and
+pipelined vs sequential vs single-tree, including work counters) in
 ``tests/property/test_shard_equivalence.py``.  Work counters differ from the
 single-tree fit only by documented shard-accounting deltas (halo pairs are
 counted from both sides, per-shard tree builds replace one big build); see
@@ -37,7 +54,11 @@ counted from both sides, per-shard tree builds replace one big build); see
 
 from __future__ import annotations
 
+import tempfile
+import threading
+from collections.abc import Iterator
 from contextlib import contextmanager
+from pathlib import Path
 
 import numpy as np
 
@@ -57,12 +78,22 @@ from repro.parallel.shm import SharedArrayBundle
 from repro.shard.partition import (
     ShardPlan,
     plan_shards,
+    plan_shards_streaming,
     separating_plane,
     slab_indices,
 )
+from repro.stream.snapshot import load_npz_arrays
 from repro.utils.counters import WorkCounter
+from repro.utils.validation import check_positive_int
 
 __all__ = ["ShardedDPC"]
+
+#: Rows per streaming-validation / spool chunk (8 MB of float64 at d=16).
+_STREAM_CHUNK_ROWS = 65536
+
+# Guards lazy creation of the per-estimator spool TemporaryDirectory, which
+# concurrent pipeline persist stages may request at the same time.
+_SPOOL_DIR_LOCK = threading.Lock()
 
 
 def _elementwise_sq(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -89,6 +120,31 @@ class ShardedDPC(ExDPC):
         dependency phases run over their own kd-tree, executor and (process
         backend) shared-memory segment, so the peak per-process footprint is
         bounded by the largest shard rather than the full dataset.
+    memory_budget_bytes:
+        Global cap on the pipeline-managed anonymous memory of the fit
+        (resident shard trees + shared-memory segments + per-stage halo /
+        query temporaries; *not* the O(n) result vectors or a non-streaming
+        input matrix).  Setting it enables the pipelined driver; too small a
+        budget (below the single largest shard plus its stage temporaries)
+        raises ``ValueError`` up front.  The observed peak is recorded as
+        ``shard_stats_["peak_rss_bytes"]`` next to ``"budget_bytes"``.
+    pipeline:
+        ``True`` forces the stage-pipelined driver
+        (:class:`repro.shard.pipeline.ShardPipeline`), ``False`` the
+        sequential one; ``None`` (default) picks the pipeline whenever a
+        memory budget is set or the input is streamed.  Results are
+        bit-identical either way (including work counters).
+    pipeline_workers:
+        Concurrent stages of the pipelined driver (default:
+        ``max(2, n_jobs)``).  Affects wall-clock only, never results.
+    spool_dir:
+        Directory for spilled shard archives and spooled streaming input
+        (default: a private temporary directory tied to the estimator).
+
+    ``fit`` accepts, besides an in-memory matrix: a path to a ``.npy`` or
+    uncompressed ``.npz`` file (memory-mapped; the fit never materialises
+    the full matrix) or an iterator of ``(m, d)`` chunks (spooled to a
+    float64 memmap once, then treated as a mapped file).
 
     Results are bit-identical to ``ExDPC`` at the same parameters whenever
     both fit in memory; re-clustering is unsupported (the per-shard neighbor
@@ -98,50 +154,224 @@ class ShardedDPC(ExDPC):
     algorithm_name = "Sharded-Ex-DPC"
     supports_recluster = False
 
-    def __init__(self, d_cut: float, *, n_shards: int = 2, **kwargs):
+    def __init__(
+        self,
+        d_cut: float,
+        *,
+        n_shards: int = 2,
+        memory_budget_bytes: int | None = None,
+        pipeline: bool | None = None,
+        pipeline_workers: int | None = None,
+        spool_dir=None,
+        **kwargs,
+    ):
         super().__init__(d_cut, **kwargs)
         self.n_shards = int(n_shards)
+        self.memory_budget_bytes = (
+            None
+            if memory_budget_bytes is None
+            else check_positive_int(int(memory_budget_bytes), "memory_budget_bytes")
+        )
+        self.pipeline = pipeline if pipeline is None else bool(pipeline)
+        if self.pipeline is False and self.memory_budget_bytes is not None:
+            raise ValueError(
+                "memory_budget_bytes requires the pipelined driver; "
+                "drop pipeline=False (or the budget)"
+            )
+        self.pipeline_workers = (
+            None
+            if pipeline_workers is None
+            else check_positive_int(int(pipeline_workers), "pipeline_workers")
+        )
+        self.spool_dir = None if spool_dir is None else str(spool_dir)
 
     def get_params(self):
         params = super().get_params()
         params["n_shards"] = self.n_shards
+        params["memory_budget_bytes"] = self.memory_budget_bytes
+        params["pipeline"] = self.pipeline
         return params
+
+    # -------------------------------------------------------- streaming input
+
+    def fit(self, X):
+        """Fit on a matrix, a ``.npy``/``.npz`` path, or a chunk iterator."""
+        points, streaming = self._resolve_fit_input(X)
+        self._streaming_input = streaming
+        return super().fit(points)
+
+    def _check_fit_points(self, points) -> np.ndarray:
+        if getattr(self, "_streaming_input", False):
+            # Streamed inputs were validated chunk by chunk while resolving
+            # the source; re-running check_points here would materialise the
+            # full matrix, which is exactly what the streaming path avoids.
+            if points.shape[0] < 2:
+                raise ValueError("need at least 2 points to cluster")
+            return points
+        return super()._check_fit_points(points)
+
+    def _resolve_fit_input(self, X) -> tuple[np.ndarray, bool]:
+        if isinstance(X, (str, Path)):
+            path = Path(X)
+            if path.suffix == ".npy":
+                matrix = np.load(path, mmap_mode="r")
+            elif path.suffix == ".npz":
+                data = load_npz_arrays(path, mmap=True)
+                if "points" in data:
+                    matrix = data["points"]
+                elif len(data) == 1:
+                    matrix = next(iter(data.values()))
+                else:
+                    raise ValueError(
+                        f"{path} holds {sorted(data)}; name the point matrix "
+                        "'points' (or store a single array)"
+                    )
+            else:
+                raise ValueError(
+                    f"streaming fit reads .npy or .npz files, got {path.suffix!r}"
+                )
+            return self._validated_stream_matrix(matrix), True
+        if isinstance(X, np.memmap):
+            return self._validated_stream_matrix(X), True
+        if isinstance(X, Iterator):
+            return self._spool_chunks(X), True
+        return X, False
+
+    def _validated_stream_matrix(self, matrix) -> np.ndarray:
+        """Chunk-validate a mapped matrix; spool-convert when not float64-C."""
+        if matrix.ndim != 2:
+            raise ValueError("streamed points must form a 2-D matrix")
+        if matrix.dtype == np.float64 and matrix.flags["C_CONTIGUOUS"]:
+            for start in range(0, matrix.shape[0], _STREAM_CHUNK_ROWS):
+                if not np.isfinite(matrix[start : start + _STREAM_CHUNK_ROWS]).all():
+                    raise ValueError("points must be finite (no NaN or inf)")
+            return matrix
+        n = matrix.shape[0]
+        return self._spool_chunks(
+            matrix[start : start + _STREAM_CHUNK_ROWS]
+            for start in range(0, n, _STREAM_CHUNK_ROWS)
+        )
+
+    def _ensure_spool_dir(self) -> Path:
+        """The directory for spooled input and spilled shard archives.
+
+        A private temporary directory is created (and kept referenced on the
+        estimator: spilled trees stay memory-mapped out of it after the fit)
+        unless ``spool_dir`` names one explicitly.
+        """
+        if self.spool_dir is not None:
+            directory = Path(self.spool_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            return directory
+        # Serialized: concurrent persist stages must not race two
+        # TemporaryDirectory objects (the loser's finalizer would delete a
+        # directory already holding the winner's spill archive).
+        with _SPOOL_DIR_LOCK:
+            spool = getattr(self, "_spool_tmp", None)
+            if spool is None:
+                spool = tempfile.TemporaryDirectory(prefix="repro_shard_")
+                self._spool_tmp = spool
+        return Path(spool.name)
+
+    def _spool_chunks(self, chunks) -> np.ndarray:
+        """Write a chunk stream to a float64 row-major spool file, mmap it back."""
+        directory = self._ensure_spool_dir()
+        path = directory / f"input_{id(self):x}.f64"
+        rows = 0
+        dim: int | None = None
+        with open(path, "wb") as sink:
+            for chunk in chunks:
+                chunk = np.ascontiguousarray(np.asarray(chunk, dtype=np.float64))
+                if chunk.ndim == 1:
+                    chunk = chunk.reshape(1, -1)
+                if chunk.ndim != 2:
+                    raise ValueError("stream chunks must be 2-D (m, d) arrays")
+                if dim is None:
+                    dim = int(chunk.shape[1])
+                elif chunk.shape[1] != dim:
+                    raise ValueError(
+                        f"stream chunk dimensionality changed from {dim} "
+                        f"to {chunk.shape[1]}"
+                    )
+                if not np.isfinite(chunk).all():
+                    raise ValueError("points must be finite (no NaN or inf)")
+                sink.write(chunk.tobytes())
+                rows += int(chunk.shape[0])
+        if rows == 0 or dim is None:
+            raise ValueError("the point stream yielded no rows")
+        return np.memmap(path, dtype=np.float64, mode="r", shape=(rows, dim))
 
     # ------------------------------------------------------------------ index
 
+    def _pipelined(self) -> bool:
+        if self.pipeline is not None:
+            return bool(self.pipeline)
+        return (
+            self.memory_budget_bytes is not None
+            or getattr(self, "_streaming_input", False)
+        )
+
+    def _build_shard_tree(self, points, members, counter) -> KDTree:
+        return KDTree(
+            np.asarray(points[members], dtype=np.float64),
+            leaf_size=self.leaf_size,
+            counter=counter,
+            dtype=self.dtype,
+            kernel=self.kernel,
+        )
+
     def _build_index(self, points: np.ndarray) -> None:
-        self._plan: ShardPlan = plan_shards(points, self.n_shards)
-        self._shard_trees = [
-            KDTree(
-                points[members],
-                leaf_size=self.leaf_size,
-                counter=self._counter,
-                dtype=self.dtype,
-                kernel=self.kernel,
-            )
-            for members in self._plan.members
-        ]
+        streaming = getattr(self, "_streaming_input", False)
+        if streaming:
+            self._plan: ShardPlan = plan_shards_streaming(points, self.n_shards)
+        else:
+            self._plan = plan_shards(points, self.n_shards)
+        self._pipelined_ = self._pipelined()
+        self._pipeline_outputs = None
         # Single full-dataset tree intentionally absent: nothing in the
         # sharded fit (or predict) may touch an O(n) index.
         self._tree = None
-        # Float64 per-shard bounding boxes of the cross-shard pruning test.
-        self._shard_bbox = [
-            (points[m].min(axis=0), points[m].max(axis=0))
-            for m in self._plan.members
-        ]
+        if self._pipelined_:
+            # Trees are built (and possibly spilled) stage by stage; the
+            # pipeline fills these in before the dependency phase returns.
+            self._shard_trees: list[KDTree | None] = [None] * self._plan.n_shards
+            self._shard_bbox: list = [None] * self._plan.n_shards
+        else:
+            self._shard_trees = [
+                self._build_shard_tree(points, members, self._counter)
+                for members in self._plan.members
+            ]
+            # Float64 per-shard bounding boxes of the cross-shard pruning test.
+            self._shard_bbox = [
+                (points[m].min(axis=0), points[m].max(axis=0))
+                for m in self._plan.members
+            ]
         self.shard_stats_ = {
             "n_shards": self._plan.n_shards,
             "shard_sizes": self._plan.shard_sizes.tolist(),
             "shm_peak_bytes": 0,
             "halo_exported_points": 0,
             "halo_credits": 0,
+            "budget_bytes": self.memory_budget_bytes,
+            "peak_rss_bytes": 0,
+            "pipelined": self._pipelined_,
+            "streaming_input": streaming,
         }
 
     def _index_memory_bytes(self) -> int:
         trees = getattr(self, "_shard_trees", None)
         if not trees:
             return 0
-        return int(sum(tree.memory_bytes() for tree in trees))
+        return int(
+            sum(tree.memory_bytes() for tree in trees if tree is not None)
+        )
+
+    def _tree_resident_bytes(self, tree: KDTree) -> int:
+        """Anonymous bytes one resident shard tree pins (points included)."""
+        total = tree.memory_bytes() + tree.points.nbytes
+        if tree.points is not tree.source_points:
+            total += tree.source_points.nbytes
+        return int(total)
 
     def _shared_arrays(self):
         # The base-class fit-wide bundle would map the whole dataset at once;
@@ -154,8 +384,8 @@ class ShardedDPC(ExDPC):
     # ---------------------------------------------------- per-shard execution
 
     @contextmanager
-    def _shard_runtime(self, tree: KDTree):
-        """Executor + process-task builder scoped to one shard.
+    def _shard_runtime(self, tree: KDTree, counter: WorkCounter | None = None):
+        """Executor + process-task builder scoped to one shard stage.
 
         Thread/serial backends reuse the fit-wide executor (no shared
         memory involved).  The process backend gets a *fresh* pool and a
@@ -163,8 +393,13 @@ class ShardedDPC(ExDPC):
         segments for the life of their pool, so reusing one pool across
         shards would accumulate every shard's mapping and defeat the
         out-of-core bound.  Pool and segment are torn down before the next
-        shard starts.
+        stage of the same shard starts.  ``counter`` receives the worker-side
+        distance counts (default: the fit-wide counter); the pipeline passes
+        its phase counters so density and dependency work stay attributed
+        exactly as in the sequential fit.
         """
+        if counter is None:
+            counter = self._counter
         fit_executor = getattr(self, "_executor", None)
         if fit_executor is not None and fit_executor.backend != "process":
             yield fit_executor, lambda kernel, payload=None, payload_fn=None: None
@@ -186,7 +421,7 @@ class ShardedDPC(ExDPC):
                 spec=bundle_box[0].spec,
                 payload=payload or {},
                 payload_fn=payload_fn,
-                counter=self._counter,
+                counter=counter,
             )
 
         try:
@@ -197,12 +432,17 @@ class ShardedDPC(ExDPC):
                 bundle_box[0].close()
                 bundle_box[0].unlink()
 
-    # ---------------------------------------------------------------- density
+    # ------------------------------------------------- per-shard density blocks
 
-    def _shard_self_counts(self, tree: KDTree, shard_points: np.ndarray) -> np.ndarray:
+    def _shard_self_counts(
+        self,
+        tree: KDTree,
+        shard_points: np.ndarray,
+        counter: WorkCounter | None = None,
+    ) -> np.ndarray:
         """One shard's strict self-counts, mirroring Ex-DPC's engine dispatch."""
         count = shard_points.shape[0]
-        with self._shard_runtime(tree) as (executor, task_builder):
+        with self._shard_runtime(tree, counter=counter) as (executor, task_builder):
             if self.engine_ == "dual":
                 pairs, base = tree.dual_self_frontier(
                     self.d_cut, strict=True, target_pairs=self.dual_frontier_
@@ -247,60 +487,98 @@ class ShardedDPC(ExDPC):
                 executor.map(density_of, list(range(count))), dtype=np.float64
             )
 
+    def _shard_axis_coords(
+        self, points: np.ndarray, members: np.ndarray, axis: int
+    ) -> np.ndarray:
+        """Storage-dtype coordinates of one shard along one axis (as float64).
+
+        Bit-identical to ``tree.points[:, axis].astype(np.float64)`` without
+        needing the shard tree resident: the storage cast is elementwise, so
+        casting the gathered column reproduces the tree's stored values.
+        """
+        col = np.ascontiguousarray(np.asarray(points[members, axis], dtype=np.float64))
+        if np.dtype(self.dtype) != np.float64:
+            col = col.astype(self.dtype).astype(np.float64)
+        return col
+
+    def _halo_pair(
+        self,
+        points: np.ndarray,
+        a: int,
+        b: int,
+        counter: WorkCounter | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, int] | None:
+        """Halo credits of ordered shard pair ``(a, b)``.
+
+        Returns ``(global_rows_of_a, credits, exported_points_of_b)`` or
+        ``None`` when either slab is empty.  Reads only the global point
+        matrix (gathering just the two slabs), never the shard trees, so the
+        pipeline can run halo stages independently of tree residency.  Slab
+        membership is a candidate filter only -- the counting kernel applies
+        the exact storage-dtype predicate -- so credits equal the single-tree
+        cross-shard contributions bit for bit.
+        """
+        plan = self._plan
+        axis, value, a_on_left = separating_plane(plan, a, b)
+        members_a = plan.members[a]
+        slab_a = slab_indices(
+            self._shard_axis_coords(points, members_a, axis),
+            value,
+            a_on_left,
+            self.d_cut,
+            self.dtype,
+        )
+        if slab_a.size == 0:
+            return None
+        members_b = plan.members[b]
+        slab_b = slab_indices(
+            self._shard_axis_coords(points, members_b, axis),
+            value,
+            not a_on_left,
+            self.d_cut,
+            self.dtype,
+        )
+        if slab_b.size == 0:
+            return None
+        halo_tree = KDTree(
+            np.asarray(points[members_b[slab_b]], dtype=np.float64),
+            leaf_size=self.leaf_size,
+            counter=counter if counter is not None else self._counter,
+            dtype=self.dtype,
+            kernel=self.kernel,
+        )
+        credits = halo_tree.range_count_batch(
+            np.asarray(points[members_a[slab_a]], dtype=np.float64),
+            self.d_cut,
+            strict=True,
+        )
+        return members_a[slab_a], credits, int(slab_b.size)
+
     def _compute_local_density(self, points: np.ndarray) -> np.ndarray:
+        if self._pipelined_:
+            return self._run_pipeline(points)
         plan = self._plan
         n = points.shape[0]
         rho = np.zeros(n, dtype=np.float64)
         for shard, tree in enumerate(self._shard_trees):
             members = plan.members[shard]
-            rho[members] = self._shard_self_counts(tree, points[members])
+            rho[members] = self._shard_self_counts(tree, tree.source_points)
 
         # Halo exchange: for every ordered pair (a, b), credit a's boundary
-        # slab with its strict counts against b's slab.  Slab membership is
-        # a candidate filter only -- the counting kernel below applies the
-        # exact storage-dtype predicate -- so credits equal the single-tree
-        # cross-shard contributions bit for bit.
+        # slab with its strict counts against b's slab.
         exported = 0
         credits_total = 0.0
         for a in range(plan.n_shards):
-            tree_a = self._shard_trees[a]
-            members_a = plan.members[a]
             for b in range(plan.n_shards):
                 if b == a:
                     continue
-                axis, value, a_on_left = separating_plane(plan, a, b)
-                slab_a = slab_indices(
-                    tree_a.points[:, axis].astype(np.float64),
-                    value,
-                    a_on_left,
-                    self.d_cut,
-                    self.dtype,
-                )
-                if slab_a.size == 0:
+                pair = self._halo_pair(points, a, b, self._counter)
+                if pair is None:
                     continue
-                tree_b = self._shard_trees[b]
-                slab_b = slab_indices(
-                    tree_b.points[:, axis].astype(np.float64),
-                    value,
-                    not a_on_left,
-                    self.d_cut,
-                    self.dtype,
-                )
-                if slab_b.size == 0:
-                    continue
-                exported += int(slab_b.size)
-                halo_tree = KDTree(
-                    points[plan.members[b][slab_b]],
-                    leaf_size=self.leaf_size,
-                    counter=self._counter,
-                    dtype=self.dtype,
-                    kernel=self.kernel,
-                )
-                credits = halo_tree.range_count_batch(
-                    points[members_a[slab_a]], self.d_cut, strict=True
-                )
+                rows, credits, exported_b = pair
+                exported += exported_b
                 credits_total += float(credits.sum())
-                rho[members_a[slab_a]] += credits
+                rho[rows] += credits
 
         self.shard_stats_["halo_exported_points"] = exported
         self.shard_stats_["halo_credits"] = int(credits_total)
@@ -308,11 +586,171 @@ class ShardedDPC(ExDPC):
         self._record_phase("local_density", "dynamic", rho + traversal)
         return rho
 
+    def _run_pipeline(self, points: np.ndarray) -> np.ndarray:
+        """Run the full stage DAG; density returns now, dependencies are cached."""
+        from repro.shard.pipeline import ShardPipeline
+
+        outputs = ShardPipeline(self, points).run()
+        self._pipeline_outputs = outputs
+        stats = self.shard_stats_
+        stats["halo_exported_points"] = outputs.halo_exported
+        stats["halo_credits"] = outputs.halo_credits
+        stats["shm_peak_bytes"] = max(
+            stats["shm_peak_bytes"], outputs.shm_peak_bytes
+        )
+        stats["peak_rss_bytes"] = outputs.peak_tracked_bytes
+        stats["pipeline"] = outputs.report
+        if (
+            self.memory_budget_bytes is not None
+            and outputs.peak_tracked_bytes > self.memory_budget_bytes
+        ):
+            raise RuntimeError(
+                f"pipeline accounting exceeded memory_budget_bytes "
+                f"({outputs.peak_tracked_bytes} > {self.memory_budget_bytes}); "
+                "this is a scheduler bug"
+            )
+        # Density work lands in the density bracket of fit(); the dependency
+        # counter is merged by _compute_dependencies inside its own bracket.
+        self._counter.merge(outputs.density_counter)
+        n = points.shape[0]
+        traversal = float(n ** (1.0 - 1.0 / points.shape[1]))
+        self._record_phase("local_density", "dynamic", outputs.rho_raw + traversal)
+        return outputs.rho_raw
+
     # ------------------------------------------------------------ dependencies
+
+    def _local_join(
+        self,
+        tree: KDTree,
+        members: np.ndarray,
+        rho_members: np.ndarray,
+        counter: WorkCounter | None = None,
+    ):
+        """One shard's exact nearest-denser join (engine-dispatched)."""
+        with self._shard_runtime(tree, counter=counter) as (executor, task_builder):
+            return nearest_denser_join(
+                tree.source_points,
+                rho_members,
+                engine=self.engine_,
+                executor=executor,
+                counter=counter if counter is not None else self._counter,
+                tree=tree,
+                leaf_size=self.leaf_size,
+                frontier_target=self.dual_frontier_,
+                process_task_builder=task_builder,
+            )
+
+    def _apply_local_join(
+        self,
+        points: np.ndarray,
+        members: np.ndarray,
+        outcome,
+        best_idx: np.ndarray,
+        best_sq: np.ndarray,
+    ) -> None:
+        """Fold one shard's join outcome into the global best arrays."""
+        found = np.flatnonzero(outcome.dependent >= 0)
+        if found.size:
+            winners_q = members[found]
+            winners_t = members[outcome.dependent[found]]
+            best_idx[winners_q] = winners_t
+            # Merge on the canonical float64 squared distance, never on
+            # the join's sqrt'd delta: sqrt can collapse distinct
+            # squared distances and corrupt the cross-shard lex merge.
+            best_sq[winners_q] = _elementwise_sq(
+                np.asarray(points[winners_q], dtype=np.float64),
+                np.asarray(points[winners_t], dtype=np.float64),
+            )
+
+    def _cross_pass_shard(
+        self,
+        points: np.ndarray,
+        a: int,
+        rho: np.ndarray,
+        rho_max: np.ndarray,
+        best_idx: np.ndarray,
+        best_sq: np.ndarray,
+        tree_for,
+    ) -> None:
+        """Cross-shard nearest-denser pass for shard ``a`` (in-place merge).
+
+        ``tree_for(b)`` resolves partner trees lazily: resident trees in the
+        sequential driver, possibly mmapped spilled archives in the budgeted
+        pipeline.  Only touches ``best_idx``/``best_sq`` rows of shard ``a``,
+        so distinct shards' passes are data-disjoint (the pipeline runs them
+        concurrently); the partner loop stays sequential because the pruning
+        state (``best_sq``) evolves across partners exactly as in the
+        sequential fit.
+        """
+        plan = self._plan
+        members_a = plan.members[a]
+        for b in range(plan.n_shards):
+            if b == a:
+                continue
+            sub = members_a[rho[members_a] < rho_max[b]]
+            if sub.size == 0:
+                continue
+            bbox_min, bbox_max = self._shard_bbox[b]
+            sub_points = np.asarray(points[sub], dtype=np.float64)
+            gap = np.maximum(
+                np.maximum(bbox_min[None, :] - sub_points, sub_points - bbox_max[None, :]),
+                0.0,
+            )
+            # squared_norms rounds no higher than the canonical pair
+            # distance, so pruning on strictly-greater is float-safe; a
+            # box tying the current best is kept because a smaller
+            # global index inside it could still win the lex tie.
+            reach = squared_norms(gap)
+            keep = reach <= best_sq[sub]
+            sub = sub[keep]
+            if sub.size == 0:
+                continue
+            members_b = plan.members[b]
+            tree_b = tree_for(b)
+            query_tree = KDTree(
+                np.asarray(points[sub], dtype=np.float64),
+                leaf_size=self.leaf_size,
+                counter=WorkCounter(),
+                kernel=tree_b.kernel_name,
+            )
+            cand, _ = tree_b.nn_dual_vs(query_tree, rho[members_b], rho[sub])
+            found = np.flatnonzero(cand >= 0)
+            if found.size == 0:
+                continue
+            queries_g = sub[found]
+            targets_g = members_b[cand[found]]
+            cand_sq = _elementwise_sq(
+                np.asarray(points[queries_g], dtype=np.float64),
+                np.asarray(points[targets_g], dtype=np.float64),
+            )
+            current_sq = best_sq[queries_g]
+            better = (cand_sq < current_sq) | (
+                (cand_sq == current_sq) & (targets_g < best_idx[queries_g])
+            )
+            winners = queries_g[better]
+            best_idx[winners] = targets_g[better]
+            best_sq[winners] = cand_sq[better]
 
     def _compute_dependencies(
         self, points: np.ndarray, rho: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._pipelined_:
+            outputs = self._pipeline_outputs
+            if outputs is None:
+                raise RuntimeError("pipeline outputs missing (fit order bug)")
+            # The dependency stages ran inside the pipeline; merging their
+            # counter here keeps fit()'s per-phase work attribution exact.
+            self._counter.merge(outputs.dep_counter)
+            self._record_phase(
+                "dependency",
+                "dynamic",
+                np.concatenate(outputs.cost_chunks)
+                if outputs.cost_chunks
+                else np.zeros(0),
+            )
+            n = points.shape[0]
+            return outputs.best_idx, np.sqrt(outputs.best_sq), np.ones(n, dtype=bool)
+
         plan = self._plan
         n = points.shape[0]
         best_idx = np.full(n, -1, dtype=np.intp)
@@ -323,29 +761,8 @@ class ShardedDPC(ExDPC):
         # the estimator's engine and the shard's own executor/segment.
         for shard, tree in enumerate(self._shard_trees):
             members = plan.members[shard]
-            with self._shard_runtime(tree) as (executor, task_builder):
-                outcome = nearest_denser_join(
-                    points[members],
-                    rho[members],
-                    engine=self.engine_,
-                    executor=executor,
-                    counter=self._counter,
-                    tree=tree,
-                    leaf_size=self.leaf_size,
-                    frontier_target=self.dual_frontier_,
-                    process_task_builder=task_builder,
-                )
-            found = np.flatnonzero(outcome.dependent >= 0)
-            if found.size:
-                winners_q = members[found]
-                winners_t = members[outcome.dependent[found]]
-                best_idx[winners_q] = winners_t
-                # Merge on the canonical float64 squared distance, never on
-                # the join's sqrt'd delta: sqrt can collapse distinct
-                # squared distances and corrupt the cross-shard lex merge.
-                best_sq[winners_q] = _elementwise_sq(
-                    points[winners_q], points[winners_t]
-                )
+            outcome = self._local_join(tree, members, rho[members])
+            self._apply_local_join(points, members, outcome, best_idx, best_sq)
             cost_chunks.append(np.asarray(outcome.cost_estimates, dtype=np.float64))
 
         # Cross-shard pass, seeded by per-shard rho_max aggregates: a shard's
@@ -353,54 +770,22 @@ class ShardedDPC(ExDPC):
         # b's bounding box can still beat (or index-tie) the current best.
         rho_max = np.asarray([float(rho[m].max()) for m in plan.members])
         for a in range(plan.n_shards):
-            members_a = plan.members[a]
-            for b in range(plan.n_shards):
-                if b == a:
-                    continue
-                sub = members_a[rho[members_a] < rho_max[b]]
-                if sub.size == 0:
-                    continue
-                bbox_min, bbox_max = self._shard_bbox[b]
-                gap = np.maximum(
-                    np.maximum(bbox_min[None, :] - points[sub], points[sub] - bbox_max[None, :]),
-                    0.0,
-                )
-                # squared_norms rounds no higher than the canonical pair
-                # distance, so pruning on strictly-greater is float-safe; a
-                # box tying the current best is kept because a smaller
-                # global index inside it could still win the lex tie.
-                reach = squared_norms(gap)
-                sub = sub[reach <= best_sq[sub]]
-                if sub.size == 0:
-                    continue
-                members_b = plan.members[b]
-                query_tree = KDTree(
-                    points[sub],
-                    leaf_size=self.leaf_size,
-                    counter=WorkCounter(),
-                    kernel=self._shard_trees[b].kernel_name,
-                )
-                cand, _ = self._shard_trees[b].nn_dual_vs(
-                    query_tree, rho[members_b], rho[sub]
-                )
-                found = np.flatnonzero(cand >= 0)
-                if found.size == 0:
-                    continue
-                queries_g = sub[found]
-                targets_g = members_b[cand[found]]
-                cand_sq = _elementwise_sq(points[queries_g], points[targets_g])
-                current_sq = best_sq[queries_g]
-                better = (cand_sq < current_sq) | (
-                    (cand_sq == current_sq) & (targets_g < best_idx[queries_g])
-                )
-                winners = queries_g[better]
-                best_idx[winners] = targets_g[better]
-                best_sq[winners] = cand_sq[better]
+            self._cross_pass_shard(
+                points, a, rho, rho_max, best_idx, best_sq,
+                lambda b: self._shard_trees[b],
+            )
 
         self._record_phase(
             "dependency",
             "dynamic",
             np.concatenate(cost_chunks) if cost_chunks else np.zeros(0),
+        )
+        # Run-level footprint: the sequential driver keeps every shard tree
+        # resident for the whole fit, plus at most one shm segment at a time.
+        stats = self.shard_stats_
+        resident = sum(self._tree_resident_bytes(t) for t in self._shard_trees)
+        stats["peak_rss_bytes"] = max(
+            stats["peak_rss_bytes"], int(resident + stats["shm_peak_bytes"])
         )
         return best_idx, np.sqrt(best_sq), np.ones(n, dtype=bool)
 
@@ -471,7 +856,8 @@ class ShardedDPC(ExDPC):
                     continue
                 targets_g = members[idx[found]]
                 cand_sq = _elementwise_sq(
-                    queries[found], self._fit_points_[targets_g]
+                    queries[found],
+                    np.asarray(self._fit_points_[targets_g], dtype=np.float64),
                 )
                 merge(found, targets_g, cand_sq)
         else:

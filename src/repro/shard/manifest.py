@@ -35,13 +35,67 @@ from repro.shard.partition import ShardPlan
 from repro.stream.snapshot import _jsonable, load_npz_arrays
 from repro.utils.counters import WorkCounter
 
-__all__ = ["MANIFEST_FORMAT_VERSION", "load_sharded", "save_sharded"]
+__all__ = [
+    "MANIFEST_FORMAT_VERSION",
+    "load_sharded",
+    "read_shard_archive",
+    "save_sharded",
+    "write_shard_archive",
+]
 
 MANIFEST_FORMAT_VERSION = 1
 
 _MANIFEST_NAME = "manifest.json"
 _GLOBAL_NAME = "global.npz"
 _TREE_PREFIX = "tree."
+
+
+def write_shard_archive(path, members, shard_points, tree) -> Path:
+    """Write one shard (members + float64 points + flattened tree) to ``path``.
+
+    The archive layout is exactly one ``shard_<k>.npz`` member of a manifest
+    directory; the shard pipeline also uses it as its spill format, so a
+    spilled shard can later be adopted verbatim by :func:`save_sharded`.
+    Uncompressed on purpose: :func:`repro.stream.snapshot.load_npz_arrays`
+    can then memory-map every array.
+    """
+    path = Path(path)
+    arrays = {
+        "members": np.asarray(members, dtype=np.int64),
+        "points": np.asarray(shard_points, dtype=np.float64),
+    }
+    for name, array in tree.arrays.to_mapping(prefix=_TREE_PREFIX).items():
+        arrays[name] = array
+    np.savez(path, **arrays)
+    return path
+
+
+def read_shard_archive(
+    path,
+    *,
+    mmap: bool = False,
+    counter: WorkCounter | None = None,
+    leaf_size: int = 32,
+    kernel: str | None = None,
+) -> tuple[np.ndarray, KDTree]:
+    """Restore ``(members, tree)`` from a :func:`write_shard_archive` file.
+
+    With ``mmap=True`` the shard's points and tree arrays stay on disk (the
+    kd-tree is wrapped with :meth:`repro.index.kdtree.KDTree.from_arrays`, no
+    rebuild), so touching the tree faults in only the pages a query visits --
+    this is how the budgeted pipeline joins against spilled shards without
+    re-charging them to the memory budget.
+    """
+    data = load_npz_arrays(path, mmap=mmap)
+    members = np.asarray(data["members"], dtype=np.intp)
+    tree = KDTree.from_arrays(
+        data["points"],
+        KDTreeArrays.from_mapping(data, prefix=_TREE_PREFIX),
+        leaf_size=leaf_size,
+        counter=counter,
+        kernel=kernel,
+    )
+    return members, tree
 
 
 def save_sharded(model, path) -> Path:
@@ -79,14 +133,8 @@ def save_sharded(model, path) -> Path:
 
     shard_files = []
     for shard, (members, tree) in enumerate(zip(plan.members, trees)):
-        arrays = {
-            "members": np.asarray(members, dtype=np.int64),
-            "points": np.asarray(points[members], dtype=np.float64),
-        }
-        for name, array in tree.arrays.to_mapping(prefix=_TREE_PREFIX).items():
-            arrays[name] = array
         file_name = f"shard_{shard}.npz"
-        np.savez(path / file_name, **arrays)
+        write_shard_archive(path / file_name, members, points[members], tree)
         shard_files.append({"file": file_name, "size": int(members.size)})
 
     manifest = {
@@ -137,6 +185,7 @@ def load_sharded(path, *, mmap: bool = False):
     known = {
         "rho_min", "delta_min", "n_clusters", "n_jobs", "backend", "seed",
         "engine", "dual_frontier", "kernel", "leaf_size", "dtype", "n_shards",
+        "memory_budget_bytes", "pipeline",
     }
     kwargs = {key: value for key, value in params.items() if key in known}
     model = ShardedDPC(params["d_cut"], **kwargs)
@@ -151,18 +200,14 @@ def load_sharded(path, *, mmap: bool = False):
     trees: list[KDTree] = []
     points = np.empty((n_points, model._fit_dim), dtype=np.float64)
     for shard, record in enumerate(manifest["shards"]):
-        data = load_npz_arrays(path / record["file"], mmap=mmap)
-        members = np.asarray(data["members"], dtype=np.intp)
-        shard_points = data["points"]
-        points[members] = shard_points
-        tree_arrays = KDTreeArrays.from_mapping(data, prefix=_TREE_PREFIX)
-        tree = KDTree.from_arrays(
-            shard_points,
-            tree_arrays,
-            leaf_size=int(params.get("leaf_size", 32)),
+        members, tree = read_shard_archive(
+            path / record["file"],
+            mmap=mmap,
             counter=model._counter,
+            leaf_size=int(params.get("leaf_size", 32)),
             kernel=params.get("kernel"),
         )
+        points[members] = tree.source_points
         members_list.append(members)
         trees.append(tree)
 
@@ -185,6 +230,8 @@ def load_sharded(path, *, mmap: bool = False):
         "shm_peak_bytes": 0,
         "halo_exported_points": 0,
         "halo_credits": 0,
+        "budget_bytes": None,
+        "peak_rss_bytes": 0,
     }
 
     data = load_npz_arrays(path / _GLOBAL_NAME, mmap=mmap)

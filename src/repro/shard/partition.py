@@ -36,7 +36,13 @@ import numpy as np
 
 from repro.utils.validation import check_points, check_positive_int
 
-__all__ = ["ShardPlan", "plan_shards", "halo_slack", "separating_plane"]
+__all__ = [
+    "ShardPlan",
+    "halo_slack",
+    "plan_shards",
+    "plan_shards_streaming",
+    "separating_plane",
+]
 
 
 def _check_n_shards(n_shards: int, n_points: int) -> int:
@@ -128,6 +134,194 @@ def plan_shards(points, n_shards: int) -> ShardPlan:
         axes=axes,
         values=values,
         members=tuple(members),  # type: ignore[arg-type]
+    )
+
+
+def _iter_row_chunks(source, chunk_rows: int):
+    """Yield ``(start, float64 chunk)`` slices of a 2-D row-major source.
+
+    Slicing a float64 memmap is a zero-copy view, so one pass touches each
+    page once and holds at most ``chunk_rows`` rows of private memory.
+    """
+    n = source.shape[0]
+    for start in range(0, n, chunk_rows):
+        yield start, np.asarray(source[start : start + chunk_rows], dtype=np.float64)
+
+
+def plan_shards_streaming(
+    source,
+    n_shards: int,
+    *,
+    sample_size: int = 4096,
+    chunk_rows: int = 65536,
+) -> ShardPlan:
+    """Out-of-core :func:`plan_shards`: split planes from a sample + refine.
+
+    Operates on ``source`` (typically a memmapped ``.npy``) strictly chunk by
+    chunk, never materialising the full matrix.  Per level it runs three
+    streaming passes over the rows of each node being split:
+
+    1. **sample** -- exact per-node min/max (for the widest-spread axis, same
+       rule as :func:`plan_shards`) plus a deterministic strided row sample;
+    2. **refine** -- the sample brackets the median inside a quantile window
+       ``[lo, hi]``; one pass counts values below ``lo`` and collects the
+       in-window values, from which the *exact* rank-``mid`` order statistic
+       (the same statistic ``argpartition`` yields in :func:`plan_shards`)
+       is selected.  If the window misses (adversarial duplicates), the pass
+       falls back to collecting the node's full column -- still one column,
+       never the matrix;
+    3. **assign** -- routes rows to the two children.  Values strictly below
+       the plane go left, strictly above go right, and exact ties are split
+       by ascending global index until the left child holds exactly
+       ``mid = size // 2`` rows.
+
+    The resulting plan is *plane-consistent* -- every member of a left
+    (right) shard lies on the ``<=`` (``>=``) side of each separating plane
+    -- and balanced exactly like :func:`plan_shards`; tie placement *at* a
+    plane may differ from the in-memory planner (``argpartition`` order is
+    unspecified), which is irrelevant to the fit: the halo-exchange and
+    cross-shard merge contracts make the clustering bit-identical to the
+    single-tree fit for any plane-consistent balanced partition.
+
+    Peak private memory is ``O(chunk_rows * d + n)`` (the per-row node
+    assignment plus window buffers), independent of ``n * d``.
+    """
+    n, dim = int(source.shape[0]), int(source.shape[1])
+    n_shards = _check_n_shards(n_shards, n)
+    depth = n_shards.bit_length() - 1
+    sample_size = check_positive_int(sample_size, "sample_size")
+    chunk_rows = check_positive_int(chunk_rows, "chunk_rows")
+
+    axes = np.full(max(n_shards - 1, 1), -1, dtype=np.intp)[: n_shards - 1]
+    values = np.zeros(n_shards - 1, dtype=np.float64)
+    # assign[i] is row i's node index within the current level (level-local,
+    # 0..2^level - 1); after `depth` levels it is the final shard id.
+    assign = np.zeros(n, dtype=np.intp)
+    sizes = [n]
+
+    for level in range(depth):
+        n_nodes = 1 << level
+        mids = [size // 2 for size in sizes]
+
+        # Pass 1: exact per-node min/max + deterministic strided samples.
+        mins = np.full((n_nodes, dim), np.inf)
+        maxs = np.full((n_nodes, dim), -np.inf)
+        strides = [
+            max(1, (size + sample_size - 1) // sample_size) for size in sizes
+        ]
+        seen = [0] * n_nodes
+        samples: list[list[np.ndarray]] = [[] for _ in range(n_nodes)]
+        for start, chunk in _iter_row_chunks(source, chunk_rows):
+            node_of = assign[start : start + chunk.shape[0]]
+            for node in range(n_nodes):
+                rows = chunk[node_of == node]
+                if rows.shape[0] == 0:
+                    continue
+                np.minimum(mins[node], rows.min(axis=0), out=mins[node])
+                np.maximum(maxs[node], rows.max(axis=0), out=maxs[node])
+                stride = strides[node]
+                offset = (-seen[node]) % stride
+                samples[node].append(rows[offset::stride])
+                seen[node] += rows.shape[0]
+
+        dims = [int(np.argmax(maxs[node] - mins[node])) for node in range(n_nodes)]
+
+        # Pass 2: exact rank-mid order statistic via the sample window.
+        windows: list[tuple[float, float] | None] = [None] * n_nodes
+        for node in range(n_nodes):
+            if strides[node] == 1:
+                continue  # the sample IS the full column: exact already
+            col = np.sort(np.concatenate(samples[node])[:, dims[node]])
+            fraction = mids[node] / sizes[node]
+            width = max(0.02, 6.0 / np.sqrt(col.size))
+            lo = col[int(np.floor(max(0.0, fraction - width) * (col.size - 1)))]
+            hi = col[int(np.ceil(min(1.0, fraction + width) * (col.size - 1)))]
+            windows[node] = (float(lo), float(hi))
+
+        plane = np.empty(n_nodes, dtype=np.float64)
+        tie_quota = [0] * n_nodes
+        pending = list(range(n_nodes))
+        while pending:
+            below = [0] * n_nodes
+            collected: list[list[np.ndarray]] = [[] for _ in range(n_nodes)]
+            for start, chunk in _iter_row_chunks(source, chunk_rows):
+                node_of = assign[start : start + chunk.shape[0]]
+                for node in pending:
+                    col = chunk[node_of == node][:, dims[node]]
+                    if col.shape[0] == 0:
+                        continue
+                    if windows[node] is None:
+                        collected[node].append(col)
+                        continue
+                    lo, hi = windows[node]
+                    below[node] += int(np.count_nonzero(col < lo))
+                    collected[node].append(col[(col >= lo) & (col <= hi)])
+            missed = []
+            for node in pending:
+                window_values = (
+                    np.concatenate(collected[node])
+                    if collected[node]
+                    else np.zeros(0)
+                )
+                rank = mids[node] - below[node]
+                if not 0 <= rank < window_values.size:
+                    windows[node] = None  # window missed: full-column retry
+                    missed.append(node)
+                    continue
+                value = float(np.partition(window_values, rank)[rank])
+                plane[node] = value
+                strictly_below = below[node] + int(
+                    np.count_nonzero(window_values < value)
+                )
+                tie_quota[node] = mids[node] - strictly_below
+            pending = missed
+
+        # Pass 3: route rows to children (ties split by ascending index).
+        new_assign = np.empty(n, dtype=np.intp)
+        ties_taken = [0] * n_nodes
+        for start, chunk in _iter_row_chunks(source, chunk_rows):
+            node_of = assign[start : start + chunk.shape[0]]
+            out = new_assign[start : start + chunk.shape[0]]
+            for node in range(n_nodes):
+                mask = node_of == node
+                if not mask.any():
+                    continue
+                col = chunk[mask][:, dims[node]]
+                side = np.where(col < plane[node], 0, 1)
+                ties = np.flatnonzero(col == plane[node])
+                if ties.size:
+                    take = max(0, min(ties.size, tie_quota[node] - ties_taken[node]))
+                    side[ties[:take]] = 0
+                    side[ties[take:]] = 1
+                    ties_taken[node] += take
+                out[mask] = 2 * node + side
+        for node in range(n_nodes):
+            heap = (1 << level) - 1 + node
+            axes[heap] = dims[node]
+            values[heap] = plane[node]
+        assign = new_assign
+        sizes = [
+            item
+            for size, mid in zip(sizes, mids)
+            for item in (mid, size - mid)
+        ]
+
+    members = tuple(
+        np.flatnonzero(assign == shard).astype(np.intp)
+        for shard in range(n_shards)
+    )
+    for shard, shard_members in enumerate(members):
+        if shard_members.size == 0:
+            raise ValueError(
+                f"streaming plan produced an empty shard ({shard}); "
+                "reduce n_shards"
+            )
+    return ShardPlan(
+        n_shards=n_shards,
+        depth=depth,
+        axes=axes,
+        values=values,
+        members=members,
     )
 
 

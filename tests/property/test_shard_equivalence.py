@@ -17,7 +17,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import ExDPC
-from repro.shard import ShardedDPC
+from repro.shard import ShardedDPC, minimum_budget_bytes, plan_shards
 
 ENGINES = ("batch", "dual", "scalar")
 DTYPES = ("float64", "float32")
@@ -128,6 +128,101 @@ class TestProcessBackendOutOfCore:
             peaks[n_shards] = model.shard_stats_["shm_peak_bytes"]
         assert peaks[4] > 0
         assert peaks[4] < peaks[1]
+
+
+class TestPipelinedEquivalence:
+    """Pipelined fit == sequential fit == ExDPC, bit for bit.
+
+    The stage-pipelined scheduler (and its memory budget) must be invisible:
+    at every budget in {unbounded, two-shard, one-shard} the fitted arrays
+    AND the per-phase work counters equal the sequential sharded driver's,
+    which in turn equals single-tree ExDPC on the fitted arrays.
+    """
+
+    BUDGETS = ("unbounded", "two-shard", "one-shard")
+
+    @staticmethod
+    def resolve_budget(points, n_shards, dtype, budget):
+        if budget == "unbounded":
+            return None
+        plan = plan_shards(points, n_shards)
+        minimum = minimum_budget_bytes(plan.shard_sizes, points.shape[1], dtype, 32)
+        return minimum if budget == "one-shard" else 2 * minimum
+
+    @pytest.mark.parametrize("budget", BUDGETS)
+    @pytest.mark.parametrize("n_shards", (2, 4))
+    @pytest.mark.parametrize("engine", ("batch", "dual"))
+    def test_pipelined_matches_sequential_and_reference(
+        self, engine, n_shards, budget
+    ):
+        points = make_points(200, 2, seed=42)
+        reference, sequential = fit_pair(points, n_shards, engine=engine)
+        budget_bytes = self.resolve_budget(points, n_shards, "float64", budget)
+        pipelined = ShardedDPC(
+            8.0,
+            n_shards=n_shards,
+            rho_min=1,
+            n_clusters=4,
+            seed=0,
+            engine=engine,
+            memory_budget_bytes=budget_bytes,
+            pipeline=True,
+        )
+        pipelined.fit(points)
+        assert_bit_identical(reference, pipelined)
+        # Work counters: pipelined == sequential sharded, phase by phase.
+        seq_work = sequential.result_.work_
+        pipe_work = pipelined.result_.work_
+        assert pipe_work["density_distance_calcs"] == (
+            seq_work["density_distance_calcs"]
+        )
+        assert pipe_work["dependency_distance_calcs"] == (
+            seq_work["dependency_distance_calcs"]
+        )
+        assert pipe_work["total_distance_calcs"] == seq_work["total_distance_calcs"]
+        if budget_bytes is not None:
+            stats = pipelined.shard_stats_
+            assert 0 < stats["peak_rss_bytes"] <= budget_bytes
+
+    @pytest.mark.parametrize("budget", ("unbounded", "one-shard"))
+    def test_pipelined_float32_matches(self, budget):
+        points = make_points(200, 2, seed=42)
+        reference, sequential = fit_pair(points, 4, dtype="float32")
+        budget_bytes = self.resolve_budget(points, 4, "float32", budget)
+        pipelined = ShardedDPC(
+            8.0,
+            n_shards=4,
+            rho_min=1,
+            n_clusters=4,
+            seed=0,
+            dtype="float32",
+            memory_budget_bytes=budget_bytes,
+            pipeline=True,
+        )
+        pipelined.fit(points)
+        assert_bit_identical(reference, pipelined)
+        assert pipelined.result_.work_ == sequential.result_.work_
+
+    def test_pipelined_predict_matches(self):
+        points = make_points(200, 2, seed=42)
+        reference, _ = fit_pair(points, 4)
+        budget_bytes = self.resolve_budget(points, 4, "float64", "one-shard")
+        pipelined = ShardedDPC(
+            8.0,
+            n_shards=4,
+            rho_min=1,
+            n_clusters=4,
+            seed=0,
+            memory_budget_bytes=budget_bytes,
+        )
+        pipelined.fit(points)
+        rng = np.random.default_rng(1)
+        queries = points[rng.integers(0, points.shape[0], size=80)] + rng.normal(
+            0.0, 0.5, size=(80, 2)
+        )
+        np.testing.assert_array_equal(
+            pipelined.predict(queries), reference.predict(queries)
+        )
 
 
 class TestShardProperty:

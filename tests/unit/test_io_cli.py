@@ -377,3 +377,48 @@ class TestCLI:
         )
         assert code == 2
         assert "d_cut_max" in capsys.readouterr().err
+
+
+class TestServeCLI:
+    @pytest.fixture()
+    def snapshot(self, tmp_path, small_blobs):
+        from repro.stream.snapshot import save_model
+
+        points, _ = small_blobs
+        model = ExDPC(d_cut=2_000.0, rho_min=2, n_clusters=3, seed=0)
+        model.fit(points)
+        return save_model(model, tmp_path / "model.npz")
+
+    def test_health_check_single_server(self, snapshot, capsys):
+        code = main(
+            ["serve", "--model", f"m={snapshot}", "--port", "0", "--health-check"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        report = json.loads(output[output.index("{") :])
+        assert report["healthy"] is True
+        assert report["loaded"] == ["m"]  # the probe warmed the snapshot
+
+    def test_health_check_two_replicas(self, snapshot, capsys):
+        code = main(
+            [
+                "serve",
+                "--model",
+                f"m={snapshot}",
+                "--port",
+                "0",
+                "--replicas",
+                "2",
+                "--health-check",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        report = json.loads(output[output.index("{") :])
+        assert report["healthy"] is True
+        assert len(report["replicas"]) == 2
+        assert all(replica["healthy"] for replica in report["replicas"])
+
+    def test_bad_model_spec(self, capsys):
+        assert main(["serve", "--model", "nonsense", "--health-check"]) == 2
+        assert "NAME=PATH" in capsys.readouterr().err

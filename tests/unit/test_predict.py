@@ -180,6 +180,31 @@ class TestFloat32Recheck:
         rechecked = model.predict(queries, float32_recheck=True)
         assert rechecked.shape == plain.shape
 
+    def test_recheck_is_the_default_for_float32_models(self):
+        # Library-wide default promotion: predict() on a float32 model now
+        # resolves float32_recheck=None to True, so the plain call equals the
+        # explicit opt-in, and False remains the explicit opt-out.
+        rng = np.random.default_rng(21)
+        train = rng.uniform(0.0, 100.0, size=(250, 2))
+        queries = rng.uniform(0.0, 100.0, size=(60, 2))
+        model = ExDPC(d_cut=11.0, rho_min=1, n_clusters=2, seed=0, dtype="float32")
+        model.fit(train)
+        np.testing.assert_array_equal(
+            model.predict(queries), model.predict(queries, float32_recheck=True)
+        )
+        opted_out = model.predict(queries, float32_recheck=False)
+        assert opted_out.shape == queries.shape[:1]
+
+    def test_float64_model_defaults_to_no_recheck(self, blob_setup):
+        points, _ = blob_setup
+        model = ExDPC(d_cut=2_000.0, rho_min=2, n_clusters=3, seed=0)
+        model.fit(points)
+        rng = np.random.default_rng(2)
+        queries = rng.uniform(0, 100_000, size=(30, 2))
+        np.testing.assert_array_equal(
+            model.predict(queries), model.predict(queries, float32_recheck=False)
+        )
+
     def test_float64_model_ignores_the_flag(self, blob_setup):
         points, _ = blob_setup
         model = ExDPC(d_cut=2_000.0, rho_min=2, n_clusters=3, seed=0)

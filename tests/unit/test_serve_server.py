@@ -113,6 +113,9 @@ class TestServer:
         assert serve(snapshot, bad)
 
     def test_float32_model_served_with_recheck_policy(self, small_blobs, tmp_path):
+        # The boundary re-check is now predict()'s own default for float32
+        # models, so the server passes no override and still serves the
+        # re-checked labels.
         points, _ = small_blobs
         model = ExDPC(2_000.0, rho_min=2, n_clusters=3, seed=0, dtype="float32")
         model.fit(points)
@@ -126,7 +129,7 @@ class TestServer:
 
         labels, predict_kwargs = serve(path, burst)
         np.testing.assert_array_equal(labels, expected)
-        assert predict_kwargs == {"float32_recheck": True}
+        assert predict_kwargs == {}
 
     def test_float64_model_served_without_recheck(self, snapshot):
         async def probe(server, client):
@@ -134,6 +137,20 @@ class TestServer:
             return server._coalescers["m"].predict_kwargs
 
         assert serve(snapshot, probe) == {}
+
+    def test_health_op_reports_and_warms(self, snapshot):
+        async def probe(server, client):
+            cold = await client.health()
+            warm = await client.health("m")
+            return cold, warm
+
+        cold, warm = serve(snapshot, probe)
+        assert cold["healthy"] is True
+        assert cold["models"] == ["m"]
+        assert cold["loaded"] == []  # plain health never faults snapshots in
+        assert warm["healthy"] is True
+        assert warm["loaded"] == ["m"]  # the warm probe loaded it
+        assert isinstance(warm["pid"], int)
 
 
 class TestCoalescer:
@@ -177,3 +194,66 @@ class TestCoalescer:
         labels = asyncio.run(main())
         assert labels.shape == (1,)
         np.testing.assert_array_equal(labels, model.predict(points[:1]))
+
+    def test_backpressure_queues_overflow_without_dropping(self, fitted):
+        # A slow model plus max_pending_batches=1 forces the dispatcher to
+        # wait between batches; every queued request must still be answered
+        # (queued, never dropped) and correctly.
+        model, points = fitted
+        import time
+
+        class Slow:
+            def predict(self, queries):
+                time.sleep(0.02)
+                return model.predict(queries)
+
+        async def main():
+            coalescer = RequestCoalescer(
+                Slow(), window_seconds=0.005, max_batch=2, max_pending_batches=1
+            )
+            futures = [coalescer.predict(points[i : i + 1]) for i in range(9)]
+            labels = await asyncio.gather(*futures)
+            return np.concatenate(labels), coalescer.stats
+
+        labels, stats = asyncio.run(main())
+        np.testing.assert_array_equal(labels, model.predict(points[:9]))
+        assert stats["requests"] == 9
+        assert stats["batches"] >= 5  # max_batch=2 over 9 queued requests
+        assert stats["peak_pending_batches"] == 1
+        assert stats["backpressure_waits"] >= 1
+
+    def test_pending_batches_overlap_up_to_the_limit(self, fitted):
+        model, points = fitted
+        import threading
+        import time
+
+        peak = {"live": 0, "max": 0}
+        lock = threading.Lock()
+
+        class Tracking:
+            def predict(self, queries):
+                with lock:
+                    peak["live"] += 1
+                    peak["max"] = max(peak["max"], peak["live"])
+                time.sleep(0.02)
+                with lock:
+                    peak["live"] -= 1
+                return model.predict(queries)
+
+        async def main():
+            coalescer = RequestCoalescer(
+                Tracking(), window_seconds=0.005, max_batch=1, max_pending_batches=3
+            )
+            futures = [coalescer.predict(points[i : i + 1]) for i in range(8)]
+            labels = await asyncio.gather(*futures)
+            return np.concatenate(labels), coalescer.stats
+
+        labels, stats = asyncio.run(main())
+        np.testing.assert_array_equal(labels, model.predict(points[:8]))
+        assert 1 <= peak["max"] <= 3  # concurrency bounded by the limit
+        assert stats["peak_pending_batches"] <= 3
+
+    def test_max_pending_batches_validation(self, fitted):
+        model, _ = fitted
+        with pytest.raises(ValueError, match="max_pending_batches"):
+            RequestCoalescer(model, max_pending_batches=0)
